@@ -1,0 +1,64 @@
+// Reproduces Eq. 1 / Fig. 2 (E1): the required-ADC-resolution law and the
+// exactness demonstration of the paper's running example — an 8×8 crossbar
+// with 1-bit DAC and 2-bit MLC cells, where 4× column proportional pruning
+// lets a 3-bit ADC replace the 5-bit one with zero computational error.
+#include <cstdio>
+
+#include "core/projection.hpp"
+#include "msim/analog_mvm.hpp"
+#include "tensor/tensor.hpp"
+#include "xbar/adc_bits.hpp"
+
+int main() {
+  using namespace tinyadc;
+
+  std::printf("=== Eq. 1: required ADC bits (1-bit DAC, 2-bit MLC) ===\n\n");
+  std::printf("%-14s %14s %14s %16s\n", "active rows", "Eq.1 bits",
+              "exact bits", "design (ISAAC)");
+  for (std::int64_t rows : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    xbar::MappingConfig cfg;
+    std::printf("%-14lld %14d %14d %16d\n", static_cast<long long>(rows),
+                xbar::required_adc_bits(1, 2, rows),
+                xbar::exact_adc_bits(1, 2, rows),
+                xbar::design_adc_bits(cfg, rows));
+  }
+
+  std::printf("\n=== Fig. 2: 8x8 crossbar, 4x CP pruning ===\n\n");
+  // Build the paper's example: 8×8 block, 2 non-zeros per column.
+  Rng rng(2021);
+  constexpr std::int64_t n = 8;
+  std::vector<float> store(n * n);
+  for (auto& v : store) v = rng.normal(0.0F, 1.0F);
+  core::project_column_proportional({store.data(), n, n}, {n, n}, 2);
+  Tensor m({n, n});
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < n; ++c) m.at(r, c) = store[c * n + r];
+
+  xbar::MappingConfig cfg;
+  cfg.dims = {n, n};
+  cfg.input_bits = 8;
+  const auto layer = xbar::map_matrix(m, "fig2", cfg);
+  std::printf("max active rows per column : %lld\n",
+              static_cast<long long>(layer.max_active_rows()));
+  std::printf("dense ADC requirement      : %d bits\n",
+              xbar::required_adc_bits(1, 2, n));
+  std::printf("pruned ADC requirement     : %d bits\n",
+              layer.required_adc_bits());
+
+  // Exactness check over many random inputs with the REDUCED ADC.
+  msim::AnalogLayerSim sim(layer, {});
+  std::int64_t mismatches = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<std::int32_t> x(n);
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(256));
+    if (sim.mvm(x) != xbar::reference_mvm(layer, x)) ++mismatches;
+  }
+  std::printf("analog-vs-reference mismatches over %d random MVMs: %lld "
+              "(clip events: %lld)\n",
+              kTrials, static_cast<long long>(mismatches),
+              static_cast<long long>(sim.stats().adc_clip_events));
+  std::printf("\n(paper: a 3-bit ADC replaces the 5-bit ADC \"without "
+              "introducing any computational inaccuracy\")\n");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Reproduces §IV-E (fault tolerance): accuracy drop under Stuck-At-0
+// faults at 5/10/15 % for the TinyADC CP-pruned model vs a DCP-style
+// (3.3× channel-pruned) baseline and the dense model, on the ImageNet-like
+// tier.
+//
+// Expected shape (paper): TinyADC's drop is 0.5 / 1.8 / 3.9 points smaller
+// than DCP's at 5 / 10 / 15 % — the deliberately G_off-parked cells are
+// immune to SA0.
+#include <cmath>
+
+#include "fault/evaluate.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tinyadc;
+
+std::unique_ptr<nn::Model> train_dense(const data::DatasetPair& data) {
+  auto model = bench::bench_model("resnet18", data.train.num_classes);
+  auto cfg = bench::bench_pipeline({16, 16});
+  cfg.pretrain.epochs += 4;  // give the dense twin a solid baseline
+  nn::Trainer trainer(*model, cfg.pretrain);
+  trainer.fit(data.train, data.test);
+  return model;
+}
+
+std::unique_ptr<nn::Model> train_dcp_like(const data::DatasetPair& data) {
+  // DCP-style channel pruning at 3.3x: filter pruning without crossbar
+  // alignment and without the CP constraint.
+  auto model = bench::bench_model("resnet18", data.train.num_classes);
+  auto cfg = bench::bench_pipeline({16, 16});
+  auto specs = core::uniform_cp_specs(*model, 1, {16, 16});
+  core::add_structured(specs, *model, 1.0 - 1.0 / 3.3, 0.0, {16, 16},
+                       /*crossbar_aware=*/false);
+  core::run_pipeline(*model, data.train, data.test, specs, cfg);
+  return model;
+}
+
+std::unique_ptr<nn::Model> train_tinyadc(const data::DatasetPair& data) {
+  auto model = bench::bench_model("resnet18", data.train.num_classes);
+  auto cfg = bench::bench_pipeline({16, 16});
+  auto specs = core::uniform_cp_specs(*model, 4, {16, 16});
+  core::run_pipeline(*model, data.train, data.test, specs, cfg);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section IV-E: accuracy drop under Stuck-At-0 faults ===\n");
+  std::printf("(imagenet-like tier, ResNet-18; mean over trials)\n\n");
+  auto data = bench::bench_dataset("imagenet");
+
+  auto dense = train_dense(data);
+  auto dcp = train_dcp_like(data);
+  auto tiny = train_tinyadc(data);
+
+  xbar::MappingConfig map_cfg;
+  map_cfg.dims = {16, 16};
+  const int trials = bench::quick_mode() ? 2 : 5;
+
+  std::printf("%-9s %12s %12s %14s %12s %14s\n", "SA0 rate", "dense drop",
+              "DCP-like drop", "TinyADC drop", "advantage", "TinyADC+remap");
+  bench::hr(80);
+  for (double rate : {0.05, 0.10, 0.15}) {
+    fault::FaultSpec spec;
+    spec.rate = rate;
+    spec.sa0_fraction = 1.0;
+    const auto dres =
+        fault::evaluate_under_faults(*dense, data.test, map_cfg, spec, trials);
+    const auto pres =
+        fault::evaluate_under_faults(*dcp, data.test, map_cfg, spec, trials);
+    const auto tres =
+        fault::evaluate_under_faults(*tiny, data.test, map_cfg, spec, trials);
+    const auto rres = fault::evaluate_under_faults_remapped(
+        *tiny, data.test, map_cfg, spec, trials);
+    std::printf("%-9.0f%% %11.1fpp %12.1fpp %13.1fpp %10.1fpp %13.1fpp\n",
+                100.0 * rate, 100.0 * dres.accuracy_drop(),
+                100.0 * pres.accuracy_drop(), 100.0 * tres.accuracy_drop(),
+                100.0 * (pres.accuracy_drop() - tres.accuracy_drop()),
+                100.0 * rres.accuracy_drop());
+    std::fflush(stdout);
+  }
+  std::printf("\n(paper shape: TinyADC's drop is smaller than DCP's at every "
+              "rate, gap widening with rate: 0.5/1.8/3.9pp;\n the remap "
+              "column is our extension — fault-aware wordline reordering "
+              "recovers most residual damage)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Fig. 5: power (a) and area (b) of combined-pruning designs and
+// baseline pruning schemes, normalized to the non-pruned design.
+//
+// Cost depends only on the sparsity structure, so every scheme is applied
+// as a direct projection to full-width (paper-shape) models on 128×128
+// crossbars:
+//   * DCP-like       — channel pruning at the paper's DCP rate (crossbar
+//                      unaligned, like the original method);
+//   * structured-only — crossbar-aware filter pruning (TinyButAcc-style);
+//   * TinyADC w/o SP — CP pruning only (Table I best rate);
+//   * TinyADC        — combined structured + CP.
+// Expected shape (paper): TinyADC wins on power everywhere (the ADC-bit
+// lever), structured-only can match on area when its rate is huge, and the
+// advantage grows on the harder tiers (ImageNet: 3.5× power / 2.9× area vs
+// DCP's 2× / 2×).
+#include <cmath>
+
+#include "hw/cost_model.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tinyadc;
+
+struct SchemeResult {
+  double power_norm;
+  double area_norm;
+};
+
+/// Prices a full-width model after applying the given projections.
+SchemeResult price(const std::string& net, std::int64_t classes,
+                   double filter_frac, bool crossbar_aware,
+                   std::int64_t cp_rate,
+                   const hw::AcceleratorReport& dense_report) {
+  auto model = bench::full_width_model(net, classes);
+  const xbar::MappingConfig map_cfg = bench::paper_mapping();
+  auto specs = core::uniform_cp_specs(
+      *model, std::max<std::int64_t>(cp_rate, 1), map_cfg.dims);
+  if (filter_frac > 0.0)
+    core::add_structured(specs, *model, filter_frac, 0.0, map_cfg.dims,
+                         crossbar_aware);
+  // Apply the combined projection directly (structure-only study).
+  auto views = model->prunable_views();
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    core::MatrixRef ref{views[i].weight->value.data(), views[i].rows,
+                        views[i].cols};
+    core::project_combined(ref, specs[i], map_cfg.dims);
+  }
+  const auto mapped = xbar::map_model(*model, map_cfg, specs);
+  const hw::CostConstants constants;
+  const auto report = hw::build_accelerator(mapped, constants);
+  return {report.power_vs(dense_report), report.area_vs(dense_report)};
+}
+
+void run_config(const char* label, const char* net, std::int64_t classes,
+                double dcp_rate, double structured_rate,
+                std::int64_t cp_only_rate, double combined_sp,
+                std::int64_t combined_cp) {
+  auto dense_model = bench::full_width_model(net, classes);
+  const xbar::MappingConfig map_cfg = bench::paper_mapping();
+  const hw::CostConstants constants;
+  const auto dense_net = xbar::map_model(*dense_model, map_cfg);
+  const auto dense = hw::build_accelerator(dense_net, constants);
+
+  const auto dcp =
+      price(net, classes, 1.0 - 1.0 / dcp_rate, false, 1, dense);
+  const auto structured =
+      price(net, classes, 1.0 - 1.0 / structured_rate, true, 1, dense);
+  const auto cp_only = price(net, classes, 0.0, true, cp_only_rate, dense);
+  const auto combined = price(net, classes, 1.0 - 1.0 / combined_sp, true,
+                              combined_cp, dense);
+
+  std::printf("%-20s %6.3f/%5.3f %12.3f/%5.3f %12.3f/%5.3f %10.3f/%5.3f\n",
+              label, dcp.power_norm, dcp.area_norm, structured.power_norm,
+              structured.area_norm, cp_only.power_norm, cp_only.area_norm,
+              combined.power_norm, combined.area_norm);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 5: power/area (normalized to non-pruned) of pruning "
+              "schemes ===\n\n");
+  std::printf("%-20s %12s %18s %18s %16s\n", "design", "DCP-like",
+              "structured-only", "TinyADC w/o SP", "TinyADC");
+  std::printf("%-20s %12s %18s %18s %16s\n", "", "pwr/area", "pwr/area",
+              "pwr/area", "pwr/area");
+  bench::hr(90);
+  //            label                net        K    DCP  SP-only CPx  SP  CP
+  run_config("cifar10-resnet18", "resnet18", 10, 2.0, 8.0, 64, 7.5, 16);
+  run_config("cifar10-vgg16", "vgg16", 10, 2.0, 8.0, 32, 7.63, 8);
+  run_config("cifar100-resnet18", "resnet18", 100, 2.0, 2.0, 32, 1.6, 16);
+  run_config("cifar100-resnet50", "resnet50", 100, 2.0, 2.0, 32, 2.06, 32);
+  run_config("cifar100-vgg16", "vgg16", 100, 3.9, 2.6, 16, 1.78, 16);
+  run_config("imagenet-resnet18", "resnet18", 1000, 3.3, 2.3, 4, 2.3, 2);
+  std::printf("\n(paper shape: TinyADC's power column dominates every "
+              "baseline; ImageNet/ResNet18 reaches\n ~0.29 power / ~0.34 "
+              "area vs DCP's ~0.5/0.5)\n");
+  return 0;
+}

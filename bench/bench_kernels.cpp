@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks of the performance-critical kernels:
+// GEMM, im2col, the CP projection, crossbar mapping and the analog MVM.
+// These bound how large a model the training/simulation benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "core/projection.hpp"
+#include "msim/analog_mvm.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+
+namespace {
+
+using namespace tinyadc;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  const auto size = state.range(0);
+  Rng rng(2);
+  Tensor img = Tensor::randn({16, size, size}, rng);
+  ConvGeometry g{16, size, size, 3, 3, 1, 1};
+  for (auto _ : state) {
+    Tensor cols = im2col(img, g);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(32);
+
+void BM_CpProjection(benchmark::State& state) {
+  const auto rows = state.range(0);
+  Rng rng(3);
+  std::vector<float> data(static_cast<std::size_t>(rows * 512));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& v : data) v = rng.normal(0.0F, 1.0F);
+    state.ResumeTiming();
+    core::project_column_proportional({data.data(), rows, 512}, {128, 128},
+                                      8);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_CpProjection)->Arg(128)->Arg(1152)->Arg(4608);
+
+void BM_MapMatrix(benchmark::State& state) {
+  const auto rows = state.range(0);
+  Rng rng(4);
+  Tensor m = Tensor::randn({rows, 512}, rng);
+  xbar::MappingConfig cfg;
+  for (auto _ : state) {
+    auto layer = xbar::map_matrix(m, "bench", cfg);
+    benchmark::DoNotOptimize(layer.blocks.data());
+  }
+}
+BENCHMARK(BM_MapMatrix)->Arg(1152)->Arg(4608);
+
+void BM_AnalogMvm(benchmark::State& state) {
+  const auto rows = state.range(0);
+  Rng rng(5);
+  Tensor m = Tensor::randn({rows, 64}, rng);
+  xbar::MappingConfig cfg;
+  cfg.dims = {128, 128};
+  const auto layer = xbar::map_matrix(m, "bench", cfg);
+  msim::AnalogLayerSim sim(layer, {});
+  std::vector<std::int32_t> x(static_cast<std::size_t>(rows));
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(256));
+  for (auto _ : state) {
+    auto y = sim.mvm(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AnalogMvm)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Reproduces Table I: accuracy under different column proportional pruning
+// rates on the three dataset tiers and three networks. Protocol matches the
+// paper: uniform CP rate on every conv layer except the first; the ADC
+// reduction column is the design-resolution delta vs the non-pruned 8-bit
+// baseline (128×128 crossbars).
+//
+// Expected shape (paper): accuracy holds up to a task-difficulty-dependent
+// knee — 64×/32× on the CIFAR-10 tier, 32× on CIFAR-100, only 2–4× on the
+// ImageNet tier.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tinyadc;
+using bench::quick_mode;
+
+struct Row {
+  const char* tier;
+  const char* net;
+  std::int64_t rate;
+};
+
+void run_group(const char* tier, const char* net,
+               const std::vector<std::int64_t>& rates) {
+  // The paper reports top-5 on ImageNet, top-1 elsewhere.
+  const bool top5 = std::string(tier) == "imagenet";
+  const auto data = bench::bench_dataset(tier);
+  const core::CrossbarDims xbar{128, 128};
+  const xbar::MappingConfig map_cfg = bench::paper_mapping();
+  const int dense_bits = xbar::design_adc_bits(map_cfg, xbar.rows);
+
+  // Shared pretrained baseline for the group: train once, reuse weights.
+  auto base = bench::bench_model(net, data.train.num_classes);
+  double original_acc;
+  {
+    auto cfg = bench::bench_pipeline(xbar);
+    nn::Trainer trainer(*base, cfg.pretrain);
+    trainer.fit(data.train, data.test);
+    original_acc = trainer.evaluate(data.test);
+  }
+  const std::string ckpt = std::string("/tmp/tinyadc_t1_") + tier + net + ".bin";
+  base->save(ckpt);
+
+  for (std::int64_t rate : rates) {
+    auto model = bench::bench_model(net, data.train.num_classes);
+    model->load(ckpt);
+    auto cfg = bench::bench_pipeline(xbar);
+    cfg.pretrain.epochs = 0;  // reuse the shared pretrained weights
+    auto specs = core::uniform_cp_specs(*model, rate, xbar);
+    const auto result =
+        core::run_pipeline(*model, data.train, data.test, specs, cfg);
+    // Reduction reported from the worst CP-constrained layer (the paper
+    // applies the reduction uniformly to all ADCs except the first layer).
+    const auto net_map = xbar::map_model(*model, map_cfg, specs);
+    int worst = 0;
+    for (std::size_t i = 1; i < net_map.layers.size(); ++i) {
+      if (!specs[i].active()) continue;
+      worst = std::max(worst, net_map.layers[i].design_adc_bits());
+    }
+    // Top-1 is the comparable metric at bench class counts (top-5 of a
+    // 12-class tier saturates); the paper's ImageNet rows are top-5, so we
+    // annotate it for those configs.
+    char top5_note[40] = "";
+    if (top5) {
+      nn::TrainConfig eval_tc;
+      nn::Trainer evaluator(*model, eval_tc);
+      std::snprintf(top5_note, sizeof top5_note, "  (top-5 %.2f)",
+                    100.0 * evaluator.evaluate_topk(data.test, 5));
+    }
+    std::printf("%-9s %-9s %8.2f %9lldx %10.2f %11d bits%s\n", tier, net,
+                100.0 * original_acc, static_cast<long long>(rate),
+                100.0 * result.final_accuracy, worst - dense_bits, top5_note);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: accuracy vs column proportional pruning rate ===\n");
+  std::printf("(synthetic tiers, width-scaled models; shapes vs paper in "
+              "EXPERIMENTS.md)\n\n");
+  std::printf("%-9s %-9s %8s %10s %10s %15s\n", "dataset", "network",
+              "orig.acc", "CP rate", "final.acc", "ADC reduction");
+  tinyadc::bench::hr();
+  if (quick_mode()) {
+    run_group("cifar10", "resnet18", {16, 64});
+    run_group("imagenet", "resnet18", {2, 4});
+  } else {
+    run_group("cifar10", "resnet18", {16, 32, 64});
+    run_group("cifar10", "vgg16", {16, 32, 64});
+    run_group("cifar100", "resnet18", {8, 16, 32});
+    run_group("cifar100", "resnet50", {8, 16, 32});
+    run_group("cifar100", "vgg16", {8, 16, 32});
+    run_group("imagenet", "resnet18", {2, 4});
+  }
+  return 0;
+}

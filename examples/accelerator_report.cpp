@@ -1,0 +1,95 @@
+// Scenario: accelerator design-space report.
+//
+// For an architect deciding how much CP pruning to budget: sweeps the CP
+// rate, sizes a per-design accelerator for each (the paper's Fig. 4
+// methodology), and prints normalized area/power plus the Table III-style
+// throughput projection for the resulting ADC resolution.
+//
+// Run: ./build/examples/accelerator_report
+#include <cstdio>
+
+#include "core/projection.hpp"
+#include "hw/inference_model.hpp"
+#include "hw/throughput.hpp"
+#include "nn/models.hpp"
+
+int main() {
+  using namespace tinyadc;
+
+  // Full-width layer shapes matter here (we only cost hardware, no
+  // training), so build the real ResNet-18 topology at width 1.0 and map
+  // onto the paper's 128×128 crossbars.
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = 100;
+  mcfg.image_size = 32;
+  mcfg.width_mult = 1.0F;
+  auto model = nn::resnet18(mcfg);
+
+  xbar::MappingConfig map_cfg;  // 128×128, 8-bit weights, 2-bit MLC, 1-bit DAC
+  const hw::CostConstants constants;
+
+  const auto dense_net = xbar::map_model(*model, map_cfg);
+  const auto dense = hw::build_accelerator(dense_net, constants);
+  std::printf("non-pruned design: %lld tiles, %.2f mm2, %.3f W\n",
+              static_cast<long long>(dense.tiles), dense.area_mm2,
+              dense.power_w);
+
+  std::printf("\n%-8s %10s %10s %12s %12s\n", "CP rate", "ADC bits",
+              "occupancy", "power (norm)", "area (norm)");
+  for (std::int64_t rate : {2, 4, 8, 16, 32, 64}) {
+    // CP-prune a fresh copy of the weights at this rate (magnitude
+    // projection stands in for the trained pruning here — hardware cost
+    // depends only on the sparsity structure, not the weight values).
+    auto pruned = nn::resnet18(mcfg);
+    auto views = pruned->prunable_views();
+    const std::int64_t keep =
+        std::max<std::int64_t>(1, map_cfg.dims.rows / rate);
+    for (std::size_t i = 1; i < views.size(); ++i) {
+      core::MatrixRef ref{views[i].weight->value.data(), views[i].rows,
+                          views[i].cols};
+      core::project_column_proportional(ref, {map_cfg.dims.rows,
+                                              map_cfg.dims.cols},
+                                        keep);
+    }
+    const auto net = xbar::map_model(*pruned, map_cfg);
+    const auto report = hw::build_accelerator(net, constants);
+    std::printf("%-8lld %10d %10lld %12.3f %12.3f\n",
+                static_cast<long long>(rate),
+                net.worst_design_adc_bits_after_first(),
+                static_cast<long long>(keep), report.power_vs(dense),
+                report.area_vs(dense));
+  }
+
+  // Per-inference energy/latency of the dense vs an 8x-CP design (one
+  // 32x32x3 image through the full network).
+  {
+    const auto mvms = hw::mvms_per_inference(*model, {3, 32, 32});
+    const auto dense_cost =
+        hw::estimate_inference(dense_net, mvms, constants);
+    auto pruned = nn::resnet18(mcfg);
+    auto views = pruned->prunable_views();
+    for (std::size_t i = 1; i < views.size(); ++i) {
+      core::MatrixRef ref{views[i].weight->value.data(), views[i].rows,
+                          views[i].cols};
+      core::project_column_proportional(ref, map_cfg.dims, 16);  // 8x
+    }
+    const auto pruned_net = xbar::map_model(*pruned, map_cfg);
+    const auto pruned_cost =
+        hw::estimate_inference(pruned_net, mvms, constants);
+    std::printf("\nper-inference cost (one 32x32 image):\n");
+    std::printf("  dense : %.1f us, %.2f uJ (ADC share %.0f%%)\n",
+                1e6 * dense_cost.latency_s, 1e6 * dense_cost.energy_j,
+                100.0 * dense_cost.adc_energy_j / dense_cost.energy_j);
+    std::printf("  8x CP : %.1f us, %.2f uJ (ADC share %.0f%%)\n",
+                1e6 * pruned_cost.latency_s, 1e6 * pruned_cost.energy_j,
+                100.0 * pruned_cost.adc_energy_j / pruned_cost.energy_j);
+  }
+
+  // Throughput projection for a reconfigurable TinyADC(ISAAC) chip sized
+  // for the worst case (the paper uses ImageNet/ResNet-18 → −1 bit).
+  std::printf("\nTable III-style projection:\n");
+  auto rows = hw::reference_rows();
+  rows.push_back(hw::tinyadc_row(constants, 8, 7));
+  std::printf("%s", hw::to_table(rows).c_str());
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/admm.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::core {
+
+AdmmPruner::AdmmPruner(nn::Model& model, std::vector<LayerPruneSpec> specs,
+                       CrossbarDims dims, AdmmConfig config)
+    : model_(model),
+      specs_(std::move(specs)),
+      dims_(dims),
+      config_(config),
+      views_(model.prunable_views()) {
+  TINYADC_CHECK(specs_.size() == views_.size(),
+                "spec count " << specs_.size() << " != prunable layer count "
+                              << views_.size());
+  TINYADC_CHECK(config_.rho > 0.0F, "rho must be positive");
+  TINYADC_CHECK(config_.z_update_every >= 1, "z_update_every must be >= 1");
+}
+
+MatrixRef AdmmPruner::view_ref(std::size_t i) {
+  auto& v = views_[i];
+  return MatrixRef{v.weight->value.data(), v.rows, v.cols};
+}
+
+void AdmmPruner::initialize() {
+  z_.assign(views_.size(), {});
+  u_.assign(views_.size(), {});
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (!specs_[i].active()) continue;
+    const auto n = static_cast<std::size_t>(views_[i].rows * views_[i].cols);
+    const float* w = views_[i].weight->value.data();
+    z_[i].assign(w, w + n);
+    project_combined({z_[i].data(), views_[i].rows, views_[i].cols}, specs_[i],
+                     dims_);
+    u_[i].assign(n, 0.0F);
+  }
+}
+
+void AdmmPruner::attach(nn::Trainer& trainer) {
+  initialize();
+  trainer.set_grad_hook([this] { add_proximal_gradient(); });
+  trainer.set_epoch_hook([this](int epoch) {
+    if ((epoch + 1) % config_.z_update_every == 0)
+      last_residuals_ = update_duals();
+  });
+}
+
+void AdmmPruner::add_proximal_gradient() {
+  TINYADC_CHECK(!z_.empty(), "AdmmPruner used before initialize()");
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (!specs_[i].active()) continue;
+    float* g = views_[i].weight->grad.data();
+    const float* w = views_[i].weight->value.data();
+    const float* z = z_[i].data();
+    const float* u = u_[i].data();
+    const auto n = static_cast<std::size_t>(views_[i].rows * views_[i].cols);
+    for (std::size_t k = 0; k < n; ++k)
+      g[k] += config_.rho * (w[k] - z[k] + u[k]);
+  }
+}
+
+AdmmResiduals AdmmPruner::update_duals() {
+  TINYADC_CHECK(!z_.empty(), "AdmmPruner used before initialize()");
+  AdmmResiduals res;
+  double primal_sq = 0.0;
+  double dual_sq = 0.0;
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (!specs_[i].active()) continue;
+    const float* w = views_[i].weight->value.data();
+    const auto n = static_cast<std::size_t>(views_[i].rows * views_[i].cols);
+    std::vector<float>& z = z_[i];
+    std::vector<float>& u = u_[i];
+    std::vector<float> z_prev = z;
+    // Z ← Π(W + U)
+    for (std::size_t k = 0; k < n; ++k) z[k] = w[k] + u[k];
+    project_combined({z.data(), views_[i].rows, views_[i].cols}, specs_[i],
+                     dims_);
+    // U ← U + W − Z, residual accumulation.
+    for (std::size_t k = 0; k < n; ++k) {
+      u[k] += w[k] - z[k];
+      const double p = static_cast<double>(w[k]) - z[k];
+      const double d = static_cast<double>(z[k]) - z_prev[k];
+      primal_sq += p * p;
+      dual_sq += d * d;
+    }
+  }
+  res.primal = std::sqrt(primal_sq);
+  res.dual = static_cast<double>(config_.rho) * std::sqrt(dual_sq);
+  return res;
+}
+
+void AdmmPruner::hard_prune() {
+  masks_.assign(views_.size(), {});
+  selections_.assign(views_.size(), {});
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (!specs_[i].active()) continue;
+    MatrixRef m = view_ref(i);
+    selections_[i] = project_combined_tracked(m, specs_[i], dims_);
+    masks_[i] = support_mask({m.data, m.rows, m.cols});
+  }
+}
+
+void AdmmPruner::enforce_masks() {
+  TINYADC_CHECK(!masks_.empty(), "enforce_masks before hard_prune");
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (masks_[i].empty()) continue;
+    apply_mask(view_ref(i), masks_[i]);
+  }
+}
+
+void AdmmPruner::attach_mask_enforcement(nn::Trainer& trainer) {
+  TINYADC_CHECK(!masks_.empty(), "attach_mask_enforcement before hard_prune");
+  trainer.set_grad_hook({});
+  trainer.set_epoch_hook({});
+  trainer.set_step_hook([this] { enforce_masks(); });
+}
+
+}  // namespace tinyadc::core

@@ -1,0 +1,97 @@
+// ADMM regularizer for constraint-set pruning (the paper's §III-B).
+//
+// Training alternates two sub-problems:
+//  (4) SGD on  f(W) + Σ ρ/2 ‖W − Zᵗ + Uᵗ‖²  — handled by adding
+//      ρ(W − Z + U) to the weight gradients via the Trainer grad hook;
+//  (5) Zᵗ⁺¹ = Π_S(Wᵗ⁺¹ + Uᵗ)               — the Euclidean projection of
+//      prune_spec.hpp, run at epoch boundaries;
+//  with the dual update Uᵗ⁺¹ = Uᵗ + Wᵗ⁺¹ − Zᵗ⁺¹.
+// After convergence, hard_prune() sets W = Π_S(W) and records the support
+// masks used for masked retraining.
+#pragma once
+
+#include <vector>
+
+#include "core/prune_spec.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace tinyadc::core {
+
+/// ADMM hyperparameters.
+struct AdmmConfig {
+  float rho = 1e-2F;      ///< penalty ρ (uniform over layers)
+  int z_update_every = 1; ///< epochs between Z/U updates
+};
+
+/// Residual diagnostics (property P5 in DESIGN.md).
+struct AdmmResiduals {
+  double primal = 0.0;  ///< ‖W − Z‖_F over all constrained layers
+  double dual = 0.0;    ///< ρ·‖Zᵗ − Zᵗ⁻¹‖_F over all constrained layers
+};
+
+/// Drives ADMM regularization over a model's prunable weights.
+///
+/// The spec vector must align 1:1 with Model::prunable_views() order.
+class AdmmPruner {
+ public:
+  AdmmPruner(nn::Model& model, std::vector<LayerPruneSpec> specs,
+             CrossbarDims dims, AdmmConfig config);
+
+  /// Z ← Π(W), U ← 0. Call once before the ADMM training phase.
+  void initialize();
+
+  /// Installs grad/epoch hooks on `trainer` so its fit() runs subproblem (4)
+  /// with periodic Z/U updates.
+  void attach(nn::Trainer& trainer);
+
+  /// Adds ρ(W − Z + U) to every constrained weight gradient (grad hook).
+  void add_proximal_gradient();
+
+  /// Runs the Z-projection and dual update; returns residuals.
+  AdmmResiduals update_duals();
+
+  /// Projects W onto the constraint set in place and snapshots the support
+  /// masks for masked retraining, recording each layer's structural
+  /// selection (the reform geometry the mapper must use).
+  void hard_prune();
+
+  /// Per-layer structural selections recorded by hard_prune() (aligned with
+  /// Model::prunable_views(); empty selections for CP-only layers).
+  const std::vector<StructuralSelection>& selections() const {
+    return selections_;
+  }
+
+  /// Re-applies the recorded masks to W (post-optimizer-step hook during
+  /// masked retraining). Requires hard_prune() first.
+  void enforce_masks();
+
+  /// Installs the mask-enforcement hook on `trainer` (for retraining).
+  void attach_mask_enforcement(nn::Trainer& trainer);
+
+  /// True once hard_prune() has run.
+  bool pruned() const { return !masks_.empty(); }
+
+  /// Layer specs (aligned with Model::prunable_views()).
+  const std::vector<LayerPruneSpec>& specs() const { return specs_; }
+  /// Crossbar dims the constraints are defined over.
+  CrossbarDims dims() const { return dims_; }
+  /// Most recent residuals from update_duals().
+  const AdmmResiduals& residuals() const { return last_residuals_; }
+
+ private:
+  MatrixRef view_ref(std::size_t i);
+
+  nn::Model& model_;
+  std::vector<LayerPruneSpec> specs_;
+  CrossbarDims dims_;
+  AdmmConfig config_;
+  std::vector<nn::WeightMatrixView> views_;
+  std::vector<std::vector<float>> z_;      // auxiliary variables, storage layout
+  std::vector<std::vector<float>> u_;      // scaled duals, storage layout
+  std::vector<std::vector<float>> masks_;  // support masks after hard_prune
+  std::vector<StructuralSelection> selections_;  // reform geometry
+  AdmmResiduals last_residuals_;
+};
+
+}  // namespace tinyadc::core

@@ -1,0 +1,140 @@
+#include "core/group_lasso.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/projection.hpp"
+#include "tensor/check.hpp"
+
+namespace tinyadc::core {
+
+namespace {
+
+/// L2 norm of column `c` in the weight-storage (column-major) layout.
+double column_norm(const float* w, std::int64_t rows, std::int64_t c) {
+  double n = 0.0;
+  const float* col = w + c * rows;
+  for (std::int64_t r = 0; r < rows; ++r)
+    n += static_cast<double>(col[r]) * col[r];
+  return std::sqrt(n);
+}
+
+double row_norm(const float* w, std::int64_t rows, std::int64_t cols,
+                std::int64_t r) {
+  double n = 0.0;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const double v = w[c * rows + r];
+    n += v * v;
+  }
+  return std::sqrt(n);
+}
+
+}  // namespace
+
+GroupLassoRegularizer::GroupLassoRegularizer(nn::Model& model,
+                                             GroupLassoConfig config,
+                                             bool skip_first_conv)
+    : model_(model), config_(config) {
+  TINYADC_CHECK(config_.lambda_filters >= 0.0F && config_.lambda_shapes >= 0.0F,
+                "lambdas must be non-negative");
+  bool first_conv_seen = false;
+  for (auto& view : model_.prunable_views()) {
+    LayerState state;
+    state.view = view;
+    state.regularized = true;
+    if (view.is_conv && !first_conv_seen) {
+      first_conv_seen = true;
+      if (skip_first_conv) state.regularized = false;
+    }
+    if (!view.is_conv) state.regularized = false;  // convs only, like SSL
+    layers_.push_back(std::move(state));
+  }
+}
+
+void GroupLassoRegularizer::attach(nn::Trainer& trainer) {
+  trainer.set_grad_hook([this] { add_group_gradient(); });
+}
+
+void GroupLassoRegularizer::add_group_gradient() {
+  for (auto& layer : layers_) {
+    if (!layer.regularized) continue;
+    const auto& v = layer.view;
+    const float* w = v.weight->value.data();
+    float* g = v.weight->grad.data();
+    if (config_.lambda_filters > 0.0F) {
+      for (std::int64_t c = 0; c < v.cols; ++c) {
+        const double norm = column_norm(w, v.rows, c) + config_.eps;
+        const float scale =
+            config_.lambda_filters / static_cast<float>(norm);
+        for (std::int64_t r = 0; r < v.rows; ++r)
+          g[c * v.rows + r] += scale * w[c * v.rows + r];
+      }
+    }
+    if (config_.lambda_shapes > 0.0F) {
+      for (std::int64_t r = 0; r < v.rows; ++r) {
+        const double norm =
+            row_norm(w, v.rows, v.cols, r) + config_.eps;
+        const float scale = config_.lambda_shapes / static_cast<float>(norm);
+        for (std::int64_t c = 0; c < v.cols; ++c)
+          g[c * v.rows + r] += scale * w[c * v.rows + r];
+      }
+    }
+  }
+}
+
+double GroupLassoRegularizer::penalty() const {
+  double total = 0.0;
+  for (const auto& layer : layers_) {
+    if (!layer.regularized) continue;
+    const auto& v = layer.view;
+    const float* w = v.weight->value.data();
+    if (config_.lambda_filters > 0.0F)
+      for (std::int64_t c = 0; c < v.cols; ++c)
+        total += config_.lambda_filters * column_norm(w, v.rows, c);
+    if (config_.lambda_shapes > 0.0F)
+      for (std::int64_t r = 0; r < v.rows; ++r)
+        total += config_.lambda_shapes * row_norm(w, v.rows, v.cols, r);
+  }
+  return total;
+}
+
+std::vector<LayerPruneSpec> GroupLassoRegularizer::harvest(
+    double relative_threshold, CrossbarDims dims, bool crossbar_aware) {
+  TINYADC_CHECK(relative_threshold >= 0.0, "threshold must be non-negative");
+  std::vector<LayerPruneSpec> specs;
+  specs.reserve(layers_.size());
+  for (auto& layer : layers_) {
+    const auto& v = layer.view;
+    LayerPruneSpec spec;
+    spec.layer_name = v.layer_name;
+    spec.enabled = layer.regularized;
+    if (layer.regularized && config_.lambda_filters > 0.0F) {
+      float* w = v.weight->value.data();
+      // RMS group norm sets the scale for "collapsed".
+      double sum_sq = 0.0;
+      for (std::int64_t c = 0; c < v.cols; ++c) {
+        const double n = column_norm(w, v.rows, c);
+        sum_sq += n * n;
+      }
+      const double rms = std::sqrt(sum_sq / static_cast<double>(v.cols));
+      std::int64_t collapsed = 0;
+      for (std::int64_t c = 0; c < v.cols; ++c)
+        collapsed +=
+            (column_norm(w, v.rows, c) < relative_threshold * rms);
+      std::int64_t removable =
+          round_removal(collapsed, dims.cols, crossbar_aware);
+      removable = std::min(removable,
+                           std::max<std::int64_t>(v.cols - dims.cols, 0));
+      if (removable > 0) {
+        MatrixRef ref{w, v.rows, v.cols};
+        zero_columns(ref, lowest_norm_columns({w, v.rows, v.cols},
+                                              removable));
+        spec.remove_filters = removable;
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace tinyadc::core

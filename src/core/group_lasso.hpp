@@ -1,0 +1,63 @@
+// Group-lasso (SSL-style) structured-sparsity regularizer.
+//
+// The paper's SSL baseline (Wen et al., NeurIPS 2016) learns structured
+// sparsity by adding λ·Σ_g ‖W_g‖₂ over filter (column) and/or shape (row)
+// groups to the training loss; groups whose norms are driven to ~0 are then
+// removed. We implement it as a Trainer grad hook — the faithful mechanism
+// behind the "SSL 2.6×" row of Table II — and a thresholding step that
+// converts near-zero groups into exact structural removals (optionally
+// crossbar-rounded, so the result feeds the same mapper path as TinyADC's
+// own structured pruning).
+//
+// Gradient of the group term: ∂/∂w λ‖W_g‖₂ = λ·w/‖W_g‖₂ (0 at the origin).
+#pragma once
+
+#include "core/prune_spec.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace tinyadc::core {
+
+/// Group-lasso hyperparameters.
+struct GroupLassoConfig {
+  float lambda_filters = 1e-3F;  ///< λ on column (filter) groups
+  float lambda_shapes = 0.0F;    ///< λ on row (filter-shape) groups
+  float eps = 1e-8F;             ///< norm floor for the gradient
+};
+
+/// Applies SSL regularization to a model's prunable layers during training.
+class GroupLassoRegularizer {
+ public:
+  /// `skip_first_conv` mirrors the pruning protocol (stem stays dense).
+  GroupLassoRegularizer(nn::Model& model, GroupLassoConfig config,
+                        bool skip_first_conv = true);
+
+  /// Installs the grad hook on `trainer`.
+  void attach(nn::Trainer& trainer);
+
+  /// Adds λ·w/‖W_g‖₂ to every regularized weight gradient.
+  void add_group_gradient();
+
+  /// Sum of group norms (the regularization term's current value).
+  double penalty() const;
+
+  /// Converts learned near-zero groups into hard structural removals:
+  /// zeroes every filter group whose L2 norm falls below `threshold`
+  /// (relative to the layer's RMS group norm), rounded down to crossbar
+  /// multiples when `dims` has positive extents. Returns per-layer specs
+  /// describing what was removed (feedable to xbar::map_model).
+  std::vector<LayerPruneSpec> harvest(double relative_threshold,
+                                      CrossbarDims dims,
+                                      bool crossbar_aware = true);
+
+ private:
+  struct LayerState {
+    nn::WeightMatrixView view;
+    bool regularized = false;
+  };
+  nn::Model& model_;
+  GroupLassoConfig config_;
+  std::vector<LayerState> layers_;
+};
+
+}  // namespace tinyadc::core

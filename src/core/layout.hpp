@@ -1,0 +1,40 @@
+// Shared 2-D weight-matrix layout conventions for the pruning framework.
+//
+// Every prunable weight in this project is viewed as the paper's Fig. 3
+// 2-D matrix: `rows` input taps × `cols` output units. The underlying
+// parameter storage (conv (F, C, Kh, Kw) or linear (out, in)) holds that
+// matrix **column-major**: element (r, c) lives at `data[c * rows + r]`.
+// All core projections operate directly on this layout so no transpose
+// copies happen inside the training loop.
+#pragma once
+
+#include <cstdint>
+
+namespace tinyadc::core {
+
+/// Crossbar array dimensions in weight units (paper default: 128×128).
+struct CrossbarDims {
+  std::int64_t rows = 128;  ///< m: wordlines (input taps per array)
+  std::int64_t cols = 128;  ///< n: bitlines (output units per array)
+};
+
+/// Column-major 2-D accessor over a flat weight buffer.
+struct MatrixRef {
+  float* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  /// Element (r, c).
+  float& at(std::int64_t r, std::int64_t c) const { return data[c * rows + r]; }
+};
+
+/// Read-only variant of MatrixRef.
+struct ConstMatrixRef {
+  const float* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  float at(std::int64_t r, std::int64_t c) const { return data[c * rows + r]; }
+};
+
+}  // namespace tinyadc::core

@@ -1,0 +1,271 @@
+#include "core/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::core {
+
+namespace {
+
+void check_matrix(const float* data, std::int64_t rows, std::int64_t cols) {
+  TINYADC_CHECK(data != nullptr, "null matrix");
+  TINYADC_CHECK(rows > 0 && cols > 0,
+                "invalid matrix dims " << rows << "x" << cols);
+}
+
+void check_dims(const CrossbarDims& dims) {
+  TINYADC_CHECK(dims.rows > 0 && dims.cols > 0,
+                "invalid crossbar dims " << dims.rows << "x" << dims.cols);
+}
+
+}  // namespace
+
+void project_column_proportional(MatrixRef m, CrossbarDims dims,
+                                 std::int64_t keep) {
+  check_matrix(m.data, m.rows, m.cols);
+  check_dims(dims);
+  TINYADC_CHECK(keep >= 0, "keep must be non-negative");
+  std::vector<std::pair<float, std::int64_t>> mags;  // (|w|, row)
+  for (std::int64_t c = 0; c < m.cols; ++c) {
+    float* col = m.data + c * m.rows;  // contiguous: storage is column-major
+    for (std::int64_t r0 = 0; r0 < m.rows; r0 += dims.rows) {
+      const std::int64_t r1 = std::min(m.rows, r0 + dims.rows);
+      const std::int64_t len = r1 - r0;
+      if (keep >= len) continue;  // constraint trivially satisfied
+      mags.clear();
+      for (std::int64_t r = r0; r < r1; ++r)
+        mags.emplace_back(std::fabs(col[r]), r);
+      // Keep the `keep` largest magnitudes; ties broken by lower row index
+      // for determinism.
+      std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
+                       [](const auto& a, const auto& b) {
+                         if (a.first != b.first) return a.first > b.first;
+                         return a.second < b.second;
+                       });
+      for (std::size_t i = static_cast<std::size_t>(keep); i < mags.size(); ++i)
+        col[mags[i].second] = 0.0F;
+    }
+  }
+}
+
+bool satisfies_column_proportional(ConstMatrixRef m, CrossbarDims dims,
+                                   std::int64_t keep) {
+  check_matrix(m.data, m.rows, m.cols);
+  check_dims(dims);
+  for (std::int64_t c = 0; c < m.cols; ++c) {
+    const float* col = m.data + c * m.rows;
+    for (std::int64_t r0 = 0; r0 < m.rows; r0 += dims.rows) {
+      const std::int64_t r1 = std::min(m.rows, r0 + dims.rows);
+      std::int64_t nz = 0;
+      for (std::int64_t r = r0; r < r1; ++r) nz += (col[r] != 0.0F);
+      if (nz > keep) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t max_column_nonzeros(ConstMatrixRef m, CrossbarDims dims) {
+  check_matrix(m.data, m.rows, m.cols);
+  check_dims(dims);
+  std::int64_t worst = 0;
+  for (std::int64_t c = 0; c < m.cols; ++c) {
+    const float* col = m.data + c * m.rows;
+    for (std::int64_t r0 = 0; r0 < m.rows; r0 += dims.rows) {
+      const std::int64_t r1 = std::min(m.rows, r0 + dims.rows);
+      std::int64_t nz = 0;
+      for (std::int64_t r = r0; r < r1; ++r) nz += (col[r] != 0.0F);
+      worst = std::max(worst, nz);
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+/// Rows of `m` surviving after dropping `removed_rows` (sorted ascending).
+std::vector<std::int64_t> kept_rows_after(std::int64_t rows,
+                                          const std::vector<std::int64_t>&
+                                              removed_rows) {
+  std::vector<std::int64_t> kept;
+  kept.reserve(static_cast<std::size_t>(rows));
+  std::size_t cursor = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (cursor < removed_rows.size() && removed_rows[cursor] == r) {
+      ++cursor;
+      continue;
+    }
+    kept.push_back(r);
+  }
+  return kept;
+}
+
+}  // namespace
+
+void project_column_proportional_reformed(
+    MatrixRef m, CrossbarDims dims, std::int64_t keep,
+    const std::vector<std::int64_t>& removed_rows) {
+  check_matrix(m.data, m.rows, m.cols);
+  check_dims(dims);
+  TINYADC_CHECK(keep >= 0, "keep must be non-negative");
+  TINYADC_CHECK(std::is_sorted(removed_rows.begin(), removed_rows.end()),
+                "removed_rows must be sorted");
+  const auto kept = kept_rows_after(m.rows, removed_rows);
+  std::vector<std::pair<float, std::int64_t>> mags;
+  for (std::int64_t c = 0; c < m.cols; ++c) {
+    float* col = m.data + c * m.rows;
+    for (std::size_t k0 = 0; k0 < kept.size();
+         k0 += static_cast<std::size_t>(dims.rows)) {
+      const std::size_t k1 = std::min(
+          kept.size(), k0 + static_cast<std::size_t>(dims.rows));
+      if (keep >= static_cast<std::int64_t>(k1 - k0)) continue;
+      mags.clear();
+      for (std::size_t k = k0; k < k1; ++k)
+        mags.emplace_back(std::fabs(col[kept[k]]), kept[k]);
+      std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
+                       [](const auto& a, const auto& b) {
+                         if (a.first != b.first) return a.first > b.first;
+                         return a.second < b.second;
+                       });
+      for (std::size_t i = static_cast<std::size_t>(keep); i < mags.size();
+           ++i)
+        col[mags[i].second] = 0.0F;
+    }
+  }
+}
+
+std::int64_t max_column_nonzeros_reformed(
+    ConstMatrixRef m, CrossbarDims dims,
+    const std::vector<std::int64_t>& removed_rows) {
+  check_matrix(m.data, m.rows, m.cols);
+  check_dims(dims);
+  TINYADC_CHECK(std::is_sorted(removed_rows.begin(), removed_rows.end()),
+                "removed_rows must be sorted");
+  const auto kept = kept_rows_after(m.rows, removed_rows);
+  std::int64_t worst = 0;
+  for (std::int64_t c = 0; c < m.cols; ++c) {
+    for (std::size_t k0 = 0; k0 < kept.size();
+         k0 += static_cast<std::size_t>(dims.rows)) {
+      const std::size_t k1 = std::min(
+          kept.size(), k0 + static_cast<std::size_t>(dims.rows));
+      std::int64_t nz = 0;
+      for (std::size_t k = k0; k < k1; ++k) nz += (m.at(kept[k], c) != 0.0F);
+      worst = std::max(worst, nz);
+    }
+  }
+  return worst;
+}
+
+std::vector<std::int64_t> zero_row_indices(ConstMatrixRef m,
+                                           std::int64_t max_count) {
+  check_matrix(m.data, m.rows, m.cols);
+  std::vector<std::int64_t> out;
+  for (std::int64_t r = 0;
+       r < m.rows && static_cast<std::int64_t>(out.size()) < max_count; ++r) {
+    bool all_zero = true;
+    for (std::int64_t c = 0; c < m.cols && all_zero; ++c)
+      all_zero = (m.at(r, c) == 0.0F);
+    if (all_zero) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> zero_column_indices(ConstMatrixRef m,
+                                              std::int64_t max_count) {
+  check_matrix(m.data, m.rows, m.cols);
+  std::vector<std::int64_t> out;
+  for (std::int64_t c = 0;
+       c < m.cols && static_cast<std::int64_t>(out.size()) < max_count; ++c) {
+    bool all_zero = true;
+    for (std::int64_t r = 0; r < m.rows && all_zero; ++r)
+      all_zero = (m.at(r, c) == 0.0F);
+    if (all_zero) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> lowest_norm_columns(ConstMatrixRef m,
+                                              std::int64_t count) {
+  check_matrix(m.data, m.rows, m.cols);
+  TINYADC_CHECK(count >= 0 && count <= m.cols,
+                "cannot remove " << count << " of " << m.cols << " columns");
+  std::vector<std::pair<double, std::int64_t>> norms;
+  norms.reserve(static_cast<std::size_t>(m.cols));
+  for (std::int64_t c = 0; c < m.cols; ++c) {
+    const float* col = m.data + c * m.rows;
+    double n = 0.0;
+    for (std::int64_t r = 0; r < m.rows; ++r)
+      n += static_cast<double>(col[r]) * col[r];
+    norms.emplace_back(n, c);
+  }
+  std::sort(norms.begin(), norms.end());
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) out.push_back(norms[i].second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::int64_t> lowest_norm_rows(ConstMatrixRef m,
+                                           std::int64_t count) {
+  check_matrix(m.data, m.rows, m.cols);
+  TINYADC_CHECK(count >= 0 && count <= m.rows,
+                "cannot remove " << count << " of " << m.rows << " rows");
+  std::vector<std::pair<double, std::int64_t>> norms;
+  norms.reserve(static_cast<std::size_t>(m.rows));
+  for (std::int64_t r = 0; r < m.rows; ++r) {
+    double n = 0.0;
+    for (std::int64_t c = 0; c < m.cols; ++c) {
+      const float v = m.at(r, c);
+      n += static_cast<double>(v) * v;
+    }
+    norms.emplace_back(n, r);
+  }
+  std::sort(norms.begin(), norms.end());
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) out.push_back(norms[i].second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void zero_columns(MatrixRef m, const std::vector<std::int64_t>& columns) {
+  check_matrix(m.data, m.rows, m.cols);
+  for (std::int64_t c : columns) {
+    TINYADC_CHECK(c >= 0 && c < m.cols, "column " << c << " out of range");
+    std::fill(m.data + c * m.rows, m.data + (c + 1) * m.rows, 0.0F);
+  }
+}
+
+void zero_rows(MatrixRef m, const std::vector<std::int64_t>& rows) {
+  check_matrix(m.data, m.rows, m.cols);
+  for (std::int64_t r : rows) {
+    TINYADC_CHECK(r >= 0 && r < m.rows, "row " << r << " out of range");
+    for (std::int64_t c = 0; c < m.cols; ++c) m.at(r, c) = 0.0F;
+  }
+}
+
+std::int64_t round_removal(std::int64_t desired, std::int64_t unit,
+                           bool crossbar_aware) {
+  TINYADC_CHECK(desired >= 0 && unit > 0, "invalid round_removal args");
+  if (!crossbar_aware) return desired;
+  return (desired / unit) * unit;
+}
+
+std::vector<float> support_mask(ConstMatrixRef m) {
+  check_matrix(m.data, m.rows, m.cols);
+  std::vector<float> mask(static_cast<std::size_t>(m.rows * m.cols));
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    mask[i] = (m.data[i] != 0.0F) ? 1.0F : 0.0F;
+  return mask;
+}
+
+void apply_mask(MatrixRef m, const std::vector<float>& mask) {
+  check_matrix(m.data, m.rows, m.cols);
+  TINYADC_CHECK(mask.size() == static_cast<std::size_t>(m.rows * m.cols),
+                "mask size mismatch");
+  for (std::size_t i = 0; i < mask.size(); ++i) m.data[i] *= mask[i];
+}
+
+}  // namespace tinyadc::core

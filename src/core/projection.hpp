@@ -1,0 +1,94 @@
+// Euclidean projections onto the paper's pruning constraint sets.
+//
+// All three projections share one key fact: for a constraint set of the
+// form "zero out all but a selected support", the Euclidean-closest point
+// keeps the largest-magnitude entries (largest-norm groups) and zeroes the
+// rest. This is what makes the ADMM Z-update (Eq. 6) a simple top-k select.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tinyadc::core {
+
+/// --- Column proportional pruning (the paper's §III-A) --------------------
+
+/// Projects `m` onto the CP constraint set: within every crossbar block
+/// (tiles of `dims.rows × dims.cols` over the matrix, remainder tiles
+/// included), each block-column keeps its `keep` largest-|w| entries and
+/// zeroes the rest. Exactly the projection Π of Eq. 6.
+void project_column_proportional(MatrixRef m, CrossbarDims dims,
+                                 std::int64_t keep);
+
+/// True iff every crossbar block column of `m` has ≤ `keep` non-zeros.
+bool satisfies_column_proportional(ConstMatrixRef m, CrossbarDims dims,
+                                   std::int64_t keep);
+
+/// Largest per-block-column non-zero count over the whole matrix (the `r`
+/// that enters the ADC-bits law for this layer). Zero for an all-zero matrix.
+std::int64_t max_column_nonzeros(ConstMatrixRef m, CrossbarDims dims);
+
+/// --- Reformed-geometry CP (structured + CP combined, §III-D) -------------
+
+/// CP projection over the *reformed* matrix: rows listed in `removed_rows`
+/// are skipped when forming crossbar row-blocks, exactly as the mapper will
+/// tile the compacted matrix after structured shape pruning. (This is why
+/// the paper requires shape pruning *before* CP pruning: the reform shifts
+/// block boundaries.) `removed_rows` must be sorted ascending.
+void project_column_proportional_reformed(
+    MatrixRef m, CrossbarDims dims, std::int64_t keep,
+    const std::vector<std::int64_t>& removed_rows);
+
+/// Census over the reformed geometry: the (sorted) `removed_rows` are
+/// dropped before tiling, matching how xbar::map_matrix compacts exactly
+/// the structurally-pruned rows. Incidental zero rows stay in place — CP
+/// zeros must not shift block boundaries.
+std::int64_t max_column_nonzeros_reformed(
+    ConstMatrixRef m, CrossbarDims dims,
+    const std::vector<std::int64_t>& removed_rows);
+
+/// Up to `max_count` indices of completely-zero rows, ascending — the
+/// deterministic rule for recovering a structural shape-pruning selection
+/// from a hard-pruned matrix.
+std::vector<std::int64_t> zero_row_indices(ConstMatrixRef m,
+                                           std::int64_t max_count);
+
+/// Same for completely-zero columns.
+std::vector<std::int64_t> zero_column_indices(ConstMatrixRef m,
+                                              std::int64_t max_count);
+
+/// --- Structured pruning (crossbar-size-aware, §III-D) --------------------
+
+/// Indices of the `count` lowest-L2-norm columns (filters) of `m`.
+std::vector<std::int64_t> lowest_norm_columns(ConstMatrixRef m,
+                                              std::int64_t count);
+
+/// Indices of the `count` lowest-L2-norm rows (filter shapes) of `m`.
+std::vector<std::int64_t> lowest_norm_rows(ConstMatrixRef m,
+                                           std::int64_t count);
+
+/// Zeroes the given columns of `m` (filter pruning).
+void zero_columns(MatrixRef m, const std::vector<std::int64_t>& columns);
+
+/// Zeroes the given rows of `m` (filter-shape pruning).
+void zero_rows(MatrixRef m, const std::vector<std::int64_t>& rows);
+
+/// Rounds a desired removal count down to a multiple of `unit` (the
+/// crossbar column/row size), the paper's crossbar-size-aware rule. With
+/// `crossbar_aware == false` returns `desired` unchanged (used by the
+/// E8 ablation).
+std::int64_t round_removal(std::int64_t desired, std::int64_t unit,
+                           bool crossbar_aware);
+
+/// --- Masks ----------------------------------------------------------------
+
+/// 0/1 mask of the current support of `m` (same storage layout).
+std::vector<float> support_mask(ConstMatrixRef m);
+
+/// Applies a 0/1 mask (same layout/size) to `m` in place.
+void apply_mask(MatrixRef m, const std::vector<float>& mask);
+
+}  // namespace tinyadc::core

@@ -1,0 +1,73 @@
+#include "core/prune_spec.hpp"
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::core {
+
+StructuralSelection project_combined_tracked(MatrixRef m,
+                                             const LayerPruneSpec& spec,
+                                             CrossbarDims dims) {
+  StructuralSelection selection;
+  if (!spec.active()) return selection;
+  // §III-D ordering: filter-shape pruning first — its removals shift the
+  // crossbar block boundaries the CP constraint is defined over.
+  if (spec.remove_shapes > 0) {
+    selection.rows =
+        lowest_norm_rows({m.data, m.rows, m.cols}, spec.remove_shapes);
+    zero_rows(m, selection.rows);
+  }
+  if (spec.remove_filters > 0) {
+    selection.cols =
+        lowest_norm_columns({m.data, m.rows, m.cols}, spec.remove_filters);
+    zero_columns(m, selection.cols);
+  }
+  if (spec.cp_keep > 0)
+    project_column_proportional_reformed(m, dims, spec.cp_keep,
+                                         selection.rows);
+  return selection;
+}
+
+void project_combined(MatrixRef m, const LayerPruneSpec& spec,
+                      CrossbarDims dims) {
+  (void)project_combined_tracked(m, spec, dims);
+}
+
+bool satisfies_combined(ConstMatrixRef m, const LayerPruneSpec& spec,
+                        CrossbarDims dims) {
+  StructuralSelection selection;
+  selection.rows = zero_row_indices(m, spec.remove_shapes);
+  selection.cols = zero_column_indices(m, spec.remove_filters);
+  return satisfies_combined(m, spec, dims, selection);
+}
+
+bool satisfies_combined(ConstMatrixRef m, const LayerPruneSpec& spec,
+                        CrossbarDims dims,
+                        const StructuralSelection& selection) {
+  if (!spec.active()) return true;
+  if (spec.remove_shapes > 0) {
+    std::int64_t zero_rows_count = 0;
+    for (std::int64_t r = 0; r < m.rows; ++r) {
+      bool all_zero = true;
+      for (std::int64_t c = 0; c < m.cols && all_zero; ++c)
+        all_zero = (m.at(r, c) == 0.0F);
+      zero_rows_count += all_zero;
+    }
+    if (zero_rows_count < spec.remove_shapes) return false;
+  }
+  if (spec.remove_filters > 0) {
+    std::int64_t zero_cols_count = 0;
+    for (std::int64_t c = 0; c < m.cols; ++c) {
+      bool all_zero = true;
+      for (std::int64_t r = 0; r < m.rows && all_zero; ++r)
+        all_zero = (m.at(r, c) == 0.0F);
+      zero_cols_count += all_zero;
+    }
+    if (zero_cols_count < spec.remove_filters) return false;
+  }
+  if (spec.cp_keep > 0 &&
+      max_column_nonzeros_reformed(m, dims, selection.rows) > spec.cp_keep)
+    return false;
+  return true;
+}
+
+}  // namespace tinyadc::core

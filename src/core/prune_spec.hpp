@@ -1,0 +1,63 @@
+// Per-layer pruning configuration and the combined projection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/layout.hpp"
+#include "core/projection.hpp"
+
+namespace tinyadc::core {
+
+/// What to prune in one layer. Produced by the spec builders in pruner.hpp
+/// and consumed by the ADMM regularizer's projection step.
+struct LayerPruneSpec {
+  std::string layer_name;        ///< for reports
+  bool enabled = true;           ///< false ⇒ layer left dense (e.g. first conv)
+  std::int64_t cp_keep = 0;      ///< ≤ this many non-zeros per block column (0 = no CP)
+  std::int64_t remove_filters = 0;  ///< whole 2-D columns to remove (crossbar-rounded)
+  std::int64_t remove_shapes = 0;   ///< whole 2-D rows to remove (crossbar-rounded)
+
+  /// True if this spec constrains anything.
+  bool active() const {
+    return enabled && (cp_keep > 0 || remove_filters > 0 || remove_shapes > 0);
+  }
+};
+
+/// The rows/columns a combined projection chose to remove structurally.
+/// This selection defines the reform geometry (which rows compact away
+/// before crossbar tiling), so it must travel with the pruned weights all
+/// the way to the mapper — re-deriving it from zeros alone is ambiguous
+/// once CP pruning has created incidental all-zero rows.
+struct StructuralSelection {
+  std::vector<std::int64_t> rows;  ///< pruned filter shapes, ascending
+  std::vector<std::int64_t> cols;  ///< pruned filters, ascending
+};
+
+/// Euclidean projection onto the combined constraint set of `spec`:
+/// filter-shape rows first, then filter columns, then the CP constraint on
+/// the *reformed* geometry — the ordering §III-D requires (shape pruning
+/// must precede CP pruning). Returns the structural selection made.
+StructuralSelection project_combined_tracked(MatrixRef m,
+                                             const LayerPruneSpec& spec,
+                                             CrossbarDims dims);
+
+/// project_combined_tracked without the selection (convenience for callers
+/// that do not map afterwards, e.g. the ADMM Z-update).
+void project_combined(MatrixRef m, const LayerPruneSpec& spec,
+                      CrossbarDims dims);
+
+/// True iff `m` satisfies all constraints in `spec` under the reform
+/// geometry of `selection` (pass the selection returned by the projection).
+bool satisfies_combined(ConstMatrixRef m, const LayerPruneSpec& spec,
+                        CrossbarDims dims,
+                        const StructuralSelection& selection);
+
+/// Heuristic overload: recovers the selection as the first remove_shapes /
+/// remove_filters all-zero rows/columns. Exact for CP-only and filter-only
+/// specs; for specs that combine shape pruning with CP it can disagree with
+/// the projection's actual selection when CP created extra all-zero rows.
+bool satisfies_combined(ConstMatrixRef m, const LayerPruneSpec& spec,
+                        CrossbarDims dims);
+
+}  // namespace tinyadc::core

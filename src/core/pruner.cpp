@@ -1,0 +1,181 @@
+#include "core/pruner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::core {
+
+namespace {
+
+/// Index of the first conv view (the network's stem conv), or npos.
+std::size_t first_conv_index(const std::vector<nn::WeightMatrixView>& views) {
+  for (std::size_t i = 0; i < views.size(); ++i)
+    if (views[i].is_conv) return i;
+  return views.size();
+}
+
+bool eligible(const std::vector<nn::WeightMatrixView>& views, std::size_t i,
+              const SpecOptions& options) {
+  if (views[i].is_conv)
+    return !(options.skip_first_conv && i == first_conv_index(views));
+  return options.include_linear;
+}
+
+}  // namespace
+
+std::vector<LayerPruneSpec> uniform_cp_specs(nn::Model& model,
+                                             std::int64_t cp_rate,
+                                             CrossbarDims dims,
+                                             SpecOptions options) {
+  TINYADC_CHECK(cp_rate >= 1, "cp_rate must be >= 1, got " << cp_rate);
+  auto views = model.prunable_views();
+  std::vector<LayerPruneSpec> specs;
+  specs.reserve(views.size());
+  const std::int64_t keep = std::max<std::int64_t>(1, dims.rows / cp_rate);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    LayerPruneSpec spec;
+    spec.layer_name = views[i].layer_name;
+    spec.enabled = eligible(views, i, options);
+    if (spec.enabled && cp_rate > 1) spec.cp_keep = keep;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<LayerPruneSpec> sensitivity_cp_specs(
+    nn::Model& model, const data::Dataset& eval_set, CrossbarDims dims,
+    const std::vector<std::int64_t>& candidate_rates, double max_drop,
+    SpecOptions options) {
+  TINYADC_CHECK(!candidate_rates.empty(), "need at least one candidate rate");
+  TINYADC_CHECK(max_drop >= 0.0, "max_drop must be non-negative");
+  auto rates = candidate_rates;
+  std::sort(rates.begin(), rates.end());
+
+  auto views = model.prunable_views();
+  std::vector<LayerPruneSpec> specs;
+  specs.reserve(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    LayerPruneSpec spec;
+    spec.layer_name = views[i].layer_name;
+    spec.enabled = eligible(views, i, options);
+    specs.push_back(std::move(spec));
+  }
+
+  nn::TrainConfig eval_cfg;
+  eval_cfg.batch_size = 64;
+  nn::Trainer evaluator(model, eval_cfg);
+  const double baseline = evaluator.evaluate(eval_set);
+
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (!specs[i].enabled) continue;
+    Tensor snapshot = views[i].weight->value.clone();
+    std::int64_t chosen_keep = 0;
+    // Scan ascending rates; stop at the first one that hurts too much.
+    for (std::int64_t rate : rates) {
+      if (rate <= 1) continue;
+      const std::int64_t keep =
+          std::max<std::int64_t>(1, dims.rows / rate);
+      MatrixRef ref{views[i].weight->value.data(), views[i].rows,
+                    views[i].cols};
+      project_column_proportional(ref, dims, keep);
+      const double acc = evaluator.evaluate(eval_set);
+      views[i].weight->value.copy_from(snapshot);
+      if (baseline - acc <= max_drop) {
+        chosen_keep = keep;
+      } else {
+        break;
+      }
+    }
+    specs[i].cp_keep = chosen_keep;
+  }
+  return specs;
+}
+
+void add_structured(std::vector<LayerPruneSpec>& specs, nn::Model& model,
+                    double filter_frac, double shape_frac, CrossbarDims dims,
+                    bool crossbar_aware, SpecOptions options) {
+  TINYADC_CHECK(filter_frac >= 0.0 && filter_frac < 1.0,
+                "filter_frac must be in [0, 1)");
+  TINYADC_CHECK(shape_frac >= 0.0 && shape_frac < 1.0,
+                "shape_frac must be in [0, 1)");
+  auto views = model.prunable_views();
+  TINYADC_CHECK(specs.size() == views.size(), "spec/view count mismatch");
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (!eligible(views, i, options) || !specs[i].enabled) continue;
+    const std::int64_t cols = views[i].cols;
+    const std::int64_t rows = views[i].rows;
+    std::int64_t want_cols = static_cast<std::int64_t>(
+        std::floor(static_cast<double>(cols) * filter_frac));
+    std::int64_t want_rows = static_cast<std::int64_t>(
+        std::floor(static_cast<double>(rows) * shape_frac));
+    want_cols = round_removal(want_cols, dims.cols, crossbar_aware);
+    want_rows = round_removal(want_rows, dims.rows, crossbar_aware);
+    // Never remove the last crossbar's worth of structure.
+    want_cols = std::min(want_cols, std::max<std::int64_t>(cols - dims.cols, 0));
+    want_rows = std::min(want_rows, std::max<std::int64_t>(rows - dims.rows, 0));
+    specs[i].remove_filters = std::max<std::int64_t>(want_cols, 0);
+    specs[i].remove_shapes = std::max<std::int64_t>(want_rows, 0);
+  }
+}
+
+PipelineResult run_pipeline(nn::Model& model, const data::Dataset& train,
+                            const data::Dataset& test,
+                            std::vector<LayerPruneSpec> specs,
+                            const PipelineConfig& config) {
+  PipelineResult result;
+
+  // Phase 1: pretraining (optional — callers may pass a pretrained model).
+  {
+    nn::TrainConfig tc = config.pretrain;
+    tc.verbose = config.verbose;
+    nn::Trainer trainer(model, tc);
+    if (tc.epochs > 0) {
+      if (config.verbose) std::printf("[pipeline] pretraining\n");
+      result.pretrain_trace = trainer.fit(train, test);
+    }
+    result.baseline_accuracy = trainer.evaluate(test);
+  }
+
+  AdmmPruner pruner(model, std::move(specs), config.xbar, config.admm_params);
+
+  // Phase 2: ADMM-regularized training (subproblems (4) and (5)).
+  {
+    nn::TrainConfig tc = config.admm;
+    tc.verbose = config.verbose;
+    nn::Trainer trainer(model, tc);
+    pruner.attach(trainer);
+    if (tc.epochs > 0) {
+      if (config.verbose) std::printf("[pipeline] ADMM phase\n");
+      result.admm_trace = trainer.fit(train, test);
+    }
+    result.admm_accuracy = trainer.evaluate(test);
+    result.final_residuals = pruner.residuals();
+  }
+
+  // Phase 3: hard prune.
+  pruner.hard_prune();
+  result.selections = pruner.selections();
+
+  // Phase 4: masked retraining.
+  {
+    nn::TrainConfig tc = config.retrain;
+    tc.verbose = config.verbose;
+    nn::Trainer trainer(model, tc);
+    result.hard_prune_accuracy = trainer.evaluate(test);
+    pruner.attach_mask_enforcement(trainer);
+    if (tc.epochs > 0) {
+      if (config.verbose) std::printf("[pipeline] masked retraining\n");
+      result.retrain_trace = trainer.fit(train, test);
+      pruner.enforce_masks();
+    }
+    result.final_accuracy = trainer.evaluate(test);
+  }
+
+  result.report = build_report(model, pruner.specs(), config.xbar);
+  return result;
+}
+
+}  // namespace tinyadc::core

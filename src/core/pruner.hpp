@@ -1,0 +1,80 @@
+// High-level TinyADC pruning pipeline: spec builders + the full
+// pretrain → ADMM → hard-prune → masked-retrain flow.
+#pragma once
+
+#include "core/admm.hpp"
+#include "core/stats.hpp"
+#include "data/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace tinyadc::core {
+
+/// Options controlling which layers the spec builders touch.
+struct SpecOptions {
+  bool skip_first_conv = true;  ///< paper: the first conv layer stays dense
+  bool include_linear = false;  ///< also constrain FC layers
+};
+
+/// Uniform column-proportional specs at rate `cp_rate` (keep = max(1,
+/// dims.rows / cp_rate)) for every eligible layer, per Table I's protocol.
+std::vector<LayerPruneSpec> uniform_cp_specs(nn::Model& model,
+                                             std::int64_t cp_rate,
+                                             CrossbarDims dims,
+                                             SpecOptions options = {});
+
+/// EXTENSION beyond the paper (which applies one uniform CP rate to every
+/// layer): per-layer sensitivity-scanned CP rates. For each eligible layer
+/// independently, the largest candidate rate whose *immediate* accuracy
+/// drop (projection only, no retraining) stays within `max_drop` is
+/// selected. Layers that tolerate aggressive pruning get small ADCs; only
+/// the sensitive ones hold the worst-case resolution back. The model is
+/// left unmodified.
+std::vector<LayerPruneSpec> sensitivity_cp_specs(
+    nn::Model& model, const data::Dataset& eval_set, CrossbarDims dims,
+    const std::vector<std::int64_t>& candidate_rates, double max_drop,
+    SpecOptions options = {});
+
+/// Adds crossbar-size-aware structured pruning on top of existing specs:
+/// per eligible layer, remove ⌊cols·filter_frac⌋ filters and
+/// ⌊rows·shape_frac⌋ filter shapes, both rounded down to crossbar
+/// multiples (or left unrounded when `crossbar_aware` is false — the E8
+/// ablation). At least one full crossbar of columns/rows is always kept.
+void add_structured(std::vector<LayerPruneSpec>& specs, nn::Model& model,
+                    double filter_frac, double shape_frac, CrossbarDims dims,
+                    bool crossbar_aware = true, SpecOptions options = {});
+
+/// Phase schedule for the pipeline.
+struct PipelineConfig {
+  nn::TrainConfig pretrain;  ///< epochs == 0 skips pretraining
+  nn::TrainConfig admm;      ///< ADMM regularized phase
+  nn::TrainConfig retrain;   ///< masked retraining phase
+  AdmmConfig admm_params;
+  CrossbarDims xbar;
+  bool verbose = false;
+};
+
+/// Everything the evaluation section needs from one pruning run.
+struct PipelineResult {
+  double baseline_accuracy = 0.0;  ///< after pretraining, before constraints
+  double admm_accuracy = 0.0;      ///< after ADMM phase (still dense-ish)
+  double hard_prune_accuracy = 0.0;  ///< right after projection, no retrain
+  double final_accuracy = 0.0;     ///< after masked retraining
+  NetworkSparsityReport report;    ///< final sparsity structure
+  /// Per-layer structural selections (reform geometry) from hard pruning —
+  /// pass to xbar::map_model so the mapper compacts exactly these.
+  std::vector<StructuralSelection> selections;
+  AdmmResiduals final_residuals;   ///< last ADMM residuals
+  std::vector<nn::EpochStats> pretrain_trace;
+  std::vector<nn::EpochStats> admm_trace;
+  std::vector<nn::EpochStats> retrain_trace;
+};
+
+/// Runs the full TinyADC flow on `model`. `specs` must align with
+/// Model::prunable_views(). The model is modified in place (final weights
+/// satisfy all constraints exactly).
+PipelineResult run_pipeline(nn::Model& model, const data::Dataset& train,
+                            const data::Dataset& test,
+                            std::vector<LayerPruneSpec> specs,
+                            const PipelineConfig& config);
+
+}  // namespace tinyadc::core

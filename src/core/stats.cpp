@@ -1,0 +1,85 @@
+#include "core/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::core {
+
+double LayerSparsityReport::pruning_rate() const {
+  if (nonzero == 0) return static_cast<double>(total);
+  return static_cast<double>(total) / static_cast<double>(nonzero);
+}
+
+double NetworkSparsityReport::pruning_rate() const {
+  if (nonzero == 0) return static_cast<double>(total);
+  return static_cast<double>(total) / static_cast<double>(nonzero);
+}
+
+NetworkSparsityReport build_report(nn::Model& model,
+                                   const std::vector<LayerPruneSpec>& specs,
+                                   CrossbarDims dims) {
+  auto views = model.prunable_views();
+  TINYADC_CHECK(specs.size() == views.size(),
+                "spec/view count mismatch: " << specs.size() << " vs "
+                                             << views.size());
+  NetworkSparsityReport net;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const auto& v = views[i];
+    ConstMatrixRef m{v.weight->value.data(), v.rows, v.cols};
+    LayerSparsityReport layer;
+    layer.name = v.layer_name;
+    layer.enabled = specs[i].active();
+    layer.rows = v.rows;
+    layer.cols = v.cols;
+    layer.total = v.rows * v.cols;
+    for (std::int64_t k = 0; k < layer.total; ++k)
+      layer.nonzero += (m.data[k] != 0.0F);
+    // Reformed census: matches how the mapper will tile this layer (only
+    // structurally-pruned rows are compacted away).
+    layer.max_col_nonzeros = max_column_nonzeros_reformed(
+        m, dims, zero_row_indices(m, specs[i].remove_shapes));
+    for (std::int64_t r = 0; r < m.rows; ++r) {
+      bool all_zero = true;
+      for (std::int64_t c = 0; c < m.cols && all_zero; ++c)
+        all_zero = (m.at(r, c) == 0.0F);
+      layer.zero_rows += all_zero;
+    }
+    for (std::int64_t c = 0; c < m.cols; ++c) {
+      bool all_zero = true;
+      for (std::int64_t r = 0; r < m.rows && all_zero; ++r)
+        all_zero = (m.at(r, c) == 0.0F);
+      layer.zero_cols += all_zero;
+    }
+    net.total += layer.total;
+    net.nonzero += layer.nonzero;
+    if (layer.enabled)
+      net.max_col_nonzeros =
+          std::max(net.max_col_nonzeros, layer.max_col_nonzeros);
+    net.layers.push_back(std::move(layer));
+  }
+  return net;
+}
+
+std::string to_table(const NetworkSparsityReport& report) {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "layer" << std::right << std::setw(8)
+     << "rows" << std::setw(8) << "cols" << std::setw(10) << "nonzero"
+     << std::setw(9) << "rate" << std::setw(10) << "maxcolnz" << std::setw(9)
+     << "0-rows" << std::setw(9) << "0-cols" << "\n";
+  for (const auto& l : report.layers) {
+    os << std::left << std::setw(28) << l.name << std::right << std::setw(8)
+       << l.rows << std::setw(8) << l.cols << std::setw(10) << l.nonzero
+       << std::setw(8) << std::fixed << std::setprecision(1)
+       << l.pruning_rate() << "x" << std::setw(10) << l.max_col_nonzeros
+       << std::setw(9) << l.zero_rows << std::setw(9) << l.zero_cols
+       << (l.enabled ? "" : "   (dense)") << "\n";
+  }
+  os << "overall rate " << std::fixed << std::setprecision(2)
+     << report.pruning_rate() << "x, worst enabled block-column occupancy "
+     << report.max_col_nonzeros << "\n";
+  return os.str();
+}
+
+}  // namespace tinyadc::core

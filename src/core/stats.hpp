@@ -1,0 +1,50 @@
+// Sparsity reporting over a pruned model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/prune_spec.hpp"
+#include "nn/model.hpp"
+
+namespace tinyadc::core {
+
+/// Sparsity facts for one prunable layer.
+struct LayerSparsityReport {
+  std::string name;
+  bool enabled = true;          ///< was this layer under a pruning constraint
+  std::int64_t rows = 0;        ///< 2-D matrix rows (input taps)
+  std::int64_t cols = 0;        ///< 2-D matrix columns (output units)
+  std::int64_t total = 0;       ///< rows × cols
+  std::int64_t nonzero = 0;     ///< current support size
+  std::int64_t max_col_nonzeros = 0;  ///< worst block-column occupancy
+  std::int64_t zero_rows = 0;   ///< fully-zero rows (shape-pruned)
+  std::int64_t zero_cols = 0;   ///< fully-zero columns (filter-pruned)
+
+  /// total / nonzero (∞-safe: returns total when nonzero == 0).
+  double pruning_rate() const;
+};
+
+/// Whole-network sparsity summary.
+struct NetworkSparsityReport {
+  std::vector<LayerSparsityReport> layers;
+  std::int64_t total = 0;
+  std::int64_t nonzero = 0;
+  std::int64_t max_col_nonzeros = 0;  ///< worst over *enabled* layers
+
+  /// Overall pruning rate total/nonzero.
+  double pruning_rate() const;
+  /// Worst occupancy over enabled layers only (drives the per-design ADC).
+  std::int64_t worst_enabled_occupancy() const { return max_col_nonzeros; }
+};
+
+/// Gathers the report for `model` given its layer specs (aligned with
+/// Model::prunable_views()) and the crossbar dims.
+NetworkSparsityReport build_report(nn::Model& model,
+                                   const std::vector<LayerPruneSpec>& specs,
+                                   CrossbarDims dims);
+
+/// Renders the report as an aligned text table.
+std::string to_table(const NetworkSparsityReport& report);
+
+}  // namespace tinyadc::core

@@ -1,0 +1,67 @@
+#include "data/augment.hpp"
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::data {
+
+namespace {
+
+/// Shifts one (C, H, W) image by (dy, dx), zero-padding the exposed edge.
+void shift_image(float* img, std::int64_t channels, std::int64_t h,
+                 std::int64_t w, std::int64_t dy, std::int64_t dx) {
+  if (dy == 0 && dx == 0) return;
+  std::vector<float> out(static_cast<std::size_t>(channels * h * w), 0.0F);
+  for (std::int64_t c = 0; c < channels; ++c)
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::int64_t sy = y - dy;
+      if (sy < 0 || sy >= h) continue;
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t sx = x - dx;
+        if (sx < 0 || sx >= w) continue;
+        out[static_cast<std::size_t>((c * h + y) * w + x)] =
+            img[(c * h + sy) * w + sx];
+      }
+    }
+  std::copy(out.begin(), out.end(), img);
+}
+
+void flip_image(float* img, std::int64_t channels, std::int64_t h,
+                std::int64_t w) {
+  for (std::int64_t c = 0; c < channels; ++c)
+    for (std::int64_t y = 0; y < h; ++y) {
+      float* row = img + (c * h + y) * w;
+      for (std::int64_t x = 0; x < w / 2; ++x)
+        std::swap(row[x], row[w - 1 - x]);
+    }
+}
+
+}  // namespace
+
+void augment_batch(Batch& batch, const AugmentConfig& config, Rng& rng) {
+  if (!config.active() || batch.images.numel() == 0) return;
+  TINYADC_CHECK(batch.images.ndim() == 4, "augment expects (N, C, H, W)");
+  const std::int64_t n = batch.images.dim(0);
+  const std::int64_t c = batch.images.dim(1);
+  const std::int64_t h = batch.images.dim(2);
+  const std::int64_t w = batch.images.dim(3);
+  const std::int64_t per = c * h * w;
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* img = batch.images.data() + i * per;
+    if (config.max_shift > 0) {
+      const auto span = 2 * config.max_shift + 1;
+      const std::int64_t dy =
+          static_cast<std::int64_t>(rng.uniform_int(
+              static_cast<std::uint64_t>(span))) - config.max_shift;
+      const std::int64_t dx =
+          static_cast<std::int64_t>(rng.uniform_int(
+              static_cast<std::uint64_t>(span))) - config.max_shift;
+      shift_image(img, c, h, w, dy, dx);
+    }
+    if (config.hflip && rng.bernoulli(0.5)) flip_image(img, c, h, w);
+    if (config.noise > 0.0F)
+      for (std::int64_t k = 0; k < per; ++k)
+        img[k] += rng.normal(0.0F, config.noise);
+  }
+}
+
+}  // namespace tinyadc::data

@@ -1,0 +1,25 @@
+// Training-time data augmentation (random shift / horizontal flip / noise —
+// the standard CIFAR recipe the paper's training uses).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace tinyadc::data {
+
+/// Augmentation knobs. Defaults mirror the common CIFAR recipe scaled to
+/// our image sizes.
+struct AugmentConfig {
+  std::int64_t max_shift = 1;  ///< random translation in pixels (zero-pad)
+  bool hflip = true;           ///< random horizontal flip (p = 0.5)
+  float noise = 0.0F;          ///< additive Gaussian pixel noise stddev
+
+  /// True if any transform is enabled.
+  bool active() const {
+    return max_shift > 0 || hflip || noise > 0.0F;
+  }
+};
+
+/// Augments a batch in place (independent draw per image).
+void augment_batch(Batch& batch, const AugmentConfig& config, Rng& rng);
+
+}  // namespace tinyadc::data

@@ -1,0 +1,74 @@
+#include "data/dataset.hpp"
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::data {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  if (indices.empty()) return out;
+  const std::int64_t per =
+      images.dim(1) * images.dim(2) * images.dim(3);
+  out.images =
+      Tensor({static_cast<std::int64_t>(indices.size()), images.dim(1),
+              images.dim(2), images.dim(3)});
+  out.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = static_cast<std::int64_t>(indices[i]);
+    TINYADC_CHECK(src < size(), "subset index " << src << " out of range");
+    std::copy(images.data() + src * per, images.data() + (src + 1) * per,
+              out.images.data() + static_cast<std::int64_t>(i) * per);
+    out.labels.push_back(labels[indices[i]]);
+  }
+  return out;
+}
+
+Batch take_batch(const Dataset& ds, const std::vector<std::size_t>& order,
+                 std::size_t begin, std::size_t count) {
+  TINYADC_CHECK(begin + count <= order.size(), "batch range out of bounds");
+  const std::int64_t per = ds.images.dim(1) * ds.images.dim(2) * ds.images.dim(3);
+  Batch b;
+  b.images = Tensor({static_cast<std::int64_t>(count), ds.images.dim(1),
+                     ds.images.dim(2), ds.images.dim(3)});
+  b.labels.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<std::int64_t>(order[begin + i]);
+    std::copy(ds.images.data() + src * per, ds.images.data() + (src + 1) * per,
+              b.images.data() + static_cast<std::int64_t>(i) * per);
+    b.labels.push_back(ds.labels[order[begin + i]]);
+  }
+  return b;
+}
+
+BatchIterator::BatchIterator(const Dataset& ds, std::size_t batch_size,
+                             Rng* rng)
+    : ds_(ds), batch_size_(batch_size), rng_(rng) {
+  TINYADC_CHECK(batch_size > 0, "batch size must be positive");
+  reset();
+}
+
+void BatchIterator::reset() {
+  const auto n = static_cast<std::size_t>(ds_.size());
+  if (rng_ != nullptr) {
+    order_ = rng_->permutation(n);
+  } else {
+    order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) order_[i] = i;
+  }
+  cursor_ = 0;
+}
+
+bool BatchIterator::next(Batch& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t count = std::min(batch_size_, order_.size() - cursor_);
+  out = take_batch(ds_, order_, cursor_, count);
+  cursor_ += count;
+  return true;
+}
+
+std::size_t BatchIterator::batches_per_epoch() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace tinyadc::data

@@ -1,0 +1,59 @@
+// In-memory labeled image dataset and minibatch extraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tinyadc::data {
+
+/// A labeled image set held fully in memory (all datasets in this project
+/// are synthetic and CPU-scale; see DESIGN.md §2).
+struct Dataset {
+  Tensor images;                     ///< (N, C, H, W)
+  std::vector<std::int64_t> labels;  ///< N class ids in [0, num_classes)
+  std::int64_t num_classes = 0;
+
+  /// Number of examples.
+  std::int64_t size() const { return images.numel() ? images.dim(0) : 0; }
+
+  /// Copies the examples at `indices` into a contiguous batch.
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+/// One minibatch: images plus labels.
+struct Batch {
+  Tensor images;                     ///< (B, C, H, W)
+  std::vector<std::int64_t> labels;  ///< B labels
+};
+
+/// Extracts the batch at rows `order[begin, begin+count)` of `ds`.
+Batch take_batch(const Dataset& ds, const std::vector<std::size_t>& order,
+                 std::size_t begin, std::size_t count);
+
+/// Shuffled minibatch iteration over a dataset.
+class BatchIterator {
+ public:
+  /// `rng` drives the shuffle; a null rng means sequential order.
+  BatchIterator(const Dataset& ds, std::size_t batch_size, Rng* rng);
+
+  /// Fetches the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  /// Restarts the epoch (reshuffling if an rng was supplied).
+  void reset();
+
+  /// Number of batches per epoch (final partial batch included).
+  std::size_t batches_per_epoch() const;
+
+ private:
+  const Dataset& ds_;
+  std::size_t batch_size_;
+  Rng* rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace tinyadc::data

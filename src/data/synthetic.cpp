@@ -1,0 +1,165 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::data {
+
+namespace {
+
+/// One class prototype: Gaussian blobs + an oriented sinusoid, per channel.
+struct Prototype {
+  struct Blob {
+    float cx, cy, sigma;
+    float amp[4];  // per-channel amplitude (max 4 channels supported)
+  };
+  std::vector<Blob> blobs;
+  float freq_x, freq_y, phase;
+  float tex_amp[4];
+};
+
+Prototype random_prototype(const SyntheticSpec& spec, Rng& rng) {
+  TINYADC_CHECK(spec.channels <= 4, "at most 4 channels supported");
+  Prototype proto;
+  const int blob_count = 3 + static_cast<int>(rng.uniform_int(3));
+  for (int b = 0; b < blob_count; ++b) {
+    Prototype::Blob blob{};
+    blob.cx = rng.uniform(0.15F, 0.85F);
+    blob.cy = rng.uniform(0.15F, 0.85F);
+    blob.sigma = rng.uniform(0.08F, 0.25F);
+    for (std::int64_t c = 0; c < spec.channels; ++c)
+      blob.amp[c] = rng.uniform(-1.0F, 1.0F);
+    proto.blobs.push_back(blob);
+  }
+  proto.freq_x = rng.uniform(1.0F, 4.0F);
+  proto.freq_y = rng.uniform(1.0F, 4.0F);
+  proto.phase = rng.uniform(0.0F, 2.0F * std::numbers::pi_v<float>);
+  for (std::int64_t c = 0; c < spec.channels; ++c)
+    proto.tex_amp[c] = rng.uniform(-0.5F, 0.5F);
+  return proto;
+}
+
+/// Renders one sample of `proto` with translation (dx, dy) and jitter.
+void render(const Prototype& proto, const SyntheticSpec& spec, float dx,
+            float dy, float jitter, Rng& rng, float* out) {
+  const auto s = static_cast<float>(spec.image_size);
+  const float two_pi = 2.0F * std::numbers::pi_v<float>;
+  for (std::int64_t c = 0; c < spec.channels; ++c) {
+    for (std::int64_t y = 0; y < spec.image_size; ++y) {
+      for (std::int64_t x = 0; x < spec.image_size; ++x) {
+        const float fx = (static_cast<float>(x) + 0.5F) / s - dx;
+        const float fy = (static_cast<float>(y) + 0.5F) / s - dy;
+        float v = proto.tex_amp[c] *
+                  std::sin(two_pi * (proto.freq_x * fx + proto.freq_y * fy) +
+                           proto.phase);
+        for (const auto& blob : proto.blobs) {
+          const float rx = fx - blob.cx;
+          const float ry = fy - blob.cy;
+          const float r2 = rx * rx + ry * ry;
+          v += blob.amp[c] *
+               std::exp(-r2 / (2.0F * blob.sigma * blob.sigma));
+        }
+        v *= jitter;
+        v += rng.normal(0.0F, spec.noise);
+        out[(c * spec.image_size + y) * spec.image_size + x] = v;
+      }
+    }
+  }
+}
+
+Dataset generate(const SyntheticSpec& spec,
+                 const std::vector<Prototype>& protos,
+                 std::int64_t per_class, Rng& rng) {
+  Dataset ds;
+  ds.num_classes = spec.num_classes;
+  const std::int64_t n = spec.num_classes * per_class;
+  ds.images = Tensor({n, spec.channels, spec.image_size, spec.image_size});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t per =
+      spec.channels * spec.image_size * spec.image_size;
+  std::int64_t row = 0;
+  for (std::int64_t k = 0; k < spec.num_classes; ++k) {
+    for (std::int64_t i = 0; i < per_class; ++i, ++row) {
+      const float dx = rng.uniform(-spec.shift_frac, spec.shift_frac);
+      const float dy = rng.uniform(-spec.shift_frac, spec.shift_frac);
+      const float jitter =
+          1.0F + rng.uniform(-spec.amp_jitter, spec.amp_jitter);
+      render(protos[static_cast<std::size_t>(k)], spec, dx, dy, jitter, rng,
+             ds.images.data() + row * per);
+      ds.labels[static_cast<std::size_t>(row)] = k;
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+DatasetPair make_synthetic(const SyntheticSpec& spec) {
+  TINYADC_CHECK(spec.num_classes > 1, "need at least two classes");
+  TINYADC_CHECK(spec.image_size >= 4, "image size too small");
+  Rng rng(spec.seed);
+  std::vector<Prototype> protos;
+  protos.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (std::int64_t k = 0; k < spec.num_classes; ++k)
+    protos.push_back(random_prototype(spec, rng));
+  DatasetPair pair;
+  pair.spec = spec;
+  Rng train_rng = rng.split();
+  Rng test_rng = rng.split();
+  pair.train = generate(spec, protos, spec.train_per_class, train_rng);
+  pair.test = generate(spec, protos, spec.test_per_class, test_rng);
+  return pair;
+}
+
+SyntheticSpec cifar10_like() {
+  SyntheticSpec spec;
+  spec.name = "cifar10";
+  spec.num_classes = 10;
+  spec.image_size = 16;
+  spec.train_per_class = 64;
+  spec.test_per_class = 20;
+  spec.shift_frac = 0.08F;
+  spec.amp_jitter = 0.15F;
+  spec.noise = 0.20F;
+  spec.seed = 1001;
+  return spec;
+}
+
+SyntheticSpec cifar100_like() {
+  SyntheticSpec spec;
+  spec.name = "cifar100";
+  spec.num_classes = 20;
+  spec.image_size = 16;
+  spec.train_per_class = 40;
+  spec.test_per_class = 12;
+  spec.shift_frac = 0.12F;
+  spec.amp_jitter = 0.25F;
+  spec.noise = 0.35F;
+  spec.seed = 2002;
+  return spec;
+}
+
+SyntheticSpec imagenet_like() {
+  SyntheticSpec spec;
+  spec.name = "imagenet";
+  spec.num_classes = 30;
+  spec.image_size = 16;
+  spec.train_per_class = 32;
+  spec.test_per_class = 10;
+  spec.shift_frac = 0.18F;
+  spec.amp_jitter = 0.40F;
+  spec.noise = 0.50F;
+  spec.seed = 3003;
+  return spec;
+}
+
+SyntheticSpec tier_by_name(const std::string& name) {
+  if (name == "cifar10") return cifar10_like();
+  if (name == "cifar100") return cifar100_like();
+  if (name == "imagenet") return imagenet_like();
+  TINYADC_CHECK(false, "unknown dataset tier '" << name << "'");
+}
+
+}  // namespace tinyadc::data

@@ -1,0 +1,52 @@
+// Procedural class-conditional image datasets.
+//
+// Stand-ins for CIFAR-10 / CIFAR-100 / ImageNet (see DESIGN.md §2). Each
+// class is defined by a random prototype (a superposition of Gaussian blobs
+// and an oriented sinusoidal texture); samples are prototype + random
+// translation + amplitude jitter + pixel noise. Task difficulty is
+// controlled by class count, jitter magnitudes and noise level — the same
+// mechanism that makes ImageNet prune-harder than CIFAR in the paper
+// (Table I: achievable CP rate shrinks as difficulty grows).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace tinyadc::data {
+
+/// Generation parameters for one synthetic dataset.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::int64_t num_classes = 10;
+  std::int64_t channels = 3;
+  std::int64_t image_size = 16;
+  std::int64_t train_per_class = 64;
+  std::int64_t test_per_class = 16;
+  float shift_frac = 0.1F;   ///< max translation as a fraction of image size
+  float amp_jitter = 0.15F;  ///< multiplicative prototype jitter
+  float noise = 0.25F;       ///< additive pixel noise stddev
+  std::uint64_t seed = 7;
+};
+
+/// Train + test split drawn from the same generator.
+struct DatasetPair {
+  Dataset train;
+  Dataset test;
+  SyntheticSpec spec;
+};
+
+/// Generates the dataset described by `spec` (deterministic in `spec.seed`).
+DatasetPair make_synthetic(const SyntheticSpec& spec);
+
+/// CIFAR-10 stand-in: 10 classes, easy (wide margins).
+SyntheticSpec cifar10_like();
+/// CIFAR-100 stand-in: more classes, moderate difficulty.
+SyntheticSpec cifar100_like();
+/// ImageNet stand-in: most classes, largest intra-class variation.
+SyntheticSpec imagenet_like();
+
+/// Looks up a tier spec by name ("cifar10" | "cifar100" | "imagenet").
+SyntheticSpec tier_by_name(const std::string& name);
+
+}  // namespace tinyadc::data

@@ -1,0 +1,108 @@
+#include "fault/evaluate.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "fault/remap.hpp"
+#include "tensor/check.hpp"
+
+namespace tinyadc::fault {
+
+namespace {
+
+/// Deep-copies every prunable weight so it can be restored after a trial.
+std::vector<Tensor> snapshot_weights(nn::Model& model) {
+  std::vector<Tensor> snap;
+  for (const auto& view : model.prunable_views())
+    snap.push_back(view.weight->value.clone());
+  return snap;
+}
+
+void restore_weights(nn::Model& model, const std::vector<Tensor>& snap) {
+  auto views = model.prunable_views();
+  TINYADC_CHECK(views.size() == snap.size(), "snapshot size mismatch");
+  for (std::size_t i = 0; i < views.size(); ++i)
+    views[i].weight->value.copy_from(snap[i]);
+}
+
+/// Writes a mapped network's (possibly faulted) weights back into the model.
+void write_back(nn::Model& model, const xbar::MappedNetwork& net) {
+  auto views = model.prunable_views();
+  TINYADC_CHECK(views.size() == net.layers.size(), "layer count mismatch");
+  for (std::size_t i = 0; i < views.size(); ++i)
+    views[i].from_matrix(net.layers[i].demap());
+}
+
+double accuracy(nn::Model& model, const data::Dataset& test) {
+  nn::TrainConfig tc;
+  tc.batch_size = 64;
+  nn::Trainer trainer(model, tc);
+  return trainer.evaluate(test);
+}
+
+}  // namespace
+
+namespace {
+
+FaultTrialResult run_trials(
+    nn::Model& model, const data::Dataset& test,
+    const xbar::MappingConfig& map_config, const FaultSpec& spec, int trials,
+    const std::function<void(xbar::MappedNetwork&, const FaultSpec&)>&
+        injector) {
+  TINYADC_CHECK(trials >= 1, "need at least one trial");
+  const auto snap = snapshot_weights(model);
+  FaultTrialResult result;
+
+  // Clean pass: map + demap without faults isolates quantization effects.
+  {
+    xbar::MappedNetwork net = xbar::map_model(model, map_config);
+    write_back(model, net);
+    result.clean_accuracy = accuracy(model, test);
+    restore_weights(model, snap);
+  }
+
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    xbar::MappedNetwork net = xbar::map_model(model, map_config);
+    FaultSpec trial_spec = spec;
+    trial_spec.seed = spec.seed + static_cast<std::uint64_t>(t) * 7919;
+    injector(net, trial_spec);
+    write_back(model, net);
+    const double acc = accuracy(model, test);
+    sum += acc;
+    result.min_accuracy = std::min(result.min_accuracy, acc);
+    restore_weights(model, snap);
+  }
+  result.mean_accuracy = sum / static_cast<double>(trials);
+  return result;
+}
+
+}  // namespace
+
+FaultTrialResult evaluate_under_faults(nn::Model& model,
+                                       const data::Dataset& test,
+                                       const xbar::MappingConfig& map_config,
+                                       const FaultSpec& spec, int trials) {
+  return run_trials(model, test, map_config, spec, trials,
+                    [](xbar::MappedNetwork& net, const FaultSpec& s) {
+                      inject_faults(net, s);
+                    });
+}
+
+FaultTrialResult evaluate_under_faults_remapped(
+    nn::Model& model, const data::Dataset& test,
+    const xbar::MappingConfig& map_config, const FaultSpec& spec,
+    int trials) {
+  return run_trials(
+      model, test, map_config, spec, trials,
+      [](xbar::MappedNetwork& net, const FaultSpec& s) {
+        Rng rng(s.seed);
+        for (auto& layer : net.layers) {
+          const auto map = sample_fault_map(layer, s, rng);
+          const auto perms = remap_rows_greedy(layer, map);
+          apply_fault_map(layer, map, perms);
+        }
+      });
+}
+
+}  // namespace tinyadc::fault

@@ -1,0 +1,36 @@
+// Accuracy-under-fault evaluation harness (§IV-E).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "fault/fault_model.hpp"
+#include "nn/trainer.hpp"
+
+namespace tinyadc::fault {
+
+/// Result of a multi-trial fault sweep at one fault rate.
+struct FaultTrialResult {
+  double clean_accuracy = 0.0;  ///< accuracy with no faults
+  double mean_accuracy = 0.0;   ///< mean over trials with faults injected
+  double min_accuracy = 1.0;    ///< worst trial
+  double accuracy_drop() const { return clean_accuracy - mean_accuracy; }
+};
+
+/// Evaluates `model` on `test` with stuck-at faults injected into its
+/// crossbar mapping, averaged over `trials` independent fault patterns.
+/// The model's weights are restored afterwards; the evaluation path is:
+/// weights → quantize/map → inject → demap → write back → measure accuracy.
+/// (Quantization itself already costs a little accuracy; that cost is
+/// inside `clean_accuracy` too, so the drop isolates the fault effect.)
+FaultTrialResult evaluate_under_faults(nn::Model& model,
+                                       const data::Dataset& test,
+                                       const xbar::MappingConfig& map_config,
+                                       const FaultSpec& spec, int trials);
+
+/// Same experiment with fault-aware greedy row remapping applied after each
+/// trial's defect pattern is revealed (see remap.hpp) — the extension
+/// study: how much of the stuck-at damage can wordline reordering recover?
+FaultTrialResult evaluate_under_faults_remapped(
+    nn::Model& model, const data::Dataset& test,
+    const xbar::MappingConfig& map_config, const FaultSpec& spec, int trials);
+
+}  // namespace tinyadc::fault

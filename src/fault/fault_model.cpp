@@ -1,0 +1,83 @@
+#include "fault/fault_model.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::fault {
+
+namespace {
+
+/// Applies stuck-at faults to one polarity plane's slice vector.
+void fault_slices(std::vector<int>& slices, bool used, int max_level,
+                  const FaultSpec& spec, Rng& rng, FaultStats& stats) {
+  for (auto& level : slices) {
+    ++stats.cells;
+    if (!rng.bernoulli(spec.rate)) continue;
+    const bool is_sa0 = rng.bernoulli(spec.sa0_fraction);
+    if (is_sa0) {
+      ++stats.sa0;
+      level = 0;  // stuck at G_off — no-op if the cell was unused
+    } else {
+      ++stats.sa1;
+      level = max_level;  // stuck at G_on regardless of use
+    }
+  }
+  (void)used;
+}
+
+}  // namespace
+
+FaultStats inject_faults(xbar::MappedLayer& layer, const FaultSpec& spec,
+                         Rng& rng) {
+  TINYADC_CHECK(spec.rate >= 0.0 && spec.rate <= 1.0, "rate must be in [0,1]");
+  TINYADC_CHECK(spec.sa0_fraction >= 0.0 && spec.sa0_fraction <= 1.0,
+                "sa0_fraction must be in [0,1]");
+  FaultStats stats;
+  const int slices = layer.config.slices();
+  const int max_level = (1 << layer.config.cell_bits) - 1;
+  for (auto& block : layer.blocks) {
+    for (std::int64_t r = 0; r < block.rows; ++r) {
+      for (std::int64_t c = 0; c < block.cols; ++c) {
+        const std::int32_t q = block.at(r, c);
+        auto pos = xbar::slice_magnitude(q > 0 ? q : 0,
+                                         layer.config.cell_bits, slices);
+        auto neg = xbar::slice_magnitude(q < 0 ? -q : 0,
+                                         layer.config.cell_bits, slices);
+        fault_slices(pos, q > 0, max_level, spec, rng, stats);
+        fault_slices(neg, q < 0, max_level, spec, rng, stats);
+        const std::int32_t new_q =
+            xbar::unslice_magnitude(pos, layer.config.cell_bits) -
+            xbar::unslice_magnitude(neg, layer.config.cell_bits);
+        if (new_q != q) {
+          block.q[static_cast<std::size_t>(r * block.cols + c)] = new_q;
+          ++stats.weights_changed;
+        }
+      }
+    }
+    // Refresh the column census (faults can activate/deactivate rows).
+    block.max_col_nonzeros = 0;
+    for (std::int64_t c = 0; c < block.cols; ++c) {
+      std::int64_t nz = 0;
+      for (std::int64_t r = 0; r < block.rows; ++r)
+        nz += (block.at(r, c) != 0);
+      block.max_col_nonzeros = std::max(block.max_col_nonzeros, nz);
+    }
+  }
+  return stats;
+}
+
+FaultStats inject_faults(xbar::MappedNetwork& net, const FaultSpec& spec) {
+  Rng rng(spec.seed);
+  FaultStats total;
+  for (auto& layer : net.layers) {
+    const FaultStats s = inject_faults(layer, spec, rng);
+    total.cells += s.cells;
+    total.sa0 += s.sa0;
+    total.sa1 += s.sa1;
+    total.weights_changed += s.weights_changed;
+  }
+  return total;
+}
+
+}  // namespace tinyadc::fault

@@ -1,0 +1,47 @@
+// ReRAM stuck-at fault model (Chen et al., IEEE TC 2015 — §IV-E).
+//
+// Manufacturing and endurance defects pin individual ReRAM cells at their
+// extreme conductances: Stuck-At-0 (G_off — the cell reads as level 0) or
+// Stuck-At-1 (G_on — the cell reads as the maximum MLC level). Faults act
+// on *cells*, i.e. on the 2·slices physical devices behind each logical
+// weight (positive and negative polarity planes):
+//   * SA0 on a used cell zeroes that magnitude slice;
+//   * SA0 on an unused cell changes nothing (it already sits at G_off) —
+//     this is why a CP-pruned model, which deliberately keeps most cells at
+//     G_off, tolerates SA0 far better than a dense one;
+//   * SA1 on any cell forces that slice to full level, possibly creating a
+//     spurious contribution of either polarity.
+#pragma once
+
+#include "tensor/rng.hpp"
+#include "xbar/mapping.hpp"
+
+namespace tinyadc::fault {
+
+/// Fault-injection parameters.
+struct FaultSpec {
+  double rate = 0.05;        ///< fraction of cells affected
+  double sa0_fraction = 1.0; ///< of affected cells, share stuck at 0 (§IV-E
+                             ///< studies the SA0 model; the rest are SA1)
+  std::uint64_t seed = 7;
+};
+
+/// Injection accounting.
+struct FaultStats {
+  std::int64_t cells = 0;          ///< cells considered
+  std::int64_t sa0 = 0;            ///< SA0 faults injected
+  std::int64_t sa1 = 0;            ///< SA1 faults injected
+  std::int64_t weights_changed = 0;  ///< logical weights whose value moved
+};
+
+/// Injects faults into one mapped layer in place (quantized codes and
+/// censuses are updated). `rng` supplies the randomness so callers can run
+/// multiple trials from one spec.
+FaultStats inject_faults(xbar::MappedLayer& layer, const FaultSpec& spec,
+                         Rng& rng);
+
+/// Injects faults into every layer of a mapped network (fresh Rng from
+/// `spec.seed`).
+FaultStats inject_faults(xbar::MappedNetwork& net, const FaultSpec& spec);
+
+}  // namespace tinyadc::fault

@@ -1,0 +1,117 @@
+#include "fault/march.hpp"
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::fault {
+
+CellArrayUnderTest::CellArrayUnderTest(std::int64_t rows, std::int64_t cols,
+                                       int slices,
+                                       const std::vector<CellFault>& faults)
+    : rows_(rows), cols_(cols), slices_(slices) {
+  TINYADC_CHECK(rows > 0 && cols > 0 && slices > 0, "invalid array dims");
+  state_.assign(static_cast<std::size_t>(rows * cols * slices * 2), 0);
+  stuck_.assign(state_.size(), -1);
+  for (const auto& f : faults) {
+    const std::int64_t addr = address_of(f.row, f.col, f.slice, f.polarity);
+    stuck_[static_cast<std::size_t>(addr)] = f.stuck_at_zero ? 0 : 1;
+    state_[static_cast<std::size_t>(addr)] = f.stuck_at_zero ? 0 : 1;
+  }
+}
+
+std::int64_t CellArrayUnderTest::address_of(std::int64_t row,
+                                            std::int64_t col, int slice,
+                                            int polarity) const {
+  TINYADC_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_ &&
+                    slice >= 0 && slice < slices_ &&
+                    (polarity == 0 || polarity == 1),
+                "cell coordinate out of range");
+  return ((row * cols_ + col) * slices_ + slice) * 2 + polarity;
+}
+
+CellFault CellArrayUnderTest::coordinate_of(std::int64_t address) const {
+  TINYADC_CHECK(address >= 0 && address < size(), "address out of range");
+  CellFault f;
+  f.polarity = static_cast<std::int16_t>(address % 2);
+  address /= 2;
+  f.slice = static_cast<std::int16_t>(address % slices_);
+  address /= slices_;
+  f.col = static_cast<std::int32_t>(address % cols_);
+  f.row = static_cast<std::int32_t>(address / cols_);
+  return f;
+}
+
+void CellArrayUnderTest::write(std::int64_t address, bool bit) {
+  TINYADC_CHECK(address >= 0 && address < size(), "address out of range");
+  if (stuck_[static_cast<std::size_t>(address)] >= 0) return;  // stuck
+  state_[static_cast<std::size_t>(address)] = bit ? 1 : 0;
+}
+
+bool CellArrayUnderTest::read(std::int64_t address) const {
+  TINYADC_CHECK(address >= 0 && address < size(), "address out of range");
+  return state_[static_cast<std::size_t>(address)] != 0;
+}
+
+std::vector<CellFault> march_c_minus(const CellArrayUnderTest& array_template) {
+  CellArrayUnderTest array = array_template;  // the test owns its state
+  const std::int64_t n = array.size();
+  // -1 undetected, 0 detected-SA0, 1 detected-SA1 per address.
+  std::vector<std::int8_t> detected(static_cast<std::size_t>(n), -1);
+
+  auto note = [&detected](std::int64_t addr, bool stuck_at_one) {
+    if (detected[static_cast<std::size_t>(addr)] < 0)
+      detected[static_cast<std::size_t>(addr)] = stuck_at_one ? 1 : 0;
+  };
+
+  // ⇕ (w0)
+  for (std::int64_t a = 0; a < n; ++a) array.write(a, false);
+  // ⇑ (r0, w1)
+  for (std::int64_t a = 0; a < n; ++a) {
+    if (array.read(a)) note(a, /*stuck_at_one=*/true);
+    array.write(a, true);
+  }
+  // ⇑ (r1, w0)
+  for (std::int64_t a = 0; a < n; ++a) {
+    if (!array.read(a)) note(a, /*stuck_at_one=*/false);
+    array.write(a, false);
+  }
+  // ⇓ (r0, w1)
+  for (std::int64_t a = n - 1; a >= 0; --a) {
+    if (array.read(a)) note(a, true);
+    array.write(a, true);
+  }
+  // ⇓ (r1, w0)
+  for (std::int64_t a = n - 1; a >= 0; --a) {
+    if (!array.read(a)) note(a, false);
+    array.write(a, false);
+  }
+  // ⇕ (r0)
+  for (std::int64_t a = 0; a < n; ++a)
+    if (array.read(a)) note(a, true);
+
+  std::vector<CellFault> result;
+  for (std::int64_t a = 0; a < n; ++a) {
+    if (detected[static_cast<std::size_t>(a)] < 0) continue;
+    CellFault f = array.coordinate_of(a);
+    f.stuck_at_zero = detected[static_cast<std::size_t>(a)] == 0;
+    result.push_back(f);
+  }
+  return result;
+}
+
+FaultMap detect_faults(const xbar::MappedLayer& layer,
+                       const FaultMap& actual) {
+  TINYADC_CHECK(actual.blocks.size() == layer.blocks.size(),
+                "fault map block count mismatch");
+  FaultMap detected;
+  detected.blocks.resize(layer.blocks.size());
+  const int slices = layer.config.slices();
+  for (std::size_t b = 0; b < layer.blocks.size(); ++b) {
+    const auto& block = layer.blocks[b];
+    CellArrayUnderTest array(block.rows, block.cols, slices,
+                             actual.blocks[b]);
+    detected.blocks[b] = march_c_minus(array);
+  }
+  return detected;
+}
+
+}  // namespace tinyadc::fault

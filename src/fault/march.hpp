@@ -1,0 +1,60 @@
+// March-test fault detection (the mechanism behind the paper's fault model
+// citation, Chen et al., IEEE TC 2015).
+//
+// Before deployment, a memory/crossbar array is screened by a march test:
+// a sequence of (read, write) element passes over every cell in ascending
+// and descending address order. March C− — ⇕(w0) ⇑(r0,w1) ⇑(r1,w0)
+// ⇓(r0,w1) ⇓(r1,w0) ⇕(r0) — detects all stuck-at faults: a SA0 cell fails
+// the first r1 after a w1, a SA1 cell fails the first r0 after a w0.
+// The detected map is exactly what the fault-aware row remapper (remap.hpp)
+// consumes: detection → remap → program is the full deployment flow.
+//
+// Cells here are binary test locations; an MLC cell is tested per bit-plane
+// (a stuck cell fails in every plane), so one pass per physical cell
+// suffices for stuck-at screening.
+#pragma once
+
+#include "fault/remap.hpp"
+
+namespace tinyadc::fault {
+
+/// A simulated physical cell array with hidden stuck-at defects, exposing
+/// only write/read — what a march test gets to work with.
+class CellArrayUnderTest {
+ public:
+  /// Builds the array for one crossbar block's physical cells
+  /// (rows × cols × slices × 2 polarities) carrying `faults`.
+  CellArrayUnderTest(std::int64_t rows, std::int64_t cols, int slices,
+                     const std::vector<CellFault>& faults);
+
+  /// Number of addressable test cells.
+  std::int64_t size() const { return static_cast<std::int64_t>(state_.size()); }
+
+  /// Writes a bit; stuck cells ignore it.
+  void write(std::int64_t address, bool bit);
+  /// Reads the stored bit; stuck cells return their stuck value.
+  bool read(std::int64_t address) const;
+
+  /// Translates a cell coordinate to its test address.
+  std::int64_t address_of(std::int64_t row, std::int64_t col, int slice,
+                          int polarity) const;
+  /// Inverse of address_of.
+  CellFault coordinate_of(std::int64_t address) const;
+
+ private:
+  std::int64_t rows_, cols_;
+  int slices_;
+  std::vector<std::int8_t> state_;   // current stored bit
+  std::vector<std::int8_t> stuck_;   // -1 = healthy, 0 = SA0, 1 = SA1
+};
+
+/// Runs March C− over the array; returns every detected fault with its
+/// coordinates and stuck polarity. Guaranteed complete and exact for
+/// stuck-at faults (no false positives/negatives) — pinned by tests.
+std::vector<CellFault> march_c_minus(const CellArrayUnderTest& array_template);
+
+/// Full screening of a mapped layer: builds a cell array per block from the
+/// (hidden) `actual` fault map, marches it, and returns the detected map.
+FaultMap detect_faults(const xbar::MappedLayer& layer, const FaultMap& actual);
+
+}  // namespace tinyadc::fault

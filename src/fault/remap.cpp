@@ -1,0 +1,224 @@
+#include "fault/remap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::fault {
+
+namespace {
+
+/// Applies every fault in [begin, end) (all belonging to one weight's cell
+/// group) to code `q`; returns the post-fault code.
+std::int32_t faulted_code(std::int32_t q,
+                          const std::vector<const CellFault*>& faults,
+                          int cell_bits, int slices, int max_level) {
+  auto pos = xbar::slice_magnitude(q > 0 ? q : 0, cell_bits, slices);
+  auto neg = xbar::slice_magnitude(q < 0 ? -q : 0, cell_bits, slices);
+  for (const CellFault* f : faults) {
+    auto& plane = f->polarity == 0 ? pos : neg;
+    plane[static_cast<std::size_t>(f->slice)] =
+        f->stuck_at_zero ? 0 : max_level;
+  }
+  return xbar::unslice_magnitude(pos, cell_bits) -
+         xbar::unslice_magnitude(neg, cell_bits);
+}
+
+/// Per-block index: faults grouped by (physical row, column).
+struct BlockFaultIndex {
+  // key = row * cols + col → pointers into the FaultMap's storage.
+  std::vector<std::vector<const CellFault*>> by_cell;
+  explicit BlockFaultIndex(const xbar::CrossbarBlock& block,
+                           const std::vector<CellFault>& faults) {
+    by_cell.resize(static_cast<std::size_t>(block.rows * block.cols));
+    for (const auto& f : faults)
+      by_cell[static_cast<std::size_t>(f.row * block.cols + f.col)]
+          .push_back(&f);
+  }
+  const std::vector<const CellFault*>& at(std::int64_t row,
+                                          std::int64_t col,
+                                          std::int64_t cols) const {
+    return by_cell[static_cast<std::size_t>(row * cols + col)];
+  }
+};
+
+void check_alignment(const xbar::MappedLayer& layer, const FaultMap& map,
+                     const RowPermutations& perms) {
+  TINYADC_CHECK(map.blocks.size() == layer.blocks.size(),
+                "fault map block count mismatch");
+  TINYADC_CHECK(perms.size() == layer.blocks.size(),
+                "permutation block count mismatch");
+  for (std::size_t b = 0; b < perms.size(); ++b)
+    TINYADC_CHECK(static_cast<std::int64_t>(perms[b].size()) ==
+                      layer.blocks[b].rows,
+                  "permutation length mismatch on block " << b);
+}
+
+}  // namespace
+
+std::int64_t FaultMap::total_faults() const {
+  std::int64_t n = 0;
+  for (const auto& b : blocks) n += static_cast<std::int64_t>(b.size());
+  return n;
+}
+
+FaultMap sample_fault_map(const xbar::MappedLayer& layer,
+                          const FaultSpec& spec, Rng& rng) {
+  TINYADC_CHECK(spec.rate >= 0.0 && spec.rate <= 1.0, "rate must be in [0,1]");
+  FaultMap map;
+  const int slices = layer.config.slices();
+  map.blocks.resize(layer.blocks.size());
+  for (std::size_t b = 0; b < layer.blocks.size(); ++b) {
+    const auto& block = layer.blocks[b];
+    // Cell visit order matches inject_faults (positive plane's slices,
+    // then the negative plane's) so the two APIs consume identical random
+    // streams — pinned by remap_test's equivalence check.
+    for (std::int64_t r = 0; r < block.rows; ++r)
+      for (std::int64_t c = 0; c < block.cols; ++c)
+        for (int pol = 0; pol < 2; ++pol)
+          for (int s = 0; s < slices; ++s) {
+            if (!rng.bernoulli(spec.rate)) continue;
+            CellFault f;
+            f.row = static_cast<std::int32_t>(r);
+            f.col = static_cast<std::int32_t>(c);
+            f.slice = static_cast<std::int16_t>(s);
+            f.polarity = static_cast<std::int16_t>(pol);
+            f.stuck_at_zero = rng.bernoulli(spec.sa0_fraction);
+            map.blocks[b].push_back(f);
+          }
+  }
+  return map;
+}
+
+RowPermutations identity_permutations(const xbar::MappedLayer& layer) {
+  RowPermutations perms(layer.blocks.size());
+  for (std::size_t b = 0; b < layer.blocks.size(); ++b) {
+    perms[b].resize(static_cast<std::size_t>(layer.blocks[b].rows));
+    std::iota(perms[b].begin(), perms[b].end(), 0);
+  }
+  return perms;
+}
+
+FaultStats apply_fault_map(xbar::MappedLayer& layer, const FaultMap& map,
+                           const RowPermutations& perms) {
+  check_alignment(layer, map, perms);
+  FaultStats stats;
+  const int slices = layer.config.slices();
+  const int max_level = (1 << layer.config.cell_bits) - 1;
+  for (std::size_t b = 0; b < layer.blocks.size(); ++b) {
+    auto& block = layer.blocks[b];
+    const BlockFaultIndex index(block, map.blocks[b]);
+    stats.cells += block.rows * block.cols * slices * 2;
+    for (const auto& f : map.blocks[b]) (f.stuck_at_zero ? stats.sa0
+                                                         : stats.sa1)++;
+    for (std::int64_t r = 0; r < block.rows; ++r) {
+      const std::int64_t p = perms[b][static_cast<std::size_t>(r)];
+      for (std::int64_t c = 0; c < block.cols; ++c) {
+        const auto& faults = index.at(p, c, block.cols);
+        if (faults.empty()) continue;
+        const std::int32_t q = block.at(r, c);
+        const std::int32_t new_q =
+            faulted_code(q, faults, layer.config.cell_bits, slices,
+                         max_level);
+        if (new_q != q) {
+          block.q[static_cast<std::size_t>(r * block.cols + c)] = new_q;
+          ++stats.weights_changed;
+        }
+      }
+    }
+    block.max_col_nonzeros = 0;
+    for (std::int64_t c = 0; c < block.cols; ++c) {
+      std::int64_t nz = 0;
+      for (std::int64_t r = 0; r < block.rows; ++r)
+        nz += (block.at(r, c) != 0);
+      block.max_col_nonzeros = std::max(block.max_col_nonzeros, nz);
+    }
+  }
+  return stats;
+}
+
+std::int64_t fault_damage(const xbar::MappedLayer& layer, const FaultMap& map,
+                          const RowPermutations& perms) {
+  check_alignment(layer, map, perms);
+  std::int64_t damage = 0;
+  const int slices = layer.config.slices();
+  const int max_level = (1 << layer.config.cell_bits) - 1;
+  for (std::size_t b = 0; b < layer.blocks.size(); ++b) {
+    const auto& block = layer.blocks[b];
+    const BlockFaultIndex index(block, map.blocks[b]);
+    for (std::int64_t r = 0; r < block.rows; ++r) {
+      const std::int64_t p = perms[b][static_cast<std::size_t>(r)];
+      for (std::int64_t c = 0; c < block.cols; ++c) {
+        const auto& faults = index.at(p, c, block.cols);
+        if (faults.empty()) continue;
+        const std::int32_t q = block.at(r, c);
+        damage += std::abs(
+            faulted_code(q, faults, layer.config.cell_bits, slices,
+                         max_level) -
+            q);
+      }
+    }
+  }
+  return damage;
+}
+
+RowPermutations remap_rows_greedy(const xbar::MappedLayer& layer,
+                                  const FaultMap& map) {
+  TINYADC_CHECK(map.blocks.size() == layer.blocks.size(),
+                "fault map block count mismatch");
+  RowPermutations perms(layer.blocks.size());
+  const int slices = layer.config.slices();
+  const int max_level = (1 << layer.config.cell_bits) - 1;
+  for (std::size_t b = 0; b < layer.blocks.size(); ++b) {
+    const auto& block = layer.blocks[b];
+    const BlockFaultIndex index(block, map.blocks[b]);
+    // Logical rows by descending total |code| — protect the important ones
+    // first.
+    std::vector<std::int64_t> order(static_cast<std::size_t>(block.rows));
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::int64_t> importance(order.size(), 0);
+    for (std::int64_t r = 0; r < block.rows; ++r)
+      for (std::int64_t c = 0; c < block.cols; ++c)
+        importance[static_cast<std::size_t>(r)] += std::abs(block.at(r, c));
+    std::sort(order.begin(), order.end(),
+              [&importance](std::int64_t a, std::int64_t c) {
+                if (importance[static_cast<std::size_t>(a)] !=
+                    importance[static_cast<std::size_t>(c)])
+                  return importance[static_cast<std::size_t>(a)] >
+                         importance[static_cast<std::size_t>(c)];
+                return a < c;
+              });
+
+    std::vector<bool> taken(static_cast<std::size_t>(block.rows), false);
+    perms[b].assign(static_cast<std::size_t>(block.rows), -1);
+    for (std::int64_t r : order) {
+      std::int64_t best_p = -1;
+      std::int64_t best_damage = 0;
+      for (std::int64_t p = 0; p < block.rows; ++p) {
+        if (taken[static_cast<std::size_t>(p)]) continue;
+        std::int64_t damage = 0;
+        for (std::int64_t c = 0; c < block.cols; ++c) {
+          const auto& faults = index.at(p, c, block.cols);
+          if (faults.empty()) continue;
+          const std::int32_t q = block.at(r, c);
+          damage += std::abs(
+              faulted_code(q, faults, layer.config.cell_bits, slices,
+                           max_level) -
+              q);
+        }
+        if (best_p < 0 || damage < best_damage) {
+          best_p = p;
+          best_damage = damage;
+          if (damage == 0) break;  // cannot do better
+        }
+      }
+      perms[b][static_cast<std::size_t>(r)] = best_p;
+      taken[static_cast<std::size_t>(best_p)] = true;
+    }
+  }
+  return perms;
+}
+
+}  // namespace tinyadc::fault

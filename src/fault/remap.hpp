@@ -1,0 +1,65 @@
+// Fault-aware row remapping (extension of §IV-E).
+//
+// A crossbar's wordline order is a free parameter: permuting the logical
+// rows of a block only reorders the input router's connections, at zero
+// analog cost. After manufacturing test reveals the stuck-at fault map,
+// the rows that carry important (large-magnitude) weights can be steered
+// onto clean wordlines and — in a CP-pruned model, where most cells are
+// deliberately zero — faulty wordlines can absorb rows whose cells the
+// faults cannot damage (SA0 on a G_off cell is a no-op).
+//
+// The sampler/applier split also gives §IV-E's base experiment a reusable
+// form: sample_fault_map draws a chip's defect pattern once; apply_fault_map
+// realizes it under any row permutation.
+#pragma once
+
+#include "fault/fault_model.hpp"
+
+namespace tinyadc::fault {
+
+/// One defective cell in a block: the (physical row, column, magnitude
+/// slice, polarity) coordinates plus the stuck level.
+struct CellFault {
+  std::int32_t row = 0;       ///< physical wordline within the block
+  std::int32_t col = 0;       ///< column within the block
+  std::int16_t slice = 0;     ///< magnitude slice plane
+  std::int16_t polarity = 0;  ///< 0 = positive plane, 1 = negative plane
+  bool stuck_at_zero = true;  ///< SA0 (G_off) vs SA1 (G_on)
+};
+
+/// A sampled chip defect pattern: per-block sparse fault lists.
+struct FaultMap {
+  std::vector<std::vector<CellFault>> blocks;  ///< aligned with layer.blocks
+  std::int64_t total_faults() const;
+};
+
+/// Draws a defect pattern for `layer`'s physical arrays (each weight owns
+/// 2·slices cells). Deterministic in `rng`.
+FaultMap sample_fault_map(const xbar::MappedLayer& layer,
+                          const FaultSpec& spec, Rng& rng);
+
+/// Row permutations, one per block: perm[b][logical_row] = physical_row.
+using RowPermutations = std::vector<std::vector<std::int64_t>>;
+
+/// The identity permutation set for `layer`.
+RowPermutations identity_permutations(const xbar::MappedLayer& layer);
+
+/// Applies `map` to `layer` in place with logical rows steered through
+/// `perms` (the weight that logically lives in row r sits on physical
+/// wordline perms[b][r], whose faults it inherits). Censuses refresh.
+FaultStats apply_fault_map(xbar::MappedLayer& layer, const FaultMap& map,
+                           const RowPermutations& perms);
+
+/// Greedy fault-aware remapping: processes logical rows in descending
+/// weight-magnitude order, assigning each to the free physical wordline
+/// where the sampled faults change its codes the least. Quadratic in block
+/// rows but only over the sparse fault lists.
+RowPermutations remap_rows_greedy(const xbar::MappedLayer& layer,
+                                  const FaultMap& map);
+
+/// Total |Δcode| the fault map inflicts on `layer` under `perms` — the
+/// objective the greedy remapper minimizes (evaluated without mutating).
+std::int64_t fault_damage(const xbar::MappedLayer& layer, const FaultMap& map,
+                          const RowPermutations& perms);
+
+}  // namespace tinyadc::fault

@@ -1,0 +1,35 @@
+#include "hw/adc_cost.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::hw {
+
+namespace {
+
+/// Shared shape: capdac term doubles per bit, the rest is linear in bits.
+double scale_factor(int bits, int ref_bits, double capdac_fraction) {
+  TINYADC_CHECK(bits >= 0 && bits <= 24, "ADC bits out of range: " << bits);
+  if (bits == 0) return 0.0;  // degenerate: no ADC needed
+  const double exp_term =
+      capdac_fraction * std::pow(2.0, bits - ref_bits);
+  const double lin_term = (1.0 - capdac_fraction) *
+                          static_cast<double>(bits) /
+                          static_cast<double>(ref_bits);
+  return exp_term + lin_term;
+}
+
+}  // namespace
+
+double AdcCostModel::area_mm2(int bits) const {
+  return ref_area_mm2 * scale_factor(bits, ref_bits, capdac_fraction);
+}
+
+double AdcCostModel::power_w(int bits, double rate_hz) const {
+  TINYADC_CHECK(rate_hz > 0.0, "sample rate must be positive");
+  return ref_power_w * scale_factor(bits, ref_bits, capdac_fraction) *
+         (rate_hz / ref_rate_hz);
+}
+
+}  // namespace tinyadc::hw

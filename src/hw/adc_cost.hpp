@@ -1,0 +1,34 @@
+// SAR ADC area/power model with per-component resolution scaling.
+//
+// The paper computes all ADC costs from one published design — Chan et al.,
+// ISSCC 2017: a 5 mW, 7-bit, 2.4 GS/s SAR ADC — by scaling the memory,
+// clock and vref-buffer sub-blocks *linearly* with resolution and the
+// capacitive DAC *exponentially* (a binary-weighted capacitor array doubles
+// per added bit). We reproduce exactly that rule, anchored at the same
+// published point. Power additionally scales linearly with sample rate
+// (dynamic-logic dominated), so an accelerator preset may run the ADC
+// slower than the anchor's 2.4 GS/s.
+#pragma once
+
+namespace tinyadc::hw {
+
+/// Component-scaled SAR ADC cost model.
+struct AdcCostModel {
+  int ref_bits = 7;            ///< anchor resolution (Chan ISSCC'17)
+  double ref_power_w = 5e-3;   ///< anchor power at ref_rate_hz
+  double ref_area_mm2 = 4e-3;  ///< anchor active area
+  double ref_rate_hz = 2.4e9;  ///< anchor sample rate
+  /// Fraction of the anchor budget in the capacitive DAC (exponential
+  /// scaling); the rest (comparator, SAR logic/memory, clock, vref buffer)
+  /// scales linearly.
+  double capdac_fraction = 0.4;
+
+  /// Area (mm²) of a `bits`-resolution instance.
+  double area_mm2(int bits) const;
+  /// Power (W) of a `bits`-resolution instance at `rate_hz` samples/s.
+  double power_w(int bits, double rate_hz) const;
+  /// Power at the anchor rate.
+  double power_w(int bits) const { return power_w(bits, ref_rate_hz); }
+};
+
+}  // namespace tinyadc::hw

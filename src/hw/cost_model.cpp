@@ -1,0 +1,93 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::hw {
+
+TileCost tile_cost(const CostConstants& k, int adc_bits) {
+  TINYADC_CHECK(adc_bits >= 0 && adc_bits <= 24, "bad adc_bits " << adc_bits);
+  TileCost t;
+  const auto n = static_cast<double>(k.arrays_per_tile);
+  // Datapath width tracks ADC resolution (floored: control logic doesn't
+  // vanish below ~4 bits of payload).
+  const double width_scale =
+      std::max(static_cast<double>(adc_bits), 4.0) / 8.0;
+
+  t.adc_area_mm2 = n * k.adc.area_mm2(adc_bits);
+  t.adc_power_w = n * k.adc.power_w(adc_bits, k.adc_rate_hz);
+
+  const double fixed_area = n * (k.array_area_mm2 + k.dac_area_mm2);
+  const double fixed_power = n * (k.array_power_w + k.dac_power_w);
+  const double scaled_area =
+      n * (k.sh_area_mm2 + k.shiftadd_area_mm2 + k.reg_area_mm2) *
+          width_scale +
+      (k.buffer_area_mm2 + k.router_area_mm2) * width_scale;
+  const double scaled_power =
+      n * (k.sh_power_w + k.shiftadd_power_w + k.reg_power_w) * width_scale +
+      (k.buffer_power_w + k.router_power_w) * width_scale;
+
+  t.area_mm2 = t.adc_area_mm2 + fixed_area + scaled_area;
+  t.power_w = t.adc_power_w + fixed_power + scaled_power;
+  return t;
+}
+
+double AcceleratorReport::area_vs(const AcceleratorReport& baseline) const {
+  TINYADC_CHECK(baseline.area_mm2 > 0.0, "baseline has zero area");
+  return area_mm2 / baseline.area_mm2;
+}
+
+double AcceleratorReport::power_vs(const AcceleratorReport& baseline) const {
+  TINYADC_CHECK(baseline.power_w > 0.0, "baseline has zero power");
+  return power_w / baseline.power_w;
+}
+
+AcceleratorReport build_accelerator(const xbar::MappedNetwork& net,
+                                    const CostConstants& constants,
+                                    bool full_first_layer_adc) {
+  AcceleratorReport report;
+  const int dense_bits =
+      xbar::design_adc_bits(net.config, net.config.dims.rows);
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const auto& layer = net.layers[i];
+    LayerHwReport lr;
+    lr.name = layer.name;
+    lr.arrays = layer.active_arrays();
+    lr.tiles = (lr.arrays + constants.arrays_per_tile - 1) /
+               constants.arrays_per_tile;
+    lr.adc_bits = (i == 0 && full_first_layer_adc)
+                      ? dense_bits
+                      : layer.design_adc_bits();
+    const TileCost tc = tile_cost(constants, lr.adc_bits);
+    lr.area_mm2 = static_cast<double>(lr.tiles) * tc.area_mm2;
+    lr.power_w = static_cast<double>(lr.tiles) * tc.power_w;
+    report.area_mm2 += lr.area_mm2;
+    report.power_w += lr.power_w;
+    report.tiles += lr.tiles;
+    report.arrays += lr.arrays;
+    report.layers.push_back(std::move(lr));
+  }
+  return report;
+}
+
+std::string to_table(const AcceleratorReport& report) {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "layer" << std::right << std::setw(8)
+     << "arrays" << std::setw(7) << "tiles" << std::setw(9) << "ADCbits"
+     << std::setw(12) << "area(mm2)" << std::setw(11) << "power(W)" << "\n";
+  for (const auto& l : report.layers) {
+    os << std::left << std::setw(28) << l.name << std::right << std::setw(8)
+       << l.arrays << std::setw(7) << l.tiles << std::setw(9) << l.adc_bits
+       << std::setw(12) << std::fixed << std::setprecision(4) << l.area_mm2
+       << std::setw(11) << std::setprecision(4) << l.power_w << "\n";
+  }
+  os << "total: " << report.tiles << " tiles, " << std::fixed
+     << std::setprecision(3) << report.area_mm2 << " mm2, "
+     << std::setprecision(3) << report.power_w << " W\n";
+  return os.str();
+}
+
+}  // namespace tinyadc::hw

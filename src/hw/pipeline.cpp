@@ -1,0 +1,109 @@
+#include "hw/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "msim/dac.hpp"
+#include "tensor/check.hpp"
+
+namespace tinyadc::hw {
+
+namespace {
+
+/// Stage time at replication 1: the ADC of every active array serializes
+/// its block's columns each DAC cycle; arrays work in parallel.
+double stage_time(const xbar::MappedLayer& layer, std::int64_t mvms,
+                  const CostConstants& constants) {
+  const int cycles = msim::dac_cycles(layer.config.input_bits,
+                                      layer.config.dac_bits);
+  std::int64_t widest_cols = 0;
+  for (const auto& b : layer.blocks)
+    if (!b.all_zero()) widest_cols = std::max(widest_cols, b.cols);
+  return static_cast<double>(mvms) * cycles *
+         static_cast<double>(widest_cols) / constants.adc_rate_hz;
+}
+
+PipelineSchedule build(const xbar::MappedNetwork& net,
+                       const std::vector<std::int64_t>& mvms_per_layer,
+                       const CostConstants& constants,
+                       const std::vector<std::int64_t>& replication) {
+  PipelineSchedule schedule;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const auto& layer = net.layers[i];
+    StageSchedule stage;
+    stage.name = layer.name;
+    stage.mvms = mvms_per_layer[i];
+    stage.stage_time_s = stage_time(layer, stage.mvms, constants);
+    stage.replication = replication[i];
+    stage.effective_time_s =
+        stage.stage_time_s / static_cast<double>(stage.replication);
+    // One image's output activations buffered for the next stage: mvms
+    // output vectors of `cols` activations at input_bits each.
+    stage.buffer_bytes =
+        (stage.mvms * layer.cols * layer.config.input_bits + 7) / 8;
+    schedule.interval_s =
+        std::max(schedule.interval_s, stage.effective_time_s);
+    schedule.fill_latency_s += stage.effective_time_s;
+    schedule.total_buffer_bytes += stage.buffer_bytes;
+    schedule.extra_arrays +=
+        (stage.replication - 1) * layer.active_arrays();
+    schedule.stages.push_back(std::move(stage));
+  }
+  return schedule;
+}
+
+}  // namespace
+
+PipelineSchedule schedule_pipeline(const xbar::MappedNetwork& net,
+                                   const std::vector<std::int64_t>&
+                                       mvms_per_layer,
+                                   const CostConstants& constants) {
+  TINYADC_CHECK(mvms_per_layer.size() == net.layers.size(),
+                "mvm count " << mvms_per_layer.size() << " != layer count "
+                             << net.layers.size());
+  return build(net, mvms_per_layer, constants,
+               std::vector<std::int64_t>(net.layers.size(), 1));
+}
+
+PipelineSchedule balance_pipeline(const xbar::MappedNetwork& net,
+                                  const std::vector<std::int64_t>&
+                                      mvms_per_layer,
+                                  const CostConstants& constants,
+                                  double target_interval_s) {
+  TINYADC_CHECK(mvms_per_layer.size() == net.layers.size(),
+                "mvm count " << mvms_per_layer.size() << " != layer count "
+                             << net.layers.size());
+  TINYADC_CHECK(target_interval_s > 0.0, "target interval must be positive");
+  std::vector<std::int64_t> replication(net.layers.size(), 1);
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const double t = stage_time(net.layers[i], mvms_per_layer[i], constants);
+    replication[i] = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(t / target_interval_s)));
+  }
+  return build(net, mvms_per_layer, constants, replication);
+}
+
+std::string to_table(const PipelineSchedule& schedule) {
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "stage" << std::right << std::setw(8)
+     << "MVMs" << std::setw(12) << "T (us)" << std::setw(7) << "repl"
+     << std::setw(13) << "T_eff (us)" << std::setw(12) << "buf (B)" << "\n";
+  for (const auto& s : schedule.stages) {
+    os << std::left << std::setw(24) << s.name << std::right << std::setw(8)
+       << s.mvms << std::setw(12) << std::fixed << std::setprecision(2)
+       << 1e6 * s.stage_time_s << std::setw(7) << s.replication
+       << std::setw(13) << std::setprecision(2) << 1e6 * s.effective_time_s
+       << std::setw(12) << s.buffer_bytes << "\n";
+  }
+  os << "interval " << std::setprecision(2) << 1e6 * schedule.interval_s
+     << " us (" << std::setprecision(0) << schedule.fps()
+     << " fps), fill " << std::setprecision(2)
+     << 1e6 * schedule.fill_latency_s << " us, buffers "
+     << schedule.total_buffer_bytes << " B, extra arrays "
+     << schedule.extra_arrays << "\n";
+  return os.str();
+}
+
+}  // namespace tinyadc::hw

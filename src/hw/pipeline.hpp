@@ -1,0 +1,63 @@
+// ISAAC-style inter-layer pipeline scheduling.
+//
+// ISAAC overlaps layers: while layer i processes image t, layer i−1 already
+// works on image t+1. Steady-state throughput is then set by the *slowest
+// stage*, not the serial sum, and ISAAC balances the pipeline by
+// replicating slow (usually early, high-MVM-count) layers across more
+// crossbar copies. This module schedules a mapped network that way:
+//  * per-stage time  T_i = mvms_i · dac_cycles · widest_block_cols / f_adc
+//    (each physical array's ADC serializes its block's columns; arrays run
+//    in parallel; replication divides T_i by the copy count);
+//  * steady interval = max_i T_i / r_i, fps = 1 / interval;
+//  * fill latency    = Σ_i T_i / r_i (first image);
+//  * inter-stage buffers hold one image's activations at `input_bits` each.
+// balance_pipeline() picks the minimal replication vector that reaches a
+// target interval, reporting the extra arrays it costs — the knob the
+// paper turns when it says smaller ADCs let designers "use more ADCs per
+// crossbar" for throughput.
+#pragma once
+
+#include "hw/inference_model.hpp"
+
+namespace tinyadc::hw {
+
+/// One pipeline stage (= one mapped layer).
+struct StageSchedule {
+  std::string name;
+  std::int64_t mvms = 0;         ///< MVMs per image
+  double stage_time_s = 0.0;     ///< per-image time at replication 1
+  std::int64_t replication = 1;  ///< crossbar copies allocated
+  double effective_time_s = 0.0; ///< stage_time_s / replication
+  std::int64_t buffer_bytes = 0; ///< output activation buffer to next stage
+};
+
+/// Whole-pipeline schedule.
+struct PipelineSchedule {
+  std::vector<StageSchedule> stages;
+  double interval_s = 0.0;      ///< steady-state time between images
+  double fill_latency_s = 0.0;  ///< first-image latency (pipeline fill)
+  std::int64_t total_buffer_bytes = 0;
+  std::int64_t extra_arrays = 0;  ///< arrays added by replication
+
+  /// Steady-state images per second.
+  double fps() const { return interval_s > 0.0 ? 1.0 / interval_s : 0.0; }
+};
+
+/// Schedules `net` with no replication (every stage gets one copy).
+PipelineSchedule schedule_pipeline(const xbar::MappedNetwork& net,
+                                   const std::vector<std::int64_t>&
+                                       mvms_per_layer,
+                                   const CostConstants& constants);
+
+/// Minimal per-stage replication that achieves `target_interval_s`
+/// (replication factors ⌈T_i / target⌉), with the array cost accounted.
+PipelineSchedule balance_pipeline(const xbar::MappedNetwork& net,
+                                  const std::vector<std::int64_t>&
+                                      mvms_per_layer,
+                                  const CostConstants& constants,
+                                  double target_interval_s);
+
+/// Renders the schedule as an aligned text table.
+std::string to_table(const PipelineSchedule& schedule);
+
+}  // namespace tinyadc::hw

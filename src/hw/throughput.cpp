@@ -1,0 +1,60 @@
+#include "hw/throughput.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::hw {
+
+std::vector<ThroughputRow> reference_rows() {
+  return {
+      {"DaDianNao", 63.46, 286.4, false},
+      {"TPU", 40.88, 301.91, false},
+      {"PUMA", 338.76, 497.25, false},
+      {"ISAAC", 478.95, 627.5, false},
+  };
+}
+
+ThroughputRow tinyadc_row(const CostConstants& constants, int baseline_bits,
+                          int tinyadc_bits, AdcReinvestment mode) {
+  TINYADC_CHECK(tinyadc_bits >= 1 && tinyadc_bits <= baseline_bits,
+                "tinyadc_bits must be in [1, baseline_bits]");
+  const TileCost base = tile_cost(constants, baseline_bits);
+  TileCost tiny = tile_cost(constants, tinyadc_bits);
+
+  double throughput_boost = 1.0;
+  if (mode == AdcReinvestment::kIsoPower) {
+    // Raise the small ADC's sample rate until it burns the 8-bit ADC's
+    // power (power ∝ rate). Peak GOPs scale with ADC conversion rate.
+    throughput_boost = base.adc_power_w / tiny.adc_power_w;
+    tiny.power_w += base.adc_power_w - tiny.adc_power_w;
+    tiny.adc_power_w = base.adc_power_w;
+  }
+
+  const auto& isaac = reference_rows().back();
+  TINYADC_CHECK(isaac.architecture == "ISAAC", "reference row order changed");
+  ThroughputRow row;
+  row.architecture = "TinyADC(ISAAC)";
+  row.derived = true;
+  row.gops_per_s_mm2 =
+      isaac.gops_per_s_mm2 * throughput_boost * (base.area_mm2 / tiny.area_mm2);
+  row.gops_per_w =
+      isaac.gops_per_w * throughput_boost * (base.power_w / tiny.power_w);
+  return row;
+}
+
+std::string to_table(const std::vector<ThroughputRow>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(18) << "Architecture" << std::right
+     << std::setw(16) << "GOPs/(s*mm2)" << std::setw(12) << "GOPs/W" << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(18) << r.architecture << std::right
+       << std::setw(16) << std::fixed << std::setprecision(2)
+       << r.gops_per_s_mm2 << std::setw(12) << std::setprecision(2)
+       << r.gops_per_w << (r.derived ? "   (derived)" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tinyadc::hw

@@ -1,0 +1,52 @@
+// Peak-throughput model (Table III of the paper).
+//
+// The published reference rows (DaDianNao, TPU, PUMA, ISAAC) are constants
+// from the cited papers; the TinyADC(ISAAC) row is *derived*: starting from
+// the ISAAC preset, shrinking every non-first-layer ADC from 8 bits to the
+// TinyADC worst-case resolution changes tile area and power through the
+// cost model, and peak GOPs stay fixed per tile (same crossbar count and
+// cycle time), so
+//     GOPs/s/mm² scales by tile_area(8b) / tile_area(b)
+//     GOPs/W     scales by tile_power(8b) / tile_power(b)
+// — unless the freed ADC power budget is reinvested in faster ADCs
+// ("designers are able to select smaller ADCs with higher frequency or use
+// more ADCs per crossbar"), modeled by the iso-power mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+
+namespace tinyadc::hw {
+
+/// One Table III row.
+struct ThroughputRow {
+  std::string architecture;
+  double gops_per_s_mm2 = 0.0;
+  double gops_per_w = 0.0;
+  bool derived = false;  ///< false: published constant; true: our model
+};
+
+/// Published reference rows (DaDianNao MICRO'14, TPU, PUMA ASPLOS'19,
+/// ISAAC ISCA'16 as quoted in the paper's Table III).
+std::vector<ThroughputRow> reference_rows();
+
+/// How the freed ADC budget is spent.
+enum class AdcReinvestment {
+  kIsoRate,   ///< same sample rate: smaller & cooler ADC
+  kIsoPower,  ///< raise ADC rate until the 8-bit power is spent again
+};
+
+/// Derives the TinyADC(ISAAC) row from the ISAAC reference row: all tiles'
+/// ADCs drop from `baseline_bits` to `tinyadc_bits` (the worst-case layer
+/// requirement of the reconfigurable design), with cost ratios from
+/// `constants`.
+ThroughputRow tinyadc_row(const CostConstants& constants, int baseline_bits,
+                          int tinyadc_bits,
+                          AdcReinvestment mode = AdcReinvestment::kIsoRate);
+
+/// Renders Table III (reference rows + the derived row).
+std::string to_table(const std::vector<ThroughputRow>& rows);
+
+}  // namespace tinyadc::hw

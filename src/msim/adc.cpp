@@ -1,0 +1,31 @@
+#include "msim/adc.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::msim {
+
+Adc::Adc(int bits) : bits_(bits) {
+  TINYADC_CHECK(bits >= 0 && bits <= 24, "ADC bits must be in [0, 24]");
+  full_scale_ = bits == 0 ? 0 : (std::int64_t{1} << bits) - 1;
+}
+
+std::int64_t Adc::convert(double analog_sum) const {
+  ++conversions_;
+  if (bits_ == 0) return 0;
+  auto code = static_cast<std::int64_t>(std::llround(analog_sum));
+  if (code < 0) code = 0;
+  if (code > full_scale_) {
+    code = full_scale_;
+    ++clip_events_;
+  }
+  return code;
+}
+
+void Adc::reset_stats() {
+  conversions_ = 0;
+  clip_events_ = 0;
+}
+
+}  // namespace tinyadc::msim

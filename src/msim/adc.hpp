@@ -1,0 +1,44 @@
+// ADC behavioural model.
+//
+// In an ISAAC-style design the bitline current of one crossbar column is an
+// integer multiple of the unit LSB current (cell level × input chunk), so an
+// ideal b-bit ADC reproduces the column sum exactly iff the sum fits in
+// 2^b − 1 codes — precisely the Eq. 1 sizing rule. This model rounds an
+// analog (possibly variation-perturbed) sum to the nearest code and
+// saturates at full scale, counting clip events so under-provisioned ADCs
+// (the E9 ablation) are observable.
+#pragma once
+
+#include <cstdint>
+
+namespace tinyadc::msim {
+
+/// Behavioural ADC: rounds to the nearest integer code in [0, 2^bits − 1].
+class Adc {
+ public:
+  /// `bits == 0` constructs a degenerate ADC that always outputs 0 (used
+  /// for fully-pruned columns).
+  explicit Adc(int bits);
+
+  /// Converts an analog column sum expressed in LSB units.
+  std::int64_t convert(double analog_sum) const;
+
+  /// Resolution in bits.
+  int bits() const { return bits_; }
+  /// Largest representable code.
+  std::int64_t full_scale() const { return full_scale_; }
+  /// Conversions performed since construction/reset.
+  std::int64_t conversions() const { return conversions_; }
+  /// Conversions that saturated (information was lost).
+  std::int64_t clip_events() const { return clip_events_; }
+  /// Zeroes the statistics counters.
+  void reset_stats();
+
+ private:
+  int bits_;
+  std::int64_t full_scale_;
+  mutable std::int64_t conversions_ = 0;
+  mutable std::int64_t clip_events_ = 0;
+};
+
+}  // namespace tinyadc::msim

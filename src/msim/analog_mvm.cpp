@@ -1,0 +1,161 @@
+#include "msim/analog_mvm.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::msim {
+
+AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
+                               MsimConfig config)
+    : layer_(layer),
+      config_(config),
+      adc_(config.adc_bits_override >= 0 ? config.adc_bits_override
+                                         : layer.required_adc_bits()) {
+  if (config_.variation_sigma > 0.0) {
+    Rng rng(config_.seed);
+    const int slices = layer_.config.slices();
+    variation_.reserve(layer_.blocks.size());
+    for (const auto& b : layer_.blocks) {
+      std::vector<float> v(
+          static_cast<std::size_t>(b.rows * b.cols * slices));
+      for (auto& f : v)
+        f = std::exp(rng.normal(0.0F,
+                                static_cast<float>(config_.variation_sigma)));
+      variation_.push_back(std::move(v));
+    }
+  }
+}
+
+std::vector<std::int64_t> AnalogLayerSim::mvm(
+    const std::vector<std::int32_t>& x) {
+  TINYADC_CHECK(static_cast<std::int64_t>(x.size()) == layer_.rows,
+                "input length " << x.size() << " != layer rows "
+                                << layer_.rows);
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+  stats_.dac_cycles += cycles;
+
+  // Pre-split every activation into DAC chunks: chunk[t][row].
+  std::vector<std::vector<std::int32_t>> chunk(
+      static_cast<std::size_t>(cycles),
+      std::vector<std::int32_t>(x.size()));
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    const auto ch = dac_chunks(x[r], cfg.input_bits, cfg.dac_bits);
+    for (int t = 0; t < cycles; ++t)
+      chunk[static_cast<std::size_t>(t)][r] =
+          ch[static_cast<std::size_t>(t)];
+  }
+
+  std::vector<std::int64_t> y(static_cast<std::size_t>(layer_.cols), 0);
+  for (std::size_t bi = 0; bi < layer_.blocks.size(); ++bi) {
+    const auto& b = layer_.blocks[bi];
+    const float* var =
+        variation_.empty() ? nullptr : variation_[bi].data();
+    for (std::int64_t c = 0; c < b.cols; ++c) {
+      // Decompose the column once: per-row slice values by polarity.
+      // sliced[r*slices + s] holds the s-th slice of |q(r,c)|; sign[r] its
+      // polarity.
+      std::vector<std::int32_t> sliced(
+          static_cast<std::size_t>(b.rows * slices), 0);
+      std::vector<int> sign(static_cast<std::size_t>(b.rows), 0);
+      for (std::int64_t r = 0; r < b.rows; ++r) {
+        const std::int32_t q = b.at(r, c);
+        if (q == 0) continue;
+        sign[static_cast<std::size_t>(r)] = q > 0 ? 1 : -1;
+        const auto sl = xbar::slice_magnitude(std::abs(q), cfg.cell_bits,
+                                              slices);
+        for (int s = 0; s < slices; ++s)
+          sliced[static_cast<std::size_t>(r * slices + s)] =
+              sl[static_cast<std::size_t>(s)];
+      }
+      // Column load for the IR-drop model: the fraction of this column's
+      // wordlines that actually inject current.
+      double column_load = 0.0;
+      if (config_.ir_drop_alpha > 0.0) {
+        std::int64_t active = 0;
+        for (std::int64_t r = 0; r < b.rows; ++r)
+          active += (sign[static_cast<std::size_t>(r)] != 0);
+        column_load = static_cast<double>(active) /
+                      static_cast<double>(b.rows);
+      }
+      std::int64_t acc = 0;
+      for (int polarity : {+1, -1}) {
+        for (int s = 0; s < slices; ++s) {
+          for (int t = 0; t < cycles; ++t) {
+            double analog = 0.0;
+            const auto& ch = chunk[static_cast<std::size_t>(t)];
+            for (std::int64_t r = 0; r < b.rows; ++r) {
+              if (sign[static_cast<std::size_t>(r)] != polarity) continue;
+              const std::int32_t level =
+                  sliced[static_cast<std::size_t>(r * slices + s)];
+              if (level == 0) continue;
+              const std::int64_t orig_r = layer_.kept_rows[
+                  static_cast<std::size_t>(b.row0 + r)];
+              double contrib = static_cast<double>(level) *
+                               ch[static_cast<std::size_t>(orig_r)];
+              if (var != nullptr)
+                contrib *= var[static_cast<std::size_t>(
+                    (r * b.cols + c) * slices + s)];
+              if (config_.ir_drop_alpha > 0.0) {
+                const double depth = static_cast<double>(r + 1) /
+                                     static_cast<double>(b.rows);
+                contrib /= 1.0 + config_.ir_drop_alpha * depth * column_load;
+              }
+              analog += contrib;
+            }
+            const std::int64_t code = adc_.convert(analog);
+            acc += polarity * (code << (s * cfg.cell_bits + t * cfg.dac_bits));
+          }
+        }
+      }
+      y[static_cast<std::size_t>(
+          layer_.kept_cols[static_cast<std::size_t>(b.col0 + c)])] += acc;
+    }
+  }
+  stats_.adc_conversions = adc_.conversions();
+  stats_.adc_clip_events = adc_.clip_events();
+  return y;
+}
+
+std::vector<float> AnalogLayerSim::mvm_real(
+    const std::vector<float>& x_real, const xbar::QuantParams& x_quant) {
+  std::vector<std::int32_t> codes(x_real.size());
+  for (std::size_t i = 0; i < x_real.size(); ++i)
+    codes[i] = xbar::quantize_unsigned(x_real[i], x_quant);
+  const auto y = mvm(codes);
+  const float scale = x_quant.scale * layer_.quant.scale;
+  std::vector<float> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    out[i] = static_cast<float>(y[i]) * scale;
+  return out;
+}
+
+std::vector<float> AnalogLayerSim::mvm_real_signed(
+    const std::vector<float>& x_real, const xbar::QuantParams& x_quant) {
+  std::vector<float> pos(x_real.size()), neg(x_real.size());
+  for (std::size_t i = 0; i < x_real.size(); ++i) {
+    pos[i] = x_real[i] > 0.0F ? x_real[i] : 0.0F;
+    neg[i] = x_real[i] < 0.0F ? -x_real[i] : 0.0F;
+  }
+  auto yp = mvm_real(pos, x_quant);
+  const auto yn = mvm_real(neg, x_quant);
+  for (std::size_t i = 0; i < yp.size(); ++i) yp[i] -= yn[i];
+  return yp;
+}
+
+void AnalogLayerSim::reset_stats() {
+  stats_ = MsimStats{};
+  adc_.reset_stats();
+}
+
+std::vector<AnalogLayerSim> make_network_sims(const xbar::MappedNetwork& net,
+                                              const MsimConfig& config) {
+  std::vector<AnalogLayerSim> sims;
+  sims.reserve(net.layers.size());
+  for (const auto& layer : net.layers) sims.emplace_back(layer, config);
+  return sims;
+}
+
+}  // namespace tinyadc::msim

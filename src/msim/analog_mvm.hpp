@@ -1,0 +1,95 @@
+// Functional simulation of bit-serial analog matrix-vector multiplication.
+//
+// Pipeline per MVM (mirroring ISAAC's datapath):
+//   1. DAC: each unsigned activation code streams in v-bit chunks.
+//   2. Crossbar: per cycle, every (block, logical column, slice plane,
+//      polarity) produces an analog sum Σ_rows chunk[r] · cell_level[r]
+//      in LSB units; zero weights contribute nothing (their cells sit at
+//      G_off), which is how CP pruning deactivates rows.
+//   3. Sample & hold + ADC: each analog sum is digitized by the block's ADC
+//      (Eq. 1-sized by default, overridable to study clipping).
+//   4. Shift & add: digital accumulation re-weights codes by input-cycle
+//      (·2^{t·v}), slice plane (·2^{s·cell_bits}) and polarity (±).
+//
+// With variation_sigma == 0 the result equals the integer reference MVM
+// exactly whenever the ADC satisfies Eq. 1 (property P2). With variation,
+// each cell's level is perturbed once at construction (a programmed chip)
+// and the ADC's nearest-code rounding either absorbs the error (< ½ LSB per
+// column) or not — the basis of the robustness analyses.
+#pragma once
+
+#include <vector>
+
+#include "msim/adc.hpp"
+#include "msim/dac.hpp"
+#include "xbar/mapping.hpp"
+
+namespace tinyadc::msim {
+
+/// Simulation knobs.
+struct MsimConfig {
+  int adc_bits_override = -1;    ///< −1: per-layer Eq. 1 sizing; ≥0: forced
+  double variation_sigma = 0.0;  ///< relative conductance spread (paper: 0.1)
+  /// Wire-resistance (IR-drop) coefficient: a cell `r` rows down the
+  /// bitline sees its contribution attenuated by 1 / (1 + α·(r+1)/rows·L),
+  /// where L is the column's share of the total current (here: the number
+  /// of active cells above it, normalized). α = 0 is the ideal wire. CP
+  /// pruning reduces the current each bitline aggregates, so pruned
+  /// columns suffer proportionally less IR drop — an analog-domain benefit
+  /// on top of the ADC saving.
+  double ir_drop_alpha = 0.0;
+  std::uint64_t seed = 99;       ///< variation draw seed
+};
+
+/// Aggregate statistics from a simulation run.
+struct MsimStats {
+  std::int64_t adc_conversions = 0;
+  std::int64_t adc_clip_events = 0;
+  std::int64_t dac_cycles = 0;
+};
+
+/// Simulates one mapped layer's analog MVM datapath.
+class AnalogLayerSim {
+ public:
+  AnalogLayerSim(const xbar::MappedLayer& layer, MsimConfig config);
+
+  /// Integer-domain MVM: unsigned activation codes in, signed column sums
+  /// out (same contract as xbar::reference_mvm).
+  std::vector<std::int64_t> mvm(const std::vector<std::int32_t>& x);
+
+  /// Real-domain MVM: quantizes `x_real` with `x_quant`, runs the analog
+  /// datapath, and rescales the digital result to real units. Inputs must
+  /// be non-negative (post-ReLU activations).
+  std::vector<float> mvm_real(const std::vector<float>& x_real,
+                              const xbar::QuantParams& x_quant);
+
+  /// Signed-input variant: splits the input into its positive and negative
+  /// parts, streams each through the crossbar separately, and subtracts
+  /// digitally — the standard two-phase scheme for pre-activation inputs
+  /// (e.g. the first conv layer's raw pixels).
+  std::vector<float> mvm_real_signed(const std::vector<float>& x_real,
+                                     const xbar::QuantParams& x_quant);
+
+  /// The ADC resolution in use.
+  int adc_bits() const { return adc_.bits(); }
+  /// Statistics accumulated over all mvm() calls.
+  const MsimStats& stats() const { return stats_; }
+  /// Zeroes statistics.
+  void reset_stats();
+
+ private:
+  const xbar::MappedLayer& layer_;
+  MsimConfig config_;
+  Adc adc_;
+  // Per-block per-cell multiplicative variation factors for the magnitude
+  // slices, laid out [block][r * cols * slices + c * slices + s].
+  std::vector<std::vector<float>> variation_;
+  MsimStats stats_;
+};
+
+/// Convenience: simulate every layer of a mapped network on one shared
+/// config, returning per-layer simulators.
+std::vector<AnalogLayerSim> make_network_sims(const xbar::MappedNetwork& net,
+                                              const MsimConfig& config);
+
+}  // namespace tinyadc::msim

@@ -1,0 +1,153 @@
+#include "msim/analog_network.hpp"
+
+#include <algorithm>
+
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::msim {
+
+AnalogNetwork::AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
+                             MsimConfig config)
+    : model_(model), net_(net), config_(config) {
+  const auto views = model_.prunable_views();
+  TINYADC_CHECK(views.size() == net_.layers.size(),
+                "mapped network has " << net_.layers.size()
+                                      << " layers, model has "
+                                      << views.size());
+  sims_.reserve(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    TINYADC_CHECK(views[i].layer_name == net_.layers[i].name,
+                  "layer order mismatch: " << views[i].layer_name << " vs "
+                                           << net_.layers[i].name);
+    TINYADC_CHECK(views[i].rows == net_.layers[i].rows &&
+                      views[i].cols == net_.layers[i].cols,
+                  "layer shape mismatch on " << views[i].layer_name);
+    MsimConfig layer_cfg = config_;
+    layer_cfg.seed = config_.seed + i * 131;  // independent variation draws
+    sims_.push_back(
+        std::make_unique<AnalogLayerSim>(net_.layers[i], layer_cfg));
+  }
+  observed_max_.assign(views.size(), 0.0F);
+  act_quant_.assign(views.size(), {});
+  signed_input_.assign(views.size(), false);
+  install_hooks();
+}
+
+AnalogNetwork::~AnalogNetwork() { remove_hooks(); }
+
+void AnalogNetwork::install_hooks() {
+  std::size_t index = 0;
+  model_.root().visit([this, &index](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      const std::size_t i = index++;
+      conv->set_mvm_hook([this, i](const Tensor& cols)
+                             -> std::optional<Tensor> {
+        if (mode_ == Mode::kCalibrate) {
+          observed_max_[i] = std::max(observed_max_[i], max_abs(cols));
+          if (min_value(cols) < 0.0F) signed_input_[i] = true;
+          return std::nullopt;  // float path computes the result
+        }
+        // Analog: one column of the patch matrix per MVM.
+        const std::int64_t rows = cols.dim(0);
+        const std::int64_t pixels = cols.dim(1);
+        const std::int64_t out_ch = net_.layers[i].cols;
+        Tensor out({out_ch, pixels});
+        std::vector<float> x(static_cast<std::size_t>(rows));
+        for (std::int64_t p = 0; p < pixels; ++p) {
+          for (std::int64_t r = 0; r < rows; ++r)
+            x[static_cast<std::size_t>(r)] = cols.at(r, p);
+          const auto y = signed_input_[i]
+                             ? sims_[i]->mvm_real_signed(x, act_quant_[i])
+                             : sims_[i]->mvm_real(x, act_quant_[i]);
+          for (std::int64_t f = 0; f < out_ch; ++f)
+            out.at(f, p) = y[static_cast<std::size_t>(f)];
+        }
+        return out;
+      });
+    } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
+      const std::size_t i = index++;
+      fc->set_mvm_hook([this, i](const Tensor& input)
+                           -> std::optional<Tensor> {
+        if (mode_ == Mode::kCalibrate) {
+          observed_max_[i] = std::max(observed_max_[i], max_abs(input));
+          if (min_value(input) < 0.0F) signed_input_[i] = true;
+          return std::nullopt;
+        }
+        const std::int64_t batch = input.dim(0);
+        const std::int64_t in_features = input.dim(1);
+        const std::int64_t out_features = net_.layers[i].cols;
+        Tensor out({batch, out_features});
+        std::vector<float> x(static_cast<std::size_t>(in_features));
+        for (std::int64_t n = 0; n < batch; ++n) {
+          for (std::int64_t k = 0; k < in_features; ++k)
+            x[static_cast<std::size_t>(k)] = input.at(n, k);
+          const auto y = signed_input_[i]
+                             ? sims_[i]->mvm_real_signed(x, act_quant_[i])
+                             : sims_[i]->mvm_real(x, act_quant_[i]);
+          for (std::int64_t o = 0; o < out_features; ++o)
+            out.at(n, o) = y[static_cast<std::size_t>(o)];
+        }
+        return out;
+      });
+    }
+  });
+}
+
+void AnalogNetwork::remove_hooks() {
+  model_.root().visit([](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      conv->set_mvm_hook(nullptr);
+    } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
+      fc->set_mvm_hook(nullptr);
+    }
+  });
+}
+
+void AnalogNetwork::calibrate(const data::Dataset& sample,
+                              std::int64_t max_images) {
+  TINYADC_CHECK(sample.size() > 0, "calibration set is empty");
+  mode_ = Mode::kCalibrate;
+  std::fill(observed_max_.begin(), observed_max_.end(), 0.0F);
+  std::fill(signed_input_.begin(), signed_input_.end(), false);
+  const auto n = std::min<std::int64_t>(sample.size(), max_images);
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  const auto subset = sample.subset(idx);
+  (void)model_.forward(subset.images, /*training=*/false);
+  for (std::size_t i = 0; i < act_quant_.size(); ++i)
+    act_quant_[i] = xbar::fit_unsigned(
+        observed_max_[i] > 0.0F ? observed_max_[i] : 1.0F,
+        net_.config.input_bits);
+  calibrated_ = true;
+  mode_ = Mode::kAnalog;
+}
+
+Tensor AnalogNetwork::forward(const Tensor& images) {
+  TINYADC_CHECK(calibrated_, "AnalogNetwork::forward before calibrate()");
+  mode_ = Mode::kAnalog;
+  return model_.forward(images, /*training=*/false);
+}
+
+double AnalogNetwork::evaluate(const data::Dataset& test,
+                               std::size_t batch_size) {
+  TINYADC_CHECK(calibrated_, "AnalogNetwork::evaluate before calibrate()");
+  data::BatchIterator it(test, batch_size, nullptr);
+  data::Batch batch;
+  std::int64_t correct = 0;
+  std::int64_t seen = 0;
+  while (it.next(batch)) {
+    Tensor logits = forward(batch.images);
+    const std::int64_t k = logits.dim(1);
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      const auto row = static_cast<std::int64_t>(i);
+      if (argmax_range(logits, row * k, (row + 1) * k) == batch.labels[i])
+        ++correct;
+    }
+    seen += static_cast<std::int64_t>(batch.labels.size());
+  }
+  return seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+}
+
+}  // namespace tinyadc::msim

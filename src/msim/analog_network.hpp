@@ -1,0 +1,77 @@
+// Whole-network mixed-signal inference.
+//
+// Routes every Conv2d/Linear of a trained model through the analog crossbar
+// simulator (via the layers' MvmHook), so a full forward pass exercises the
+// complete chip datapath: activation quantization → DAC bit-streaming →
+// per-column analog sums → Eq. 1-sized ADCs → shift-and-add → dequantize.
+// BatchNorm, pooling and ReLU run digitally (as they do on the real
+// accelerator's peripheral logic).
+//
+// Activation quantizer ranges are calibrated by running a float pass over
+// sample data and recording each layer's input magnitude — the standard
+// post-training calibration flow. With zero conductance variation and
+// Eq. 1 ADCs the only accuracy gap vs the float model is the weight /
+// activation quantization itself; variation and ADC underprovisioning can
+// then be dialed in to study the real chip's behaviour.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "msim/analog_mvm.hpp"
+#include "nn/model.hpp"
+
+namespace tinyadc::msim {
+
+/// Runs a model's inference on the simulated mixed-signal accelerator.
+///
+/// The AnalogNetwork installs MVM hooks on the model's conv/linear layers
+/// for its lifetime; destroying it restores the float path. The mapped
+/// network must outlive this object and match the model layer-for-layer.
+class AnalogNetwork {
+ public:
+  AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
+                MsimConfig config);
+  ~AnalogNetwork();
+  AnalogNetwork(const AnalogNetwork&) = delete;
+  AnalogNetwork& operator=(const AnalogNetwork&) = delete;
+
+  /// Calibrates per-layer activation quantizers from up to `max_images`
+  /// examples (float forward passes; hooks pass through).
+  void calibrate(const data::Dataset& sample, std::int64_t max_images = 32);
+
+  /// Analog forward pass (inference mode). Requires calibrate() first.
+  Tensor forward(const Tensor& images);
+
+  /// Top-1 accuracy of the analog chip on `test`.
+  double evaluate(const data::Dataset& test, std::size_t batch_size = 16);
+
+  /// Per-layer simulators (for stats such as ADC conversion counts).
+  const std::vector<std::unique_ptr<AnalogLayerSim>>& sims() const {
+    return sims_;
+  }
+  /// Per-layer calibrated activation quantizers.
+  const std::vector<xbar::QuantParams>& activation_quant() const {
+    return act_quant_;
+  }
+  /// True once calibrate() has run.
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  enum class Mode { kCalibrate, kAnalog };
+
+  void install_hooks();
+  void remove_hooks();
+
+  nn::Model& model_;
+  const xbar::MappedNetwork& net_;
+  MsimConfig config_;
+  std::vector<std::unique_ptr<AnalogLayerSim>> sims_;  // by prunable index
+  std::vector<float> observed_max_;                    // calibration state
+  std::vector<xbar::QuantParams> act_quant_;
+  std::vector<bool> signed_input_;  // first conv sees raw (signed) pixels
+  Mode mode_ = Mode::kCalibrate;
+  bool calibrated_ = false;
+};
+
+}  // namespace tinyadc::msim

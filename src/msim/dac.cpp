@@ -1,0 +1,28 @@
+#include "msim/dac.hpp"
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::msim {
+
+int dac_cycles(int input_bits, int dac_bits) {
+  TINYADC_CHECK(input_bits >= 1 && dac_bits >= 1, "bits must be >= 1");
+  return (input_bits + dac_bits - 1) / dac_bits;
+}
+
+std::vector<std::int32_t> dac_chunks(std::int32_t code, int input_bits,
+                                     int dac_bits) {
+  TINYADC_CHECK(code >= 0, "DAC streams unsigned activation codes");
+  TINYADC_CHECK(code < (std::int64_t{1} << input_bits),
+                "code " << code << " exceeds " << input_bits << " bits");
+  const int cycles = dac_cycles(input_bits, dac_bits);
+  const std::int32_t mask = (1 << dac_bits) - 1;
+  std::vector<std::int32_t> chunks(static_cast<std::size_t>(cycles));
+  std::int32_t rest = code;
+  for (int t = 0; t < cycles; ++t) {
+    chunks[static_cast<std::size_t>(t)] = rest & mask;
+    rest >>= dac_bits;
+  }
+  return chunks;
+}
+
+}  // namespace tinyadc::msim

@@ -1,0 +1,22 @@
+// DAC-side input bit streaming.
+//
+// With a v-bit DAC, an `input_bits`-bit activation code is applied to the
+// wordlines over ⌈input_bits / v⌉ cycles, least-significant chunk first;
+// the digital shift-and-add stage re-weights each cycle's ADC output by
+// 2^(cycle · v). A 1-bit DAC (the paper's configuration) degenerates to
+// plain bit-serial streaming.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tinyadc::msim {
+
+/// Splits an unsigned activation code into little-endian v-bit chunks.
+std::vector<std::int32_t> dac_chunks(std::int32_t code, int input_bits,
+                                     int dac_bits);
+
+/// Number of streaming cycles for the given precisions.
+int dac_cycles(int input_bits, int dac_bits);
+
+}  // namespace tinyadc::msim

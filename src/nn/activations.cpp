@@ -1,0 +1,68 @@
+#include "nn/activations.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace tinyadc::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  Tensor out = input.clone();
+  Tensor mask = training ? Tensor(input.shape()) : Tensor();
+  float* o = out.data();
+  float* m = training ? mask.data() : nullptr;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const bool on = o[i] > 0.0F;
+    if (!on) o[i] = 0.0F;
+    if (m) m[i] = on ? 1.0F : 0.0F;
+  }
+  if (training) mask_ = std::move(mask);
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  TINYADC_CHECK(mask_.numel() == grad_output.numel(),
+                "ReLU " << name() << ": backward without matching forward");
+  Tensor grad = grad_output.clone();
+  mul_(grad, mask_);
+  mask_ = Tensor();
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  (void)training;
+  input_shape_ = input.shape();
+  if (input.ndim() == 2) return input;
+  return input.reshape({input.dim(0), -1});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  TINYADC_CHECK(!input_shape_.empty(), "Flatten backward before forward");
+  return grad_output.reshape(input_shape_);
+}
+
+Dropout::Dropout(std::string name, float p, std::uint64_t seed)
+    : Layer(std::move(name)), p_(p), rng_(seed) {
+  TINYADC_CHECK(p >= 0.0F && p < 1.0F, "dropout p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || p_ == 0.0F) return input;
+  Tensor mask(input.shape());
+  const float keep_scale = 1.0F / (1.0F - p_);
+  float* m = mask.data();
+  for (std::int64_t i = 0; i < mask.numel(); ++i)
+    m[i] = rng_.bernoulli(p_) ? 0.0F : keep_scale;
+  Tensor out = input.clone();
+  mul_(out, mask);
+  mask_ = std::move(mask);
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.numel() == 0) return grad_output;  // eval-mode or p == 0
+  Tensor grad = grad_output.clone();
+  mul_(grad, mask_);
+  mask_ = Tensor();
+  return grad;
+}
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,44 @@
+// Activation and shape-adapter layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace tinyadc::nn {
+
+/// Elementwise max(x, 0).
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : Layer(std::move(name)) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// Reshapes (N, C, H, W) to (N, C·H·W); identity on already-2-D input.
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name) : Layer(std::move(name)) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Shape input_shape_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1−p) during training,
+/// identity at inference.
+class Dropout final : public Layer {
+ public:
+  Dropout(std::string name, float p, std::uint64_t seed);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace tinyadc::nn

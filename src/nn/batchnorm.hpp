@@ -1,0 +1,40 @@
+// 2-D batch normalization.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace tinyadc::nn {
+
+/// BatchNorm over the channel dimension of (N, C, H, W) inputs with affine
+/// scale/shift and running statistics for inference.
+class BatchNorm2d final : public Layer {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels, float eps = 1e-5F,
+              float momentum = 0.1F);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+
+  /// Per-channel scale γ.
+  Param& gamma() { return gamma_; }
+  /// Per-channel shift β.
+  Param& beta() { return beta_; }
+  /// Running mean (inference statistic).
+  Tensor& running_mean() { return running_mean_; }
+  /// Running variance (inference statistic).
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_, momentum_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // training-forward cache
+  Tensor xhat_;     // normalized activations
+  Tensor inv_std_;  // per-channel 1/σ
+  Shape input_shape_;
+};
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,141 @@
+#include "nn/conv.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace tinyadc::nn {
+
+Conv2d::Conv2d(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding, bool bias, Rng& rng)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias) {
+  TINYADC_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0,
+                "invalid Conv2d dims");
+  Tensor w({out_channels_, in_channels_, kernel_, kernel_});
+  kaiming_normal_(w, in_channels_ * kernel_ * kernel_, rng);
+  weight_ = Param(Layer::name() + ".weight", std::move(w));
+  if (has_bias_) {
+    bias_ = Param(Layer::name() + ".bias", Tensor::zeros({out_channels_}),
+                  /*apply_decay=*/false);
+  }
+}
+
+Param& Conv2d::bias() {
+  TINYADC_CHECK(has_bias_, "Conv2d " << name() << " has no bias");
+  return bias_;
+}
+
+std::vector<Param*> Conv2d::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool training) {
+  TINYADC_CHECK(input.ndim() == 4 && input.dim(1) == in_channels_,
+                "Conv2d " << name() << ": bad input "
+                          << shape_to_string(input.shape()));
+  const std::int64_t batch = input.dim(0);
+  geom_ = ConvGeometry{in_channels_, input.dim(2), input.dim(3),
+                       kernel_,      kernel_,      stride_,
+                       padding_};
+  input_shape_ = input.shape();
+  const std::int64_t oh = geom_.out_h();
+  const std::int64_t ow = geom_.out_w();
+  const std::int64_t p = oh * ow;
+
+  const Tensor w2d = weight_.value.reshape({out_channels_, geom_.patch_rows()});
+  Tensor output({batch, out_channels_, oh, ow});
+  cols_.clear();
+  const std::int64_t per_image = in_channels_ * geom_.in_h * geom_.in_w;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    // View one sample as a 3-D image (copy: slices are not views here).
+    Tensor image({in_channels_, geom_.in_h, geom_.in_w});
+    std::copy(input.data() + n * per_image, input.data() + (n + 1) * per_image,
+              image.data());
+    Tensor cols = im2col(image, geom_);
+    Tensor out2d({out_channels_, p});
+    std::optional<Tensor> hooked;
+    if (!training && mvm_hook_) hooked = mvm_hook_(cols);
+    if (hooked.has_value()) {
+      TINYADC_CHECK(hooked->numel() == out2d.numel(),
+                    "Conv2d " << name() << ": MVM hook returned "
+                              << shape_to_string(hooked->shape())
+                              << ", expected "
+                              << shape_to_string(out2d.shape()));
+      out2d.copy_from(*hooked);
+    } else {
+      gemm(w2d, false, cols, false, out2d);
+    }
+    float* dst = output.data() + n * out_channels_ * p;
+    const float* src = out2d.data();
+    if (has_bias_) {
+      const float* b = bias_.value.data();
+      for (std::int64_t f = 0; f < out_channels_; ++f)
+        for (std::int64_t i = 0; i < p; ++i)
+          dst[f * p + i] = src[f * p + i] + b[f];
+    } else {
+      std::copy(src, src + out_channels_ * p, dst);
+    }
+    if (training) cols_.push_back(std::move(cols));
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  TINYADC_CHECK(!input_shape_.empty() && !cols_.empty(),
+                "Conv2d " << name()
+                          << ": backward without cached training forward");
+  const std::int64_t batch = input_shape_[0];
+  TINYADC_CHECK(static_cast<std::int64_t>(cols_.size()) == batch,
+                "Conv2d " << name()
+                          << ": backward without cached training forward");
+  const std::int64_t oh = geom_.out_h();
+  const std::int64_t ow = geom_.out_w();
+  const std::int64_t p = oh * ow;
+  TINYADC_CHECK(grad_output.ndim() == 4 && grad_output.dim(0) == batch &&
+                    grad_output.dim(1) == out_channels_ &&
+                    grad_output.dim(2) == oh && grad_output.dim(3) == ow,
+                "Conv2d " << name() << ": bad grad_output "
+                          << shape_to_string(grad_output.shape()));
+
+  const std::int64_t rows = geom_.patch_rows();
+  const Tensor w2d = weight_.value.reshape({out_channels_, rows});
+  Tensor gw2d = weight_.grad.reshape({out_channels_, rows});  // shares storage
+  Tensor grad_input(input_shape_);
+  const std::int64_t per_image = in_channels_ * geom_.in_h * geom_.in_w;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    Tensor gout2d({out_channels_, p});
+    std::copy(grad_output.data() + n * out_channels_ * p,
+              grad_output.data() + (n + 1) * out_channels_ * p,
+              gout2d.data());
+    // dL/dW += gout · colsᵀ
+    gemm(gout2d, false, cols_[n], true, gw2d, 1.0F, 1.0F);
+    if (has_bias_) {
+      float* gb = bias_.grad.data();
+      const float* g = gout2d.data();
+      for (std::int64_t f = 0; f < out_channels_; ++f) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < p; ++i) acc += g[f * p + i];
+        gb[f] += static_cast<float>(acc);
+      }
+    }
+    // dL/dcols = Wᵀ · gout, then scatter back to the image.
+    Tensor gcols({rows, p});
+    gemm(w2d, true, gout2d, false, gcols);
+    Tensor gimage = col2im(gcols, geom_);
+    std::copy(gimage.data(), gimage.data() + per_image,
+              grad_input.data() + n * per_image);
+  }
+  cols_.clear();
+  return grad_input;
+}
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,65 @@
+// 2-D convolution layer (im2col + GEMM implementation).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/rng.hpp"
+
+namespace tinyadc::nn {
+
+/// Conv2d with square stride/padding and optional bias.
+///
+/// Weight layout is (F, C, Kh, Kw) — the standard filter-major layout, which
+/// flattens to the 2-D (C·Kh·Kw) × F matrix the crossbar mapper consumes
+/// (each 2-D column = one filter, matching Fig. 3 of the paper).
+class Conv2d final : public Layer {
+ public:
+  /// Constructs with Kaiming initialization.
+  Conv2d(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+
+  /// Weight parameter, shape (F, C, Kh, Kw). Exposed mutably so the pruning
+  /// framework can project/mask it.
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  /// True if the layer has a bias term.
+  bool has_bias() const { return has_bias_; }
+  /// Bias parameter (requires has_bias()).
+  Param& bias();
+
+  /// Installs (or clears, with nullptr) the inference MVM backend.
+  void set_mvm_hook(MvmHook hook) { mvm_hook_ = std::move(hook); }
+
+  /// Geometry of the most recent forward pass (for workload accounting,
+  /// e.g. MVMs per inference). Requires at least one forward() call.
+  const ConvGeometry& last_geometry() const {
+    TINYADC_CHECK(geom_.in_channels > 0,
+                  "Conv2d " << name() << ": no forward pass recorded yet");
+    return geom_;
+  }
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return padding_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+  MvmHook mvm_hook_;
+
+  // forward cache
+  ConvGeometry geom_{};
+  std::vector<Tensor> cols_;  // per-sample im2col matrices
+  Shape input_shape_;
+};
+
+}  // namespace tinyadc::nn

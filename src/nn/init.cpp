@@ -1,0 +1,16 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::nn {
+
+void kaiming_normal_(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  TINYADC_CHECK(fan_in > 0, "kaiming init requires positive fan_in");
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  float* p = w.data();
+  for (std::int64_t i = 0; i < w.numel(); ++i) p[i] = rng.normal(0.0F, stddev);
+}
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,13 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tinyadc::nn {
+
+/// Kaiming-He normal init for ReLU networks: N(0, sqrt(2 / fan_in)).
+/// `fan_in` is the number of input connections per output unit.
+void kaiming_normal_(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,89 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace tinyadc::nn {
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, bool bias, Rng& rng)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  TINYADC_CHECK(in_features > 0 && out_features > 0, "invalid Linear dims");
+  Tensor w({out_features_, in_features_});
+  kaiming_normal_(w, in_features_, rng);
+  weight_ = Param(Layer::name() + ".weight", std::move(w));
+  if (has_bias_) {
+    bias_ = Param(Layer::name() + ".bias", Tensor::zeros({out_features_}),
+                  /*apply_decay=*/false);
+  }
+}
+
+Param& Linear::bias() {
+  TINYADC_CHECK(has_bias_, "Linear " << name() << " has no bias");
+  return bias_;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+Tensor Linear::forward(const Tensor& input, bool training) {
+  TINYADC_CHECK(input.ndim() == 2 && input.dim(1) == in_features_,
+                "Linear " << name() << ": bad input "
+                          << shape_to_string(input.shape()));
+  const std::int64_t batch = input.dim(0);
+  Tensor output({batch, out_features_});
+  std::optional<Tensor> hooked;
+  if (!training && mvm_hook_) hooked = mvm_hook_(input);
+  if (hooked.has_value()) {
+    TINYADC_CHECK(hooked->numel() == output.numel(),
+                  "Linear " << name() << ": MVM hook returned "
+                            << shape_to_string(hooked->shape())
+                            << ", expected "
+                            << shape_to_string(output.shape()));
+    output.copy_from(*hooked);
+  } else {
+    gemm(input, false, weight_.value, true, output);
+  }
+  if (has_bias_) {
+    float* o = output.data();
+    const float* b = bias_.value.data();
+    for (std::int64_t n = 0; n < batch; ++n)
+      for (std::int64_t f = 0; f < out_features_; ++f)
+        o[n * out_features_ + f] += b[f];
+  }
+  if (training) cached_input_ = input;  // shallow share is fine: inputs are not mutated
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  TINYADC_CHECK(cached_input_.numel() > 0,
+                "Linear " << name()
+                          << ": backward without cached training forward");
+  const std::int64_t batch = cached_input_.dim(0);
+  TINYADC_CHECK(grad_output.ndim() == 2 && grad_output.dim(0) == batch &&
+                    grad_output.dim(1) == out_features_,
+                "Linear " << name() << ": bad grad_output "
+                          << shape_to_string(grad_output.shape()));
+  // dL/dW += goutᵀ · x
+  gemm(grad_output, true, cached_input_, false, weight_.grad, 1.0F, 1.0F);
+  if (has_bias_) {
+    float* gb = bias_.grad.data();
+    const float* g = grad_output.data();
+    for (std::int64_t n = 0; n < batch; ++n)
+      for (std::int64_t f = 0; f < out_features_; ++f)
+        gb[f] += g[n * out_features_ + f];
+  }
+  // dL/dx = gout · W
+  Tensor grad_input({batch, in_features_});
+  gemm(grad_output, false, weight_.value, false, grad_input);
+  cached_input_ = Tensor();
+  return grad_input;
+}
+
+}  // namespace tinyadc::nn

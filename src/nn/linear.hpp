@@ -1,0 +1,45 @@
+// Fully-connected layer.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace tinyadc::nn {
+
+/// Linear layer: y = x · Wᵀ + b, weight shape (out_features, in_features).
+///
+/// For crossbar mapping, the weight transpose (in_features × out_features)
+/// plays the role of the 2-D weight matrix: each column = one output neuron.
+class Linear final : public Layer {
+ public:
+  Linear(std::string name, std::int64_t in_features, std::int64_t out_features,
+         bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+
+  /// Weight parameter, shape (out_features, in_features).
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  /// True if the layer has a bias term.
+  bool has_bias() const { return has_bias_; }
+  /// Bias parameter (requires has_bias()).
+  Param& bias();
+
+  /// Installs (or clears, with nullptr) the inference MVM backend.
+  void set_mvm_hook(MvmHook hook) { mvm_hook_ = std::move(hook); }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+  MvmHook mvm_hook_;
+  Tensor cached_input_;  // (N, in) from training forward
+};
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,86 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  TINYADC_CHECK(logits.ndim() == 2, "loss expects (N, K) logits");
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t k = logits.dim(1);
+  TINYADC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+                "label count " << labels.size() << " != batch " << n);
+
+  LossResult result;
+  result.grad_logits = Tensor(logits.shape());
+  const float* in = logits.data();
+  float* g = result.grad_logits.data();
+  double total = 0.0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t label = labels[static_cast<std::size_t>(i)];
+    TINYADC_CHECK(label >= 0 && label < k,
+                  "label " << label << " out of range [0, " << k << ")");
+    const float* row = in + i * k;
+    float row_max = row[0];
+    std::int64_t arg = 0;
+    for (std::int64_t j = 1; j < k; ++j)
+      if (row[j] > row_max) {
+        row_max = row[j];
+        arg = j;
+      }
+    if (arg == label) ++result.correct;
+
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j)
+      denom += std::exp(static_cast<double>(row[j] - row_max));
+    const double log_denom = std::log(denom);
+    total += log_denom - (row[label] - row_max);
+
+    float* grow = g + i * k;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double p = std::exp(static_cast<double>(row[j] - row_max)) / denom;
+      grow[j] = static_cast<float>(p) * inv_n;
+    }
+    grow[label] -= inv_n;
+  }
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+double topk_accuracy(const Tensor& logits,
+                     const std::vector<std::int64_t>& labels, int k) {
+  TINYADC_CHECK(logits.ndim() == 2, "topk expects (N, K) logits");
+  TINYADC_CHECK(k >= 1, "k must be >= 1");
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  TINYADC_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+                "label count mismatch");
+  const float* in = logits.data();
+  std::int64_t hits = 0;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(classes));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = in + i * classes;
+    for (std::int64_t j = 0; j < classes; ++j)
+      order[static_cast<std::size_t>(j)] = j;
+    const auto kk = std::min<std::int64_t>(k, classes);
+    std::partial_sort(order.begin(), order.begin() + kk, order.end(),
+                      [row](std::int64_t a, std::int64_t b) {
+                        return row[a] > row[b];
+                      });
+    const std::int64_t label = labels[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < kk; ++j)
+      if (order[static_cast<std::size_t>(j)] == label) {
+        ++hits;
+        break;
+      }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace tinyadc::nn

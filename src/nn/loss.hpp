@@ -1,0 +1,29 @@
+// Loss functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tinyadc::nn {
+
+/// Result of a loss evaluation: scalar loss plus gradient w.r.t. logits.
+struct LossResult {
+  double loss = 0.0;   ///< mean loss over the batch
+  Tensor grad_logits;  ///< ∂loss/∂logits, same shape as the logits
+  std::int64_t correct = 0;  ///< top-1 correct predictions in the batch
+};
+
+/// Softmax + cross-entropy over (N, K) logits with integer class labels.
+/// Numerically stabilized with the per-row max trick; gradient is
+/// (softmax − onehot)/N.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+/// Top-k accuracy helper: fraction of rows whose label is among the k
+/// largest logits.
+double topk_accuracy(const Tensor& logits,
+                     const std::vector<std::int64_t>& labels, int k);
+
+}  // namespace tinyadc::nn

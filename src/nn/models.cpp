@@ -1,0 +1,187 @@
+#include "nn/models.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/pool.hpp"
+
+namespace tinyadc::nn {
+
+namespace {
+
+/// Main + shortcut branches of one basic residual block.
+LayerPtr basic_block(const std::string& path, std::int64_t in_ch,
+                     std::int64_t out_ch, std::int64_t stride, Rng& rng) {
+  auto main = std::make_unique<Sequential>(path + ".main");
+  main->emplace<Conv2d>(path + ".conv1", in_ch, out_ch, 3, stride, 1,
+                        /*bias=*/false, rng);
+  main->emplace<BatchNorm2d>(path + ".bn1", out_ch);
+  main->emplace<ReLU>(path + ".relu1");
+  main->emplace<Conv2d>(path + ".conv2", out_ch, out_ch, 3, 1, 1,
+                        /*bias=*/false, rng);
+  main->emplace<BatchNorm2d>(path + ".bn2", out_ch);
+
+  LayerPtr shortcut;
+  if (stride != 1 || in_ch != out_ch) {
+    auto sc = std::make_unique<Sequential>(path + ".shortcut");
+    sc->emplace<Conv2d>(path + ".downsample", in_ch, out_ch, 1, stride, 0,
+                        /*bias=*/false, rng);
+    sc->emplace<BatchNorm2d>(path + ".bn_sc", out_ch);
+    shortcut = std::move(sc);
+  }
+  return std::make_unique<Residual>(path, std::move(main), std::move(shortcut));
+}
+
+/// Bottleneck residual block (1×1 reduce, 3×3, 1×1 expand ×4).
+LayerPtr bottleneck_block(const std::string& path, std::int64_t in_ch,
+                          std::int64_t mid_ch, std::int64_t stride, Rng& rng) {
+  const std::int64_t out_ch = mid_ch * 4;
+  auto main = std::make_unique<Sequential>(path + ".main");
+  main->emplace<Conv2d>(path + ".conv1", in_ch, mid_ch, 1, 1, 0,
+                        /*bias=*/false, rng);
+  main->emplace<BatchNorm2d>(path + ".bn1", mid_ch);
+  main->emplace<ReLU>(path + ".relu1");
+  main->emplace<Conv2d>(path + ".conv2", mid_ch, mid_ch, 3, stride, 1,
+                        /*bias=*/false, rng);
+  main->emplace<BatchNorm2d>(path + ".bn2", mid_ch);
+  main->emplace<ReLU>(path + ".relu2");
+  main->emplace<Conv2d>(path + ".conv3", mid_ch, out_ch, 1, 1, 0,
+                        /*bias=*/false, rng);
+  main->emplace<BatchNorm2d>(path + ".bn3", out_ch);
+
+  LayerPtr shortcut;
+  if (stride != 1 || in_ch != out_ch) {
+    auto sc = std::make_unique<Sequential>(path + ".shortcut");
+    sc->emplace<Conv2d>(path + ".downsample", in_ch, out_ch, 1, stride, 0,
+                        /*bias=*/false, rng);
+    sc->emplace<BatchNorm2d>(path + ".bn_sc", out_ch);
+    shortcut = std::move(sc);
+  }
+  return std::make_unique<Residual>(path, std::move(main), std::move(shortcut));
+}
+
+void add_stem(Sequential& root, const ModelConfig& cfg, std::int64_t out_ch,
+              Rng& rng) {
+  if (cfg.imagenet_stem) {
+    root.emplace<Conv2d>("stem.conv", cfg.in_channels, out_ch, 7, 2, 3,
+                         /*bias=*/false, rng);
+    root.emplace<BatchNorm2d>("stem.bn", out_ch);
+    root.emplace<ReLU>("stem.relu");
+    root.emplace<MaxPool2d>("stem.pool", 3, 2);
+  } else {
+    root.emplace<Conv2d>("stem.conv", cfg.in_channels, out_ch, 3, 1, 1,
+                         /*bias=*/false, rng);
+    root.emplace<BatchNorm2d>("stem.bn", out_ch);
+    root.emplace<ReLU>("stem.relu");
+  }
+}
+
+}  // namespace
+
+std::int64_t scaled_channels(std::int64_t base, float mult) {
+  auto c = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(base) * mult));
+  c = std::max<std::int64_t>(c, 4);
+  if (c % 2 != 0) ++c;
+  return c;
+}
+
+std::unique_ptr<Model> resnet18(const ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto root = std::make_unique<Sequential>("resnet18");
+  const std::int64_t widths[4] = {
+      scaled_channels(64, cfg.width_mult), scaled_channels(128, cfg.width_mult),
+      scaled_channels(256, cfg.width_mult),
+      scaled_channels(512, cfg.width_mult)};
+  add_stem(*root, cfg, widths[0], rng);
+  std::int64_t in_ch = widths[0];
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t out_ch = widths[stage];
+    const std::int64_t stage_stride = stage == 0 ? 1 : 2;
+    for (int block = 0; block < 2; ++block) {
+      const std::string path =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(block);
+      root->add(basic_block(path, in_ch, out_ch,
+                            block == 0 ? stage_stride : 1, rng));
+      in_ch = out_ch;
+    }
+  }
+  root->emplace<GlobalAvgPool>("gap");
+  root->emplace<Linear>("fc", in_ch, cfg.num_classes, /*bias=*/true, rng);
+  return std::make_unique<Model>("resnet18", std::move(root));
+}
+
+std::unique_ptr<Model> resnet50(const ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto root = std::make_unique<Sequential>("resnet50");
+  const std::int64_t mids[4] = {
+      scaled_channels(64, cfg.width_mult), scaled_channels(128, cfg.width_mult),
+      scaled_channels(256, cfg.width_mult),
+      scaled_channels(512, cfg.width_mult)};
+  const int depths[4] = {3, 4, 6, 3};
+  add_stem(*root, cfg, mids[0], rng);
+  std::int64_t in_ch = mids[0];
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t stage_stride = stage == 0 ? 1 : 2;
+    for (int block = 0; block < depths[stage]; ++block) {
+      const std::string path =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(block);
+      root->add(bottleneck_block(path, in_ch, mids[stage],
+                                 block == 0 ? stage_stride : 1, rng));
+      in_ch = mids[stage] * 4;
+    }
+  }
+  root->emplace<GlobalAvgPool>("gap");
+  root->emplace<Linear>("fc", in_ch, cfg.num_classes, /*bias=*/true, rng);
+  return std::make_unique<Model>("resnet50", std::move(root));
+}
+
+std::unique_ptr<Model> vgg16(const ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto root = std::make_unique<Sequential>("vgg16");
+  // Per-stage (width, conv count); 'pool' after each stage while spatial > 1.
+  const std::int64_t stage_widths[5] = {
+      scaled_channels(64, cfg.width_mult), scaled_channels(128, cfg.width_mult),
+      scaled_channels(256, cfg.width_mult),
+      scaled_channels(512, cfg.width_mult),
+      scaled_channels(512, cfg.width_mult)};
+  const int stage_convs[5] = {2, 2, 3, 3, 3};
+  std::int64_t in_ch = cfg.in_channels;
+  std::int64_t spatial = cfg.image_size;
+  int conv_id = 0;
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int i = 0; i < stage_convs[stage]; ++i, ++conv_id) {
+      const std::string path = "features." + std::to_string(conv_id);
+      root->emplace<Conv2d>(path + ".conv", in_ch, stage_widths[stage], 3, 1,
+                            1, /*bias=*/false, rng);
+      root->emplace<BatchNorm2d>(path + ".bn", stage_widths[stage]);
+      root->emplace<ReLU>(path + ".relu");
+      in_ch = stage_widths[stage];
+    }
+    if (spatial > 1) {
+      root->emplace<MaxPool2d>("pool" + std::to_string(stage + 1), 2, 2);
+      spatial /= 2;
+    }
+  }
+  root->emplace<Flatten>("flatten");
+  // Scaled stand-in for VGG's 4096-wide FC pair (see DESIGN.md §2).
+  const std::int64_t hidden = scaled_channels(512, cfg.width_mult);
+  const std::int64_t feat = in_ch * spatial * spatial;
+  root->emplace<Linear>("classifier.fc1", feat, hidden, /*bias=*/true, rng);
+  root->emplace<ReLU>("classifier.relu1");
+  root->emplace<Dropout>("classifier.dropout", 0.2F, cfg.seed + 1);
+  root->emplace<Linear>("classifier.fc2", hidden, cfg.num_classes,
+                        /*bias=*/true, rng);
+  return std::make_unique<Model>("vgg16", std::move(root));
+}
+
+std::unique_ptr<Model> build_model(const std::string& name,
+                                   const ModelConfig& cfg) {
+  if (name == "resnet18") return resnet18(cfg);
+  if (name == "resnet50") return resnet50(cfg);
+  if (name == "vgg16") return vgg16(cfg);
+  TINYADC_CHECK(false, "unknown model '" << name << "'");
+}
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,42 @@
+// Model zoo: ResNet-18, ResNet-50 and VGG-16 topologies.
+//
+// Each builder reproduces the paper's network topology; `width_mult` scales
+// every channel count (min 4) so CPU-scale experiments finish quickly while
+// preserving the block structure the crossbar mapper sees. `width_mult = 1`
+// gives the full published architectures.
+#pragma once
+
+#include <memory>
+
+#include "nn/model.hpp"
+#include "tensor/rng.hpp"
+
+namespace tinyadc::nn {
+
+/// Configuration shared by all zoo builders.
+struct ModelConfig {
+  std::int64_t num_classes = 10;  ///< classifier output size
+  std::int64_t in_channels = 3;   ///< input image channels
+  std::int64_t image_size = 32;   ///< square input resolution
+  float width_mult = 1.0F;        ///< channel scaling factor (min channel 4)
+  bool imagenet_stem = false;     ///< 7×7/s2 stem + maxpool instead of 3×3/s1
+  std::uint64_t seed = 42;        ///< init RNG seed
+};
+
+/// Channel count after width scaling (≥ 4, multiple of 2).
+std::int64_t scaled_channels(std::int64_t base, float mult);
+
+/// ResNet-18: basic blocks [2, 2, 2, 2], widths {64, 128, 256, 512}·mult.
+std::unique_ptr<Model> resnet18(const ModelConfig& config);
+
+/// ResNet-50: bottleneck blocks [3, 4, 6, 3], expansion 4.
+std::unique_ptr<Model> resnet50(const ModelConfig& config);
+
+/// VGG-16: conv stacks {2×64, 2×128, 3×256, 3×512, 3×512}·mult + classifier.
+std::unique_ptr<Model> vgg16(const ModelConfig& config);
+
+/// Builds a model by name ("resnet18" | "resnet50" | "vgg16").
+std::unique_ptr<Model> build_model(const std::string& name,
+                                   const ModelConfig& config);
+
+}  // namespace tinyadc::nn

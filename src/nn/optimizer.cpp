@@ -1,0 +1,84 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::nn {
+
+float Sgd::lr_at(int epoch) const {
+  switch (config_.schedule) {
+    case LrSchedule::kConstant:
+      return config_.lr;
+    case LrSchedule::kStep: {
+      const int drops = config_.step_every > 0 ? epoch / config_.step_every : 0;
+      return config_.lr * std::pow(config_.step_gamma, drops);
+    }
+    case LrSchedule::kCosine: {
+      const int total = std::max(config_.total_epochs, 1);
+      const double t =
+          std::min(1.0, static_cast<double>(epoch) / static_cast<double>(total));
+      return static_cast<float>(
+          0.5 * config_.lr * (1.0 + std::cos(std::numbers::pi * t)));
+    }
+  }
+  return config_.lr;
+}
+
+void Sgd::step(const std::vector<Param*>& params, int epoch) {
+  const float lr = lr_at(epoch);
+  for (Param* p : params) {
+    TINYADC_CHECK(p != nullptr, "null param in Sgd::step");
+    auto [it, inserted] = velocity_.try_emplace(p, Tensor());
+    if (inserted || it->second.numel() != p->value.numel())
+      it->second = Tensor::zeros(p->value.shape());
+    Tensor& v = it->second;
+    float* pv = v.data();
+    float* pw = p->value.data();
+    const float* pg = p->grad.data();
+    const float mu = config_.momentum;
+    const float wd = p->decay ? config_.weight_decay : 0.0F;
+    for (std::int64_t i = 0; i < v.numel(); ++i) {
+      pv[i] = mu * pv[i] + pg[i] + wd * pw[i];
+      pw[i] -= lr * pv[i];
+    }
+  }
+}
+
+void Sgd::zero_grad(const std::vector<Param*>& params) {
+  for (Param* p : params)
+    if (p) p->zero_grad();
+}
+
+void Adam::step(const std::vector<Param*>& params, int epoch) {
+  (void)epoch;  // Adam self-schedules via bias correction
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (Param* p : params) {
+    TINYADC_CHECK(p != nullptr, "null param in Adam::step");
+    auto [mi, m_new] = m_.try_emplace(p, Tensor());
+    if (m_new || mi->second.numel() != p->value.numel())
+      mi->second = Tensor::zeros(p->value.shape());
+    auto [vi, v_new] = v_.try_emplace(p, Tensor());
+    if (v_new || vi->second.numel() != p->value.numel())
+      vi->second = Tensor::zeros(p->value.shape());
+    float* m = mi->second.data();
+    float* v = vi->second.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    const float wd = p->decay ? config_.weight_decay : 0.0F;
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0F - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0F - config_.beta2) * g[i] * g[i];
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      w[i] -= config_.lr *
+              (static_cast<float>(m_hat / (std::sqrt(v_hat) + config_.eps)) +
+               wd * w[i]);
+    }
+  }
+}
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,99 @@
+// SGD optimizer with momentum, weight decay and LR schedules.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace tinyadc::nn {
+
+/// Learning-rate schedules supported by Sgd::lr_at.
+enum class LrSchedule {
+  kConstant,  ///< lr stays at base
+  kStep,      ///< lr *= gamma every `step_every` epochs
+  kCosine,    ///< half-cosine decay from base to ~0 over `total_epochs`
+};
+
+/// SGD hyperparameters.
+struct SgdConfig {
+  float lr = 0.1F;            ///< base learning rate
+  float momentum = 0.9F;      ///< classical momentum coefficient
+  float weight_decay = 5e-4F; ///< L2 decay applied to params with decay=true
+  LrSchedule schedule = LrSchedule::kCosine;
+  int total_epochs = 30;  ///< horizon for cosine decay
+  int step_every = 10;    ///< period for step decay
+  float step_gamma = 0.1F;
+};
+
+/// Abstract optimizer interface: consumes accumulated gradients, updates
+/// parameter values. Implementations do not own parameters; they keep state
+/// buffers keyed by Param address, so one instance may be reused across the
+/// pruning pipeline's retraining phases.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update step (epoch index drives LR schedules).
+  virtual void step(const std::vector<Param*>& params, int epoch) = 0;
+  /// Drops internal state (momentum/moment buffers).
+  virtual void reset_state() = 0;
+};
+
+/// Stochastic gradient descent with momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  /// Effective learning rate at `epoch` under the configured schedule.
+  float lr_at(int epoch) const;
+
+  /// Applies one update to every parameter: v ← μv + (g + λw); w ← w − lr·v.
+  void step(const std::vector<Param*>& params, int epoch) override;
+
+  /// Zeroes gradient accumulators.
+  static void zero_grad(const std::vector<Param*>& params);
+
+  /// Drops momentum state (used when hard-pruning resets the trajectory).
+  void reset_state() override { velocity_.clear(); }
+
+  const SgdConfig& config() const { return config_; }
+  /// Mutable config access (e.g. to lower lr for a retraining phase).
+  SgdConfig& config() { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+/// Adam hyperparameters (Kingma & Ba, 2015).
+struct AdamConfig {
+  float lr = 1e-3F;
+  float beta1 = 0.9F;
+  float beta2 = 0.999F;
+  float eps = 1e-8F;
+  float weight_decay = 0.0F;  ///< decoupled (AdamW-style), decay-flag aware
+};
+
+/// Adam with decoupled weight decay. Offered as an alternative trainer
+/// backend; the paper's runs use SGD (our default).
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(AdamConfig config) : config_(config) {}
+
+  void step(const std::vector<Param*>& params, int epoch) override;
+  void reset_state() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+  std::unordered_map<const Param*, Tensor> m_;
+  std::unordered_map<const Param*, Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,30 @@
+// Trainable parameter: a value tensor plus its gradient accumulator.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace tinyadc::nn {
+
+/// One trainable parameter. `grad` always has the same shape as `value` and
+/// is accumulated by Layer::backward; the optimizer consumes and the caller
+/// zeroes it between steps.
+struct Param {
+  std::string name;  ///< hierarchical name, e.g. "layer2.0.conv1.weight"
+  Tensor value;      ///< current parameter value
+  Tensor grad;       ///< accumulated gradient, same shape as `value`
+  bool decay = true; ///< whether weight decay applies (off for BN/bias)
+
+  Param() = default;
+  Param(std::string n, Tensor v, bool apply_decay = true)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(Tensor::zeros(value.shape())),
+        decay(apply_decay) {}
+
+  /// Resets the gradient accumulator to zero.
+  void zero_grad() { grad.fill(0.0F); }
+};
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,167 @@
+#include "nn/pool.hpp"
+
+#include <limits>
+
+namespace tinyadc::nn {
+
+MaxPool2d::MaxPool2d(std::string name, std::int64_t kernel, std::int64_t stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {
+  TINYADC_CHECK(kernel > 0 && stride > 0, "invalid MaxPool2d params");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool training) {
+  TINYADC_CHECK(input.ndim() == 4,
+                "MaxPool2d: bad input " << shape_to_string(input.shape()));
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  TINYADC_CHECK(oh > 0 && ow > 0, "MaxPool2d kernel larger than input");
+  input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  if (training) argmax_.assign(static_cast<std::size_t>(n * c * oh * ow), 0);
+
+  const float* in = input.data();
+  float* o = out.data();
+  std::int64_t oidx = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (b * c + ch) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_at = 0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t iy = y * stride_ + ky;
+              const std::int64_t ix = x * stride_ + kx;
+              const std::int64_t flat = iy * w + ix;
+              if (plane[flat] > best) {
+                best = plane[flat];
+                best_at = (b * c + ch) * h * w + flat;
+              }
+            }
+          }
+          o[oidx] = best;
+          if (training) argmax_[static_cast<std::size_t>(oidx)] = best_at;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  TINYADC_CHECK(!argmax_.empty(),
+                "MaxPool2d: backward without cached training forward");
+  TINYADC_CHECK(grad_output.numel() ==
+                    static_cast<std::int64_t>(argmax_.size()),
+                "MaxPool2d: grad_output size mismatch");
+  Tensor grad_input(input_shape_);
+  float* gi = grad_input.data();
+  const float* g = grad_output.data();
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i)
+    gi[argmax_[static_cast<std::size_t>(i)]] += g[i];
+  argmax_.clear();
+  return grad_input;
+}
+
+AvgPool2d::AvgPool2d(std::string name, std::int64_t kernel, std::int64_t stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {
+  TINYADC_CHECK(kernel > 0 && stride > 0, "invalid AvgPool2d params");
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool training) {
+  (void)training;
+  TINYADC_CHECK(input.ndim() == 4,
+                "AvgPool2d: bad input " << shape_to_string(input.shape()));
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  TINYADC_CHECK(oh > 0 && ow > 0, "AvgPool2d kernel larger than input");
+  input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+  const float* in = input.data();
+  float* o = out.data();
+  std::int64_t oidx = 0;
+  for (std::int64_t b = 0; b < n; ++b)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (b * c + ch) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y)
+        for (std::int64_t x = 0; x < ow; ++x, ++oidx) {
+          float acc = 0.0F;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky)
+            for (std::int64_t kx = 0; kx < kernel_; ++kx)
+              acc += plane[(y * stride_ + ky) * w + (x * stride_ + kx)];
+          o[oidx] = acc * inv;
+        }
+    }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  TINYADC_CHECK(!input_shape_.empty(), "AvgPool2d backward before forward");
+  const std::int64_t n = input_shape_[0], c = input_shape_[1],
+                     h = input_shape_[2], w = input_shape_[3];
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  Tensor grad_input(input_shape_);
+  const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+  const float* g = grad_output.data();
+  float* gi = grad_input.data();
+  std::int64_t oidx = 0;
+  for (std::int64_t b = 0; b < n; ++b)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      float* plane = gi + (b * c + ch) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y)
+        for (std::int64_t x = 0; x < ow; ++x, ++oidx) {
+          const float gv = g[oidx] * inv;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky)
+            for (std::int64_t kx = 0; kx < kernel_; ++kx)
+              plane[(y * stride_ + ky) * w + (x * stride_ + kx)] += gv;
+        }
+    }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  (void)training;
+  TINYADC_CHECK(input.ndim() == 4,
+                "GlobalAvgPool: bad input " << shape_to_string(input.shape()));
+  input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  const std::int64_t hw = input.dim(2) * input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0F / static_cast<float>(hw);
+  const float* in = input.data();
+  float* o = out.data();
+  for (std::int64_t b = 0; b < n; ++b)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (b * c + ch) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      o[b * c + ch] = static_cast<float>(acc) * inv;
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  TINYADC_CHECK(!input_shape_.empty(), "GlobalAvgPool backward before forward");
+  const std::int64_t n = input_shape_[0], c = input_shape_[1];
+  const std::int64_t hw = input_shape_[2] * input_shape_[3];
+  Tensor grad_input(input_shape_);
+  const float inv = 1.0F / static_cast<float>(hw);
+  const float* g = grad_output.data();
+  float* gi = grad_input.data();
+  for (std::int64_t b = 0; b < n; ++b)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float gv = g[b * c + ch] * inv;
+      float* plane = gi + (b * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = gv;
+    }
+  return grad_input;
+}
+
+}  // namespace tinyadc::nn

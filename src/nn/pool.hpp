@@ -1,0 +1,44 @@
+// Pooling layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace tinyadc::nn {
+
+/// Max pooling with square kernel/stride (no padding).
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::string name, std::int64_t kernel, std::int64_t stride);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::int64_t kernel_, stride_;
+  Shape input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling with square kernel/stride (no padding).
+class AvgPool2d final : public Layer {
+ public:
+  AvgPool2d(std::string name, std::int64_t kernel, std::int64_t stride);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::int64_t kernel_, stride_;
+  Shape input_shape_;
+};
+
+/// Global average pooling: (N, C, H, W) → (N, C).
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace tinyadc::nn

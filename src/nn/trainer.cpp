@@ -1,0 +1,98 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+
+#include "tensor/ops.hpp"
+
+namespace tinyadc::nn {
+
+Trainer::Trainer(Model& model, TrainConfig config)
+    : model_(model), config_(config), rng_(config.seed) {
+  switch (config_.optimizer) {
+    case OptimizerKind::kSgd:
+      optimizer_ = std::make_unique<Sgd>(config_.sgd);
+      break;
+    case OptimizerKind::kAdam:
+      optimizer_ = std::make_unique<Adam>(config_.adam);
+      break;
+  }
+}
+
+EpochStats Trainer::train_epoch(const data::Dataset& train, int epoch) {
+  auto params = model_.params();
+  data::BatchIterator it(train, config_.batch_size, &rng_);
+  data::Batch batch;
+  double total_loss = 0.0;
+  std::int64_t total_correct = 0;
+  std::int64_t total_seen = 0;
+  while (it.next(batch)) {
+    if (config_.augment.active())
+      data::augment_batch(batch, config_.augment, rng_);
+    Sgd::zero_grad(params);
+    Tensor logits = model_.forward(batch.images, /*training=*/true);
+    LossResult loss = softmax_cross_entropy(logits, batch.labels);
+    model_.backward(loss.grad_logits);
+    if (grad_hook_) grad_hook_();
+    optimizer_->step(params, epoch);
+    if (step_hook_) step_hook_();
+    total_loss += loss.loss * static_cast<double>(batch.labels.size());
+    total_correct += loss.correct;
+    total_seen += static_cast<std::int64_t>(batch.labels.size());
+  }
+  EpochStats stats;
+  stats.loss = total_seen ? total_loss / static_cast<double>(total_seen) : 0.0;
+  stats.train_accuracy =
+      total_seen ? static_cast<double>(total_correct) / total_seen : 0.0;
+  return stats;
+}
+
+double Trainer::evaluate(const data::Dataset& test) {
+  data::BatchIterator it(test, config_.batch_size, nullptr);
+  data::Batch batch;
+  std::int64_t correct = 0;
+  std::int64_t seen = 0;
+  while (it.next(batch)) {
+    Tensor logits = model_.forward(batch.images, /*training=*/false);
+    const std::int64_t k = logits.dim(1);
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      const auto row = static_cast<std::int64_t>(i);
+      const std::int64_t pred =
+          argmax_range(logits, row * k, (row + 1) * k);
+      correct += (pred == batch.labels[i]);
+    }
+    seen += static_cast<std::int64_t>(batch.labels.size());
+  }
+  return seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+}
+
+double Trainer::evaluate_topk(const data::Dataset& test, int k) {
+  data::BatchIterator it(test, config_.batch_size, nullptr);
+  data::Batch batch;
+  double hits = 0.0;
+  std::int64_t seen = 0;
+  while (it.next(batch)) {
+    Tensor logits = model_.forward(batch.images, /*training=*/false);
+    hits += topk_accuracy(logits, batch.labels, k) *
+            static_cast<double>(batch.labels.size());
+    seen += static_cast<std::int64_t>(batch.labels.size());
+  }
+  return seen ? hits / static_cast<double>(seen) : 0.0;
+}
+
+std::vector<EpochStats> Trainer::fit(const data::Dataset& train,
+                                     const data::Dataset& test) {
+  std::vector<EpochStats> trace;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochStats stats = train_epoch(train, epoch);
+    stats.test_accuracy = evaluate(test);
+    if (epoch_hook_) epoch_hook_(epoch);
+    if (config_.verbose) {
+      std::printf("  epoch %2d  loss %.4f  train %.3f  test %.3f\n", epoch,
+                  stats.loss, stats.train_accuracy, stats.test_accuracy);
+    }
+    trace.push_back(stats);
+  }
+  return trace;
+}
+
+}  // namespace tinyadc::nn

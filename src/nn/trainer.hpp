@@ -1,0 +1,95 @@
+// Training loop with hook points for the ADMM pruning pipeline.
+#pragma once
+
+#include <functional>
+
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace tinyadc::nn {
+
+/// Optimizer backend selection.
+enum class OptimizerKind {
+  kSgd,   ///< SGD + momentum (the paper's setting; default)
+  kAdam,  ///< Adam with decoupled weight decay
+};
+
+/// Training-run configuration.
+struct TrainConfig {
+  int epochs = 20;
+  std::size_t batch_size = 32;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  SgdConfig sgd{};
+  AdamConfig adam{};  ///< used when optimizer == kAdam
+  std::uint64_t seed = 123;
+  bool verbose = false;  ///< print per-epoch stats to stdout
+  /// Training-batch augmentation (inactive by default; evaluation batches
+  /// are never augmented).
+  data::AugmentConfig augment{/*max_shift=*/0, /*hflip=*/false,
+                              /*noise=*/0.0F};
+};
+
+/// Aggregated statistics for one epoch.
+struct EpochStats {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Minibatch SGD driver.
+///
+/// Hook points (all optional) let the pruning framework interleave with
+/// training without subclassing:
+///  * grad hook  — runs after backward, before the optimizer step; ADMM adds
+///    its proximal term ρ(W − Z + U) to the weight gradients here.
+///  * step hook  — runs after the optimizer step; masked retraining re-zeros
+///    pruned weights here.
+///  * epoch hook — runs at each epoch end; ADMM updates Z and U here.
+class Trainer {
+ public:
+  using Hook = std::function<void()>;
+  using EpochHook = std::function<void(int epoch)>;
+
+  Trainer(Model& model, TrainConfig config);
+
+  /// Installs the post-backward hook.
+  void set_grad_hook(Hook hook) { grad_hook_ = std::move(hook); }
+  /// Installs the post-optimizer-step hook.
+  void set_step_hook(Hook hook) { step_hook_ = std::move(hook); }
+  /// Installs the epoch-end hook.
+  void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
+  /// Runs one epoch over `train`; returns loss and train accuracy.
+  EpochStats train_epoch(const data::Dataset& train, int epoch);
+
+  /// Top-1 accuracy on `test` (inference mode).
+  double evaluate(const data::Dataset& test);
+
+  /// Top-k accuracy on `test` (the paper reports top-5 on ImageNet).
+  double evaluate_topk(const data::Dataset& test, int k);
+
+  /// Full fit: `config.epochs` epochs, evaluating after each; returns the
+  /// per-epoch stats trace.
+  std::vector<EpochStats> fit(const data::Dataset& train,
+                              const data::Dataset& test);
+
+  /// The optimizer (exposed so callers can reset state between phases).
+  Optimizer& optimizer() { return *optimizer_; }
+  /// The trained model.
+  Model& model() { return model_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  Model& model_;
+  TrainConfig config_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Rng rng_;
+  Hook grad_hook_;
+  Hook step_hook_;
+  EpochHook epoch_hook_;
+};
+
+}  // namespace tinyadc::nn

@@ -1,0 +1,44 @@
+// Lightweight runtime-check utilities shared across all TinyADC libraries.
+//
+// Errors in this codebase are reported with exceptions (per the C++ Core
+// Guidelines, E.2): TINYADC_CHECK is used for precondition/argument
+// validation on public API boundaries and for internal invariants that are
+// cheap to test. The macro captures file/line so failures are actionable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tinyadc {
+
+/// Exception type thrown by all TINYADC_CHECK failures.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TINYADC_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace tinyadc
+
+/// Validate `cond`; on failure throw tinyadc::CheckError carrying `msg`
+/// (which may use stream syntax, e.g. TINYADC_CHECK(a==b, "a=" << a)).
+#define TINYADC_CHECK(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream tinyadc_check_os_;                              \
+      tinyadc_check_os_ << msg;                                          \
+      ::tinyadc::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                      tinyadc_check_os_.str());          \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,107 @@
+#include "gemm.hpp"
+
+namespace tinyadc {
+
+namespace {
+
+// Copies op(A)'s (M×K) contents into `buf` row-major so the inner kernel
+// always streams contiguously.
+void materialize_op(const Tensor& a, bool transpose, std::int64_t rows,
+                    std::int64_t cols, std::vector<float>& buf) {
+  buf.resize(static_cast<std::size_t>(rows * cols));
+  const float* p = a.data();
+  if (!transpose) {
+    std::copy(p, p + rows * cols, buf.begin());
+  } else {
+    // a is (cols × rows) stored row-major; we want its transpose.
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < cols; ++j)
+        buf[static_cast<std::size_t>(i * cols + j)] = p[j * rows + i];
+  }
+}
+
+}  // namespace
+
+void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
+          Tensor& c, float alpha, float beta) {
+  TINYADC_CHECK(a.ndim() == 2 && b.ndim() == 2 && c.ndim() == 2,
+                "gemm requires 2-D tensors, got " << a.ndim() << "/" << b.ndim()
+                                                  << "/" << c.ndim());
+  const std::int64_t m = transpose_a ? a.dim(1) : a.dim(0);
+  const std::int64_t k = transpose_a ? a.dim(0) : a.dim(1);
+  const std::int64_t kb = transpose_b ? b.dim(1) : b.dim(0);
+  const std::int64_t n = transpose_b ? b.dim(0) : b.dim(1);
+  TINYADC_CHECK(k == kb, "gemm inner-dimension mismatch: " << k << " vs " << kb);
+  TINYADC_CHECK(c.dim(0) == m && c.dim(1) == n,
+                "gemm output shape " << shape_to_string(c.shape())
+                                     << " != [" << m << ", " << n << "]");
+
+  // Materializing transposed operands keeps one hot inner loop.
+  static thread_local std::vector<float> abuf;
+  static thread_local std::vector<float> bbuf;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  if (transpose_a) {
+    materialize_op(a, true, m, k, abuf);
+    pa = abuf.data();
+  }
+  if (transpose_b) {
+    materialize_op(b, true, k, n, bbuf);
+    pb = bbuf.data();
+  }
+
+  float* pc = c.data();
+  if (beta == 0.0F) {
+    std::fill(pc, pc + m * n, 0.0F);
+  } else if (beta != 1.0F) {
+    for (std::int64_t i = 0; i < m * n; ++i) pc[i] *= beta;
+  }
+
+  // i-k-j ordering: the innermost loop runs over contiguous rows of B and C.
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+    const std::int64_t k1 = std::min(k, k0 + kBlock);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = pc + i * n;
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float av = alpha * pa[i * k + kk];
+        if (av == 0.0F) continue;
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a,
+              bool transpose_b) {
+  const std::int64_t m = transpose_a ? a.dim(1) : a.dim(0);
+  const std::int64_t n = transpose_b ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  gemm(a, transpose_a, b, transpose_b, c);
+  return c;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  TINYADC_CHECK(a.ndim() == 2 && x.ndim() == 1,
+                "matvec requires (2-D, 1-D), got " << a.ndim() << "-D and "
+                                                   << x.ndim() << "-D");
+  TINYADC_CHECK(a.dim(1) == x.dim(0),
+                "matvec dimension mismatch: " << a.dim(1) << " vs "
+                                              << x.dim(0));
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  Tensor y({m});
+  const float* pa = a.data();
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    const float* row = pa + i * n;
+    for (std::int64_t j = 0; j < n; ++j) acc += static_cast<double>(row[j]) * px[j];
+    py[i] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+}  // namespace tinyadc

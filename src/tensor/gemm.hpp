@@ -1,0 +1,30 @@
+// General matrix multiplication kernels used by the NN stack.
+//
+// These are deliberately plain, cache-blocked loops: the models in this
+// repository are CPU-scale by design (see DESIGN.md §2) and the kernels only
+// need to be fast enough for seconds-scale training runs, while remaining
+// obviously correct and dependency-free.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor.hpp"
+
+namespace tinyadc {
+
+/// C = alpha * op(A) · op(B) + beta * C.
+///
+/// A is (M×K) after optional transpose, B is (K×N) after optional transpose,
+/// C is (M×N). All matrices are dense row-major 2-D tensors; C must be
+/// pre-allocated with the right shape.
+void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
+          Tensor& c, float alpha = 1.0F, float beta = 0.0F);
+
+/// Convenience: returns op(A) · op(B) as a fresh tensor.
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+              bool transpose_b = false);
+
+/// y = A · x for a 2-D matrix A (M×N) and 1-D vector x (N); returns 1-D (M).
+Tensor matvec(const Tensor& a, const Tensor& x);
+
+}  // namespace tinyadc

@@ -1,0 +1,85 @@
+#include "im2col.hpp"
+
+namespace tinyadc {
+
+namespace {
+
+void check_geometry(const ConvGeometry& g) {
+  TINYADC_CHECK(g.in_channels > 0 && g.in_h > 0 && g.in_w > 0,
+                "invalid input dims");
+  TINYADC_CHECK(g.kernel_h > 0 && g.kernel_w > 0, "invalid kernel dims");
+  TINYADC_CHECK(g.stride > 0, "stride must be positive");
+  TINYADC_CHECK(g.padding >= 0, "padding must be non-negative");
+  TINYADC_CHECK(g.out_h() > 0 && g.out_w() > 0,
+                "kernel larger than padded input");
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& input, const ConvGeometry& g) {
+  check_geometry(g);
+  TINYADC_CHECK(input.ndim() == 3 && input.dim(0) == g.in_channels &&
+                    input.dim(1) == g.in_h && input.dim(2) == g.in_w,
+                "im2col input " << shape_to_string(input.shape())
+                                << " does not match geometry");
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  Tensor cols({g.patch_rows(), g.patch_cols()});
+  const float* in = input.data();
+  float* out = cols.data();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* orow = out + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride - g.padding + kh;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t x = 0; x < ow; ++x) orow[y * ow + x] = 0.0F;
+            continue;
+          }
+          const float* irow = in + (c * g.in_h + iy) * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride - g.padding + kw;
+            orow[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? irow[ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvGeometry& g) {
+  check_geometry(g);
+  TINYADC_CHECK(cols.ndim() == 2 && cols.dim(0) == g.patch_rows() &&
+                    cols.dim(1) == g.patch_cols(),
+                "col2im input " << shape_to_string(cols.shape())
+                                << " does not match geometry");
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  Tensor image({g.in_channels, g.in_h, g.in_w});
+  const float* in = cols.data();
+  float* out = image.data();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* irow = in + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride - g.padding + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* orow = out + (c * g.in_h + iy) * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride - g.padding + kw;
+            if (ix >= 0 && ix < g.in_w) orow[ix] += irow[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace tinyadc

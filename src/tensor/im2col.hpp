@@ -1,0 +1,48 @@
+// im2col / col2im lowering for convolution.
+//
+// Conv2d forward becomes a single GEMM over the im2col patch matrix; the
+// weight-gradient and input-gradient passes reuse the same matrix (and
+// col2im for scattering back). The patch-matrix layout here also defines the
+// crossbar mapping order used by src/xbar: row index = (c, kh, kw) in
+// row-major order, matching the 2-D flattening of Fig. 3 in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor.hpp"
+
+namespace tinyadc {
+
+/// Static geometry of a 2-D convolution.
+struct ConvGeometry {
+  std::int64_t in_channels = 0;   ///< C_in
+  std::int64_t in_h = 0;          ///< input height
+  std::int64_t in_w = 0;          ///< input width
+  std::int64_t kernel_h = 0;      ///< filter height
+  std::int64_t kernel_w = 0;      ///< filter width
+  std::int64_t stride = 1;        ///< stride (same both dims)
+  std::int64_t padding = 0;       ///< zero padding (same both dims)
+
+  /// Output spatial height.
+  std::int64_t out_h() const {
+    return (in_h + 2 * padding - kernel_h) / stride + 1;
+  }
+  /// Output spatial width.
+  std::int64_t out_w() const {
+    return (in_w + 2 * padding - kernel_w) / stride + 1;
+  }
+  /// Rows of the patch matrix: C_in · K_h · K_w.
+  std::int64_t patch_rows() const { return in_channels * kernel_h * kernel_w; }
+  /// Columns of the patch matrix per image: out_h · out_w.
+  std::int64_t patch_cols() const { return out_h() * out_w(); }
+};
+
+/// Lowers one image `input` (C, H, W — 3-D) to the patch matrix
+/// (patch_rows × patch_cols). Out-of-bounds (padding) taps read as zero.
+Tensor im2col(const Tensor& input, const ConvGeometry& g);
+
+/// Adjoint of im2col: scatters a patch matrix back into an image (C, H, W),
+/// accumulating overlapping taps. Used by the conv input-gradient pass.
+Tensor col2im(const Tensor& cols, const ConvGeometry& g);
+
+}  // namespace tinyadc

@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation for reproducible training,
+// dataset synthesis and fault injection.
+//
+// We use xoshiro256** (public domain, Blackman & Vigna) rather than
+// std::mt19937 because it is faster, has a tiny state, and — critically for
+// reproducibility — its output sequence is fully specified here rather than
+// delegated to a standard-library implementation that distributions may
+// consume differently across platforms. All distribution transforms
+// (uniform, normal, bernoulli, permutation) are implemented in this header
+// so a given seed yields bit-identical streams everywhere.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "check.hpp"
+
+namespace tinyadc {
+
+/// xoshiro256** generator with explicit, portable distribution transforms.
+class Rng {
+ public:
+  /// Seeds the generator with splitmix64 expansion of `seed` (any value,
+  /// including 0, is a valid seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from `seed`.
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to spread a small seed over 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+    have_cached_normal_ = false;
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    TINYADC_CHECK(n > 0, "uniform_int requires n > 0");
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double normal() {
+    if (have_cached_normal_) {
+      have_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with mean/stddev as float.
+  float normal(float mean, float stddev) {
+    return mean + stddev * static_cast<float>(normal());
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates permutation of {0, …, n-1}.
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+  }
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng split() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = 0.0;
+  bool have_cached_normal_ = false;
+};
+
+}  // namespace tinyadc

@@ -1,0 +1,102 @@
+#include "serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace tinyadc {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'A', 'D', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TINYADC_CHECK(static_cast<bool>(is), "unexpected end of stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint32_t>(is);
+  TINYADC_CHECK(n < (1U << 20), "implausible string length " << n);
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  TINYADC_CHECK(static_cast<bool>(is), "unexpected end of stream");
+  return s;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(t.ndim()));
+  for (auto d : t.shape()) write_pod(os, d);
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  TINYADC_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
+                "bad tensor magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  TINYADC_CHECK(version == kVersion, "unsupported tensor version " << version);
+  const auto ndim = read_pod<std::uint32_t>(is);
+  TINYADC_CHECK(ndim <= 8, "implausible tensor rank " << ndim);
+  Shape shape(ndim);
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(is);
+    TINYADC_CHECK(d >= 0 && d < (1LL << 32), "implausible extent " << d);
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  TINYADC_CHECK(static_cast<bool>(is), "truncated tensor payload");
+  return t;
+}
+
+void save_records(const std::string& path,
+                  const std::vector<TensorRecord>& records) {
+  std::ofstream os(path, std::ios::binary);
+  TINYADC_CHECK(os.is_open(), "cannot open " << path << " for writing");
+  write_pod(os, static_cast<std::uint32_t>(records.size()));
+  for (const auto& r : records) {
+    write_string(os, r.name);
+    write_tensor(os, r.value);
+  }
+  TINYADC_CHECK(static_cast<bool>(os), "write failure on " << path);
+}
+
+std::vector<TensorRecord> load_records(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TINYADC_CHECK(is.is_open(), "cannot open " << path << " for reading");
+  const auto n = read_pod<std::uint32_t>(is);
+  TINYADC_CHECK(n < (1U << 20), "implausible record count " << n);
+  std::vector<TensorRecord> records;
+  records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TensorRecord r;
+    r.name = read_string(is);
+    r.value = read_tensor(is);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace tinyadc

@@ -1,0 +1,36 @@
+// Minimal binary tensor (de)serialization for model checkpoints.
+//
+// Format (little-endian):
+//   magic "TADC" | u32 version | u32 ndim | i64 dims… | f32 data…
+// Checkpoint files are a sequence of (name, tensor) records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor.hpp"
+
+namespace tinyadc {
+
+/// Writes one tensor to a binary stream.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Reads one tensor from a binary stream; throws CheckError on malformed
+/// input.
+Tensor read_tensor(std::istream& is);
+
+/// A named-tensor record set (e.g. a model checkpoint).
+struct TensorRecord {
+  std::string name;  ///< parameter path, e.g. "conv1.weight"
+  Tensor value;      ///< parameter contents
+};
+
+/// Writes records to `path`; throws CheckError on I/O failure.
+void save_records(const std::string& path,
+                  const std::vector<TensorRecord>& records);
+
+/// Reads all records from `path`; throws CheckError on I/O or format errors.
+std::vector<TensorRecord> load_records(const std::string& path);
+
+}  // namespace tinyadc

@@ -1,0 +1,179 @@
+#include "tensor.hpp"
+
+#include <sstream>
+
+namespace tinyadc {
+
+std::int64_t numel_of(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    TINYADC_CHECK(d >= 0, "negative extent in shape " << shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor() : Tensor(Shape{0}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(numel_of(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, 0.0F)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(numel_of(shape_)) {
+  TINYADC_CHECK(static_cast<std::int64_t>(data.size()) == numel_,
+                "data size " << data.size() << " does not match shape "
+                             << shape_to_string(shape_));
+  storage_ = std::make_shared<std::vector<float>>(std::move(data));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0F); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(0.0F, stddev);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+  return Tensor({static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+std::int64_t Tensor::dim(int d) const {
+  const int n = ndim();
+  if (d < 0) d += n;
+  TINYADC_CHECK(d >= 0 && d < n,
+                "dim " << d << " out of range for " << shape_to_string(shape_));
+  return shape_[static_cast<std::size_t>(d)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  std::int64_t known = 1;
+  int infer_at = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      TINYADC_CHECK(infer_at < 0, "at most one -1 extent allowed in reshape");
+      infer_at = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    TINYADC_CHECK(known > 0 && numel_ % known == 0,
+                  "cannot infer extent: numel " << numel_ << " vs known "
+                                                << known);
+    new_shape[static_cast<std::size_t>(infer_at)] = numel_ / known;
+  }
+  TINYADC_CHECK(numel_of(new_shape) == numel_,
+                "reshape " << shape_to_string(shape_) << " -> "
+                           << shape_to_string(new_shape)
+                           << " changes element count");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.storage_ = storage_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+float& Tensor::at(std::int64_t flat_index) {
+  TINYADC_CHECK(flat_index >= 0 && flat_index < numel_,
+                "flat index " << flat_index << " out of range [0, " << numel_
+                              << ")");
+  return (*storage_)[static_cast<std::size_t>(flat_index)];
+}
+
+float Tensor::at(std::int64_t flat_index) const {
+  return const_cast<Tensor*>(this)->at(flat_index);
+}
+
+float& Tensor::at(std::int64_t row, std::int64_t col) {
+  TINYADC_CHECK(ndim() == 2, "2-D access on " << shape_to_string(shape_));
+  TINYADC_CHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1],
+                "index (" << row << ", " << col << ") out of range for "
+                          << shape_to_string(shape_));
+  return (*storage_)[static_cast<std::size_t>(row * shape_[1] + col)];
+}
+
+float Tensor::at(std::int64_t row, std::int64_t col) const {
+  return const_cast<Tensor*>(this)->at(row, col);
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                   std::int64_t w) {
+  TINYADC_CHECK(ndim() == 4, "4-D access on " << shape_to_string(shape_));
+  TINYADC_CHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && h >= 0 &&
+                    h < shape_[2] && w >= 0 && w < shape_[3],
+                "index (" << n << ", " << c << ", " << h << ", " << w
+                          << ") out of range for " << shape_to_string(shape_));
+  const std::int64_t flat =
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return (*storage_)[static_cast<std::size_t>(flat)];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : *storage_) v = value;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  TINYADC_CHECK(src.numel_ == numel_,
+                "copy_from element-count mismatch: " << src.numel_ << " vs "
+                                                     << numel_);
+  *storage_ = *src.storage_;
+}
+
+std::string Tensor::to_string(std::int64_t max_values) const {
+  std::ostringstream os;
+  os << shape_to_string(shape_) << " {";
+  const std::int64_t n = std::min(numel_, max_values);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << (*storage_)[static_cast<std::size_t>(i)];
+  }
+  if (numel_ > n) os << ", …";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tinyadc

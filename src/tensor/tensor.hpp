@@ -1,0 +1,123 @@
+// Dense float32 N-dimensional tensor.
+//
+// Design notes
+// ------------
+//  * Storage is always contiguous row-major; `reshape` shares storage,
+//    everything else copies. This keeps kernel code (GEMM, im2col, the
+//    analog-MVM simulator) simple and cache-friendly — there are no strided
+//    views to special-case.
+//  * Copying a Tensor is a *shallow* copy (shared storage), matching the
+//    semantics of mainstream DNN frameworks; `clone()` deep-copies. Layers
+//    that mutate a tensor in place therefore document it explicitly.
+//  * float32 only: every quantity in this project (weights, activations,
+//    conductances, gradients) fits comfortably, and a single dtype removes
+//    an entire dimension of template complexity from the NN stack.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+#include "rng.hpp"
+
+namespace tinyadc {
+
+/// Shape of a tensor: an ordered list of non-negative extents.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by `shape` (1 for the empty/scalar shape).
+std::int64_t numel_of(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense float32 tensor with shared, contiguous, row-major storage.
+class Tensor {
+ public:
+  /// Empty 0-element tensor with shape [0].
+  Tensor();
+
+  /// Uninitialized-to-zero tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor wrapping the provided flat data (copied). `data.size()` must
+  /// equal the element count of `shape`.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// --- factories ------------------------------------------------------
+
+  /// All-zeros tensor.
+  static Tensor zeros(Shape shape);
+  /// All-ones tensor.
+  static Tensor ones(Shape shape);
+  /// Constant-filled tensor.
+  static Tensor full(Shape shape, float value);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0F);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// 1-D tensor from an initializer list (convenience for tests).
+  static Tensor from(std::initializer_list<float> values);
+
+  /// --- geometry -------------------------------------------------------
+
+  /// Shape accessor.
+  const Shape& shape() const { return shape_; }
+  /// Extent of dimension `dim` (supports negative indexing from the end).
+  std::int64_t dim(int dim) const;
+  /// Number of dimensions.
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  /// Total element count.
+  std::int64_t numel() const { return numel_; }
+
+  /// Returns a tensor with the same storage and a new shape; the element
+  /// count must match. At most one extent may be -1 (inferred).
+  Tensor reshape(Shape new_shape) const;
+
+  /// Deep copy with its own storage.
+  Tensor clone() const;
+
+  /// --- element access --------------------------------------------------
+
+  /// Raw pointer to the flat storage (row-major).
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  /// Flat element access with bounds checking.
+  float& at(std::int64_t flat_index);
+  float at(std::int64_t flat_index) const;
+
+  /// 2-D convenience access (tensor must be 2-D).
+  float& at(std::int64_t row, std::int64_t col);
+  float at(std::int64_t row, std::int64_t col) const;
+
+  /// 4-D convenience access (tensor must be 4-D), index order (n, c, h, w).
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const;
+
+  /// --- whole-tensor helpers --------------------------------------------
+
+  /// Overwrites all elements with `value`.
+  void fill(float value);
+  /// Overwrites this tensor's contents with `src`'s (shapes must match;
+  /// element-count match is sufficient). Does not change sharing.
+  void copy_from(const Tensor& src);
+  /// True if the two tensors share the same storage buffer.
+  bool shares_storage_with(const Tensor& other) const {
+    return storage_ == other.storage_;
+  }
+
+  /// "[shape] {first few values…}" — debugging aid.
+  std::string to_string(std::int64_t max_values = 8) const;
+
+ private:
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace tinyadc

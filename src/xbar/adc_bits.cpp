@@ -1,0 +1,41 @@
+#include "xbar/adc_bits.hpp"
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::xbar {
+
+int ceil_log2(std::int64_t n) {
+  TINYADC_CHECK(n >= 1, "ceil_log2 requires n >= 1, got " << n);
+  int bits = 0;
+  std::int64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int required_adc_bits(int input_bits, int cell_bits,
+                      std::int64_t active_rows) {
+  TINYADC_CHECK(input_bits >= 1 && cell_bits >= 1,
+                "input/cell bits must be >= 1");
+  TINYADC_CHECK(active_rows >= 0, "active_rows must be non-negative");
+  if (active_rows == 0) return 0;
+  const int log_r = ceil_log2(active_rows);
+  int bits = input_bits + cell_bits + log_r;
+  if (input_bits == 1 || cell_bits == 1) bits -= 1;
+  return bits;
+}
+
+int exact_adc_bits(int input_bits, int cell_bits, std::int64_t active_rows) {
+  TINYADC_CHECK(input_bits >= 1 && cell_bits >= 1,
+                "input/cell bits must be >= 1");
+  TINYADC_CHECK(active_rows >= 0, "active_rows must be non-negative");
+  if (active_rows == 0) return 0;
+  const std::int64_t max_in = (std::int64_t{1} << input_bits) - 1;
+  const std::int64_t max_cell = (std::int64_t{1} << cell_bits) - 1;
+  const std::int64_t max_sum = active_rows * max_in * max_cell;
+  return ceil_log2(max_sum + 1);
+}
+
+}  // namespace tinyadc::xbar

@@ -1,0 +1,26 @@
+// The required-ADC-resolution law (Eq. 1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace tinyadc::xbar {
+
+/// Paper Eq. 1: bits required so the ADC can digitize any column sum without
+/// information loss, given `v` input bits per cycle, `w` weight bits per
+/// cell, and `r` activated rows:
+///     ADC_bits = v + w + ⌈log2 r⌉          if v > 1 and w > 1
+///     ADC_bits = v + w + ⌈log2 r⌉ − 1      otherwise.
+/// `r == 0` (a fully-pruned column) needs 0 bits; `r == 1` contributes
+/// ⌈log2 1⌉ = 0. This is the design rule TinyADC uses to size ADCs.
+int required_adc_bits(int input_bits, int cell_bits, std::int64_t active_rows);
+
+/// Information-theoretic exact requirement: ⌈log2(r·(2ᵛ−1)·(2ʷ−1) + 1)⌉ —
+/// the smallest resolution that can represent every possible column sum.
+/// Always ≤ required_adc_bits (the paper's formula is a safe upper bound);
+/// tests assert this dominance property.
+int exact_adc_bits(int input_bits, int cell_bits, std::int64_t active_rows);
+
+/// ⌈log2 n⌉ for n ≥ 1.
+int ceil_log2(std::int64_t n);
+
+}  // namespace tinyadc::xbar

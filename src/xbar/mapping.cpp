@@ -1,0 +1,276 @@
+#include "xbar/mapping.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace tinyadc::xbar {
+
+bool CrossbarBlock::all_zero() const {
+  return std::all_of(q.begin(), q.end(),
+                     [](std::int32_t v) { return v == 0; });
+}
+
+std::int64_t MappedLayer::active_blocks() const {
+  std::int64_t n = 0;
+  for (const auto& b : blocks) n += !b.all_zero();
+  return n;
+}
+
+std::int64_t MappedLayer::max_active_rows() const {
+  std::int64_t worst = 0;
+  for (const auto& b : blocks)
+    worst = std::max(worst, b.max_col_nonzeros);
+  return worst;
+}
+
+int MappedLayer::required_adc_bits() const {
+  return xbar::required_adc_bits(config.dac_bits, config.cell_bits,
+                                 max_active_rows());
+}
+
+int MappedLayer::design_adc_bits() const {
+  return xbar::design_adc_bits(config, max_active_rows());
+}
+
+int design_adc_bits(const MappingConfig& config, std::int64_t active_rows) {
+  const int bits =
+      required_adc_bits(config.dac_bits, config.cell_bits, active_rows);
+  if (config.isaac_encoding && bits > 1) return bits - 1;
+  return bits;
+}
+
+std::int64_t MappedLayer::dense_blocks() const {
+  const std::int64_t grid_rows =
+      (rows + config.dims.rows - 1) / config.dims.rows;
+  const std::int64_t grid_cols =
+      (cols + config.dims.cols - 1) / config.dims.cols;
+  return grid_rows * grid_cols;
+}
+
+Tensor MappedLayer::demap() const {
+  Tensor m({rows, cols});
+  float* p = m.data();
+  for (const auto& b : blocks) {
+    for (std::int64_t r = 0; r < b.rows; ++r)
+      for (std::int64_t c = 0; c < b.cols; ++c) {
+        const std::int64_t orig_r =
+            kept_rows[static_cast<std::size_t>(b.row0 + r)];
+        const std::int64_t orig_c =
+            kept_cols[static_cast<std::size_t>(b.col0 + c)];
+        p[orig_r * cols + orig_c] = dequantize(b.at(r, c), quant);
+      }
+  }
+  return m;
+}
+
+StructuralRemoval infer_removal(const Tensor& matrix, std::int64_t remove_rows,
+                                std::int64_t remove_cols) {
+  TINYADC_CHECK(matrix.ndim() == 2, "infer_removal expects a 2-D matrix");
+  const std::int64_t rows = matrix.dim(0);
+  const std::int64_t cols = matrix.dim(1);
+  const float* m = matrix.data();
+  StructuralRemoval removal;
+  for (std::int64_t r = 0;
+       r < rows && static_cast<std::int64_t>(removal.rows.size()) <
+                       remove_rows;
+       ++r) {
+    bool all_zero = true;
+    for (std::int64_t c = 0; c < cols && all_zero; ++c)
+      all_zero = (m[r * cols + c] == 0.0F);
+    if (all_zero) removal.rows.push_back(r);
+  }
+  for (std::int64_t c = 0;
+       c < cols && static_cast<std::int64_t>(removal.cols.size()) <
+                       remove_cols;
+       ++c) {
+    bool all_zero = true;
+    for (std::int64_t r = 0; r < rows && all_zero; ++r)
+      all_zero = (m[r * cols + c] == 0.0F);
+    if (all_zero) removal.cols.push_back(c);
+  }
+  return removal;
+}
+
+MappedLayer map_matrix(const Tensor& matrix, const std::string& name,
+                       const MappingConfig& config,
+                       const StructuralRemoval& removal) {
+  TINYADC_CHECK(matrix.ndim() == 2, "map_matrix expects a 2-D matrix");
+  TINYADC_CHECK(config.dims.rows > 0 && config.dims.cols > 0,
+                "invalid crossbar dims");
+  MappedLayer layer;
+  layer.name = name;
+  layer.rows = matrix.dim(0);
+  layer.cols = matrix.dim(1);
+  layer.config = config;
+  layer.quant = fit_signed(max_abs(matrix), config.weight_bits);
+
+  // Reform: compact away exactly the structurally-pruned rows/columns.
+  const float* m = matrix.data();
+  {
+    TINYADC_CHECK(std::is_sorted(removal.rows.begin(), removal.rows.end()) &&
+                      std::is_sorted(removal.cols.begin(), removal.cols.end()),
+                  "removal lists must be sorted");
+    std::size_t cursor = 0;
+    for (std::int64_t r = 0; r < layer.rows; ++r) {
+      if (cursor < removal.rows.size() && removal.rows[cursor] == r) {
+        for (std::int64_t c = 0; c < layer.cols; ++c)
+          TINYADC_CHECK(m[r * layer.cols + c] == 0.0F,
+                        "removed row " << r << " still holds live weights");
+        ++cursor;
+        continue;
+      }
+      layer.kept_rows.push_back(r);
+    }
+    cursor = 0;
+    for (std::int64_t c = 0; c < layer.cols; ++c) {
+      if (cursor < removal.cols.size() && removal.cols[cursor] == c) {
+        for (std::int64_t r = 0; r < layer.rows; ++r)
+          TINYADC_CHECK(m[r * layer.cols + c] == 0.0F,
+                        "removed column " << c << " still holds live weights");
+        ++cursor;
+        continue;
+      }
+      layer.kept_cols.push_back(c);
+    }
+  }
+  const auto compact_rows = static_cast<std::int64_t>(layer.kept_rows.size());
+  const auto compact_cols = static_cast<std::int64_t>(layer.kept_cols.size());
+  layer.block_grid_rows =
+      (compact_rows + config.dims.rows - 1) / config.dims.rows;
+  layer.block_grid_cols =
+      (compact_cols + config.dims.cols - 1) / config.dims.cols;
+
+  for (std::int64_t br = 0; br < layer.block_grid_rows; ++br) {
+    for (std::int64_t bc = 0; bc < layer.block_grid_cols; ++bc) {
+      CrossbarBlock block;
+      block.row0 = br * config.dims.rows;
+      block.col0 = bc * config.dims.cols;
+      block.rows = std::min(config.dims.rows, compact_rows - block.row0);
+      block.cols = std::min(config.dims.cols, compact_cols - block.col0);
+      block.q.resize(static_cast<std::size_t>(block.rows * block.cols));
+      for (std::int64_t r = 0; r < block.rows; ++r) {
+        const std::int64_t orig_r =
+            layer.kept_rows[static_cast<std::size_t>(block.row0 + r)];
+        for (std::int64_t c = 0; c < block.cols; ++c) {
+          const std::int64_t orig_c =
+              layer.kept_cols[static_cast<std::size_t>(block.col0 + c)];
+          block.q[static_cast<std::size_t>(r * block.cols + c)] =
+              quantize_signed(m[orig_r * layer.cols + orig_c], layer.quant);
+        }
+      }
+      for (std::int64_t c = 0; c < block.cols; ++c) {
+        std::int64_t nz = 0;
+        for (std::int64_t r = 0; r < block.rows; ++r)
+          nz += (block.at(r, c) != 0);
+        block.max_col_nonzeros = std::max(block.max_col_nonzeros, nz);
+      }
+      layer.blocks.push_back(std::move(block));
+    }
+  }
+  return layer;
+}
+
+std::int64_t MappedNetwork::total_arrays() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.dense_blocks() * l.arrays_per_block();
+  return n;
+}
+
+std::int64_t MappedNetwork::active_arrays() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.active_arrays();
+  return n;
+}
+
+double MappedNetwork::crossbar_reduction() const {
+  const std::int64_t total = total_arrays();
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(active_arrays()) /
+                   static_cast<double>(total);
+}
+
+int MappedNetwork::worst_adc_bits_after_first() const {
+  int worst = 0;
+  for (std::size_t i = 1; i < layers.size(); ++i)
+    worst = std::max(worst, layers[i].required_adc_bits());
+  return worst;
+}
+
+int MappedNetwork::worst_design_adc_bits_after_first() const {
+  int worst = 0;
+  for (std::size_t i = 1; i < layers.size(); ++i)
+    worst = std::max(worst, layers[i].design_adc_bits());
+  return worst;
+}
+
+MappedNetwork map_model(nn::Model& model, const MappingConfig& config) {
+  MappedNetwork net;
+  net.config = config;
+  for (const auto& view : model.prunable_views())
+    net.layers.push_back(
+        map_matrix(view.to_matrix(), view.layer_name, config));
+  return net;
+}
+
+MappedNetwork map_model(
+    nn::Model& model, const MappingConfig& config,
+    const std::vector<core::StructuralSelection>& selections) {
+  const auto views = model.prunable_views();
+  TINYADC_CHECK(selections.size() == views.size(),
+                "selection count " << selections.size()
+                                   << " != prunable layer count "
+                                   << views.size());
+  MappedNetwork net;
+  net.config = config;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    StructuralRemoval removal;
+    removal.rows = selections[i].rows;
+    removal.cols = selections[i].cols;
+    net.layers.push_back(map_matrix(views[i].to_matrix(),
+                                    views[i].layer_name, config, removal));
+  }
+  return net;
+}
+
+MappedNetwork map_model(nn::Model& model, const MappingConfig& config,
+                        const std::vector<core::LayerPruneSpec>& specs) {
+  const auto views = model.prunable_views();
+  TINYADC_CHECK(specs.size() == views.size(),
+                "spec count " << specs.size() << " != prunable layer count "
+                              << views.size());
+  MappedNetwork net;
+  net.config = config;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const Tensor m = views[i].to_matrix();
+    const auto removal =
+        infer_removal(m, specs[i].remove_shapes, specs[i].remove_filters);
+    net.layers.push_back(
+        map_matrix(m, views[i].layer_name, config, removal));
+  }
+  return net;
+}
+
+std::vector<std::int64_t> reference_mvm(const MappedLayer& layer,
+                                        const std::vector<std::int32_t>& x) {
+  TINYADC_CHECK(static_cast<std::int64_t>(x.size()) == layer.rows,
+                "input length " << x.size() << " != layer rows "
+                                << layer.rows);
+  std::vector<std::int64_t> y(static_cast<std::size_t>(layer.cols), 0);
+  for (const auto& b : layer.blocks)
+    for (std::int64_t r = 0; r < b.rows; ++r) {
+      const std::int64_t orig_r =
+          layer.kept_rows[static_cast<std::size_t>(b.row0 + r)];
+      const std::int32_t xv = x[static_cast<std::size_t>(orig_r)];
+      if (xv == 0) continue;
+      for (std::int64_t c = 0; c < b.cols; ++c) {
+        const std::int64_t orig_c =
+            layer.kept_cols[static_cast<std::size_t>(b.col0 + c)];
+        y[static_cast<std::size_t>(orig_c)] +=
+            static_cast<std::int64_t>(b.at(r, c)) * xv;
+      }
+    }
+  return y;
+}
+
+}  // namespace tinyadc::xbar

@@ -1,0 +1,174 @@
+// ReRAM crossbar mapping of 2-D weight matrices (the paper's §III-C, Fig. 3).
+//
+// A layer's 2-D weight matrix (rows = input taps, cols = filters) is split
+// into crossbar-sized blocks; remainder rows/columns get extra (partially
+// filled) arrays. Signed weights are handled differentially: each logical
+// column owns a positive and a negative physical column set, and each
+// (weight_bits−1)-bit magnitude is spread over ⌈(weight_bits−1)/cell_bits⌉
+// MLC cells. A pruned (zero) weight programs every one of its cells to
+// G_off, which is what deactivates its row for ADC purposes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "core/prune_spec.hpp"
+#include "nn/model.hpp"
+#include "xbar/adc_bits.hpp"
+#include "xbar/quant.hpp"
+
+namespace tinyadc::xbar {
+
+/// Static configuration of the crossbar substrate.
+struct MappingConfig {
+  core::CrossbarDims dims{128, 128};  ///< block size in *weights*
+  int weight_bits = 8;  ///< signed weight precision (incl. sign)
+  int cell_bits = 2;    ///< MLC bits per ReRAM cell (paper: 2-bit MLC)
+  int input_bits = 8;   ///< activation precision (unsigned, post-ReLU)
+  int dac_bits = 1;     ///< v: input bits applied per cycle (paper: 1-bit DAC)
+  /// ISAAC's weight-flip encoding halves the worst-case column sum and
+  /// saves exactly one ADC bit (how the 128-row baseline runs on an 8-bit
+  /// ADC although Eq. 1 alone asks for 9). It applies to the *designed*
+  /// ADC resolution used for hardware costing; the functional simulator
+  /// does not model the flip datapath and therefore sizes with pure Eq. 1.
+  bool isaac_encoding = true;
+
+  /// Cells jointly representing one weight magnitude.
+  int slices() const { return cells_per_weight(weight_bits, cell_bits); }
+};
+
+/// One crossbar-sized block of quantized weights.
+struct CrossbarBlock {
+  std::int64_t row0 = 0, col0 = 0;  ///< block origin in the 2-D matrix
+  std::int64_t rows = 0, cols = 0;  ///< actual extent (≤ dims at edges)
+  std::vector<std::int32_t> q;      ///< signed codes, row-major (rows × cols)
+  std::int64_t max_col_nonzeros = 0;  ///< census: worst column occupancy
+
+  /// Signed code at (r, c), block-local coordinates.
+  std::int32_t at(std::int64_t r, std::int64_t c) const {
+    return q[static_cast<std::size_t>(r * cols + c)];
+  }
+  /// True if every weight in the block is zero (block can be dropped).
+  bool all_zero() const;
+};
+
+/// A whole layer mapped onto crossbars.
+///
+/// Mapping applies the paper's reform rule first: completely-zero rows
+/// (pruned filter shapes) and columns (pruned filters) are removed and the
+/// remaining weights re-tile densely — "the structural pruned weights can
+/// be fully converted to the crossbar array reductions". `kept_rows` /
+/// `kept_cols` record the compacted→original index maps so demap() and
+/// reference_mvm() still speak original coordinates.
+struct MappedLayer {
+  std::string name;
+  std::int64_t rows = 0, cols = 0;  ///< original (logical) 2-D matrix extent
+  QuantParams quant;                ///< weight quantizer
+  MappingConfig config;
+  std::vector<std::int64_t> kept_rows;  ///< compacted row → original row
+  std::vector<std::int64_t> kept_cols;  ///< compacted col → original col
+  std::int64_t block_grid_rows = 0, block_grid_cols = 0;
+  std::vector<CrossbarBlock> blocks;  ///< row-major over the block grid,
+                                      ///< tiling the compacted matrix
+
+  /// Crossbar arrays the *dense* (no-reform) mapping of this layer's
+  /// logical shape would need.
+  std::int64_t dense_blocks() const;
+  /// Blocks of the compacted mapping (= blocks.size()).
+  std::int64_t total_blocks() const {
+    return static_cast<std::int64_t>(blocks.size());
+  }
+  /// Blocks that still hold at least one non-zero weight.
+  std::int64_t active_blocks() const;
+  /// Physical arrays per logical block: slice planes × differential pair.
+  std::int64_t arrays_per_block() const { return 2 * config.slices(); }
+  /// Physical arrays for the active blocks.
+  std::int64_t active_arrays() const {
+    return active_blocks() * arrays_per_block();
+  }
+  /// Worst per-block-column occupancy over active blocks (the `r` of Eq. 1).
+  std::int64_t max_active_rows() const;
+  /// ADC resolution Eq. 1 requires for bit-exact readout (census occupancy;
+  /// what the functional simulator uses).
+  int required_adc_bits() const;
+  /// ADC resolution the *design* provisions: Eq. 1 minus the one bit saved
+  /// by ISAAC's weight-flip encoding (when enabled). This reproduces the
+  /// paper's Table I accounting: 128 dense rows → 8-bit ADC, CP rate R →
+  /// log2(R) bits of reduction.
+  int design_adc_bits() const;
+  /// Reconstructs the (rows × cols) float matrix (quantized values).
+  Tensor demap() const;
+};
+
+/// Designed ADC resolution for `active_rows` rows under `config` (Eq. 1,
+/// minus the ISAAC-encoding bit when enabled).
+int design_adc_bits(const MappingConfig& config, std::int64_t active_rows);
+
+/// Structurally-pruned rows/columns a mapping should compact away. Only
+/// rows/columns that are completely zero may be listed — the reform must
+/// never drop live weights.
+struct StructuralRemoval {
+  std::vector<std::int64_t> rows;  ///< pruned filter shapes, ascending
+  std::vector<std::int64_t> cols;  ///< pruned filters, ascending
+};
+
+/// Recovers a structural removal from a hard-pruned matrix: the first
+/// `remove_rows` completely-zero rows and `remove_cols` completely-zero
+/// columns (the deterministic rule shared with core's constraint checks).
+StructuralRemoval infer_removal(const Tensor& matrix, std::int64_t remove_rows,
+                                std::int64_t remove_cols);
+
+/// Maps a (rows × cols) row-major float matrix onto crossbars, compacting
+/// exactly the rows/columns in `removal` (paper §III-D: structurally-pruned
+/// weights reform into a dense matrix and convert fully into crossbar
+/// reductions). CP zeros stay in place and never shift block boundaries.
+MappedLayer map_matrix(const Tensor& matrix, const std::string& name,
+                       const MappingConfig& config,
+                       const StructuralRemoval& removal = {});
+
+/// A full network mapping.
+struct MappedNetwork {
+  std::vector<MappedLayer> layers;
+  MappingConfig config;
+
+  /// Crossbar arrays a dense (no-reform, no-pruning) mapping of the same
+  /// layer shapes would need — the paper's normalization baseline.
+  std::int64_t total_arrays() const;
+  /// Crossbar arrays actually holding non-zero weights after the reform.
+  std::int64_t active_arrays() const;
+  /// 1 − active/total (the paper's "crossbar reduction").
+  double crossbar_reduction() const;
+  /// Worst required ADC bits over all layers *except the first* (the paper
+  /// keeps the first layer's ADC at full resolution).
+  int worst_adc_bits_after_first() const;
+  /// Same, with the design (ISAAC-encoded) resolution.
+  int worst_design_adc_bits_after_first() const;
+};
+
+/// Maps every prunable layer of `model` (convs and linears, network order),
+/// with no structural reform (suitable for dense or CP-only models).
+MappedNetwork map_model(nn::Model& model, const MappingConfig& config);
+
+/// Maps `model` with per-layer structural reform inferred from `specs`
+/// (aligned with Model::prunable_views()): each layer compacts away the
+/// first `remove_shapes` zero rows and `remove_filters` zero columns.
+/// Exact for CP-only and filter-only specs; when shape pruning combines
+/// with CP, prefer the selections overload below (the inference can pick
+/// CP-created zero rows and shift block boundaries).
+MappedNetwork map_model(nn::Model& model, const MappingConfig& config,
+                        const std::vector<core::LayerPruneSpec>& specs);
+
+/// Maps `model` compacting exactly the rows/columns the pruning pipeline
+/// selected (core::PipelineResult::selections / AdmmPruner::selections()).
+MappedNetwork map_model(
+    nn::Model& model, const MappingConfig& config,
+    const std::vector<core::StructuralSelection>& selections);
+
+/// Exact integer reference MVM for one mapped layer: y[c] = Σ_r q[r,c]·x[r]
+/// with unsigned input codes `x` (length = layer rows). The gold standard
+/// the analog simulator must reproduce bit-exactly (property P2).
+std::vector<std::int64_t> reference_mvm(const MappedLayer& layer,
+                                        const std::vector<std::int32_t>& x);
+
+}  // namespace tinyadc::xbar

@@ -1,0 +1,67 @@
+#include "xbar/programming.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::xbar {
+
+ProgrammingReport programming_cost(const MappedLayer& layer,
+                                   const ProgrammingConfig& config) {
+  TINYADC_CHECK(config.program_voltage < config.device.v_on,
+                "programming voltage must exceed the SET threshold");
+  const int slices = layer.config.slices();
+  const int levels = 1 << layer.config.cell_bits;
+
+  // Per-level programming time, computed once from the VTEAM dynamics.
+  std::array<double, 16> level_time{};
+  TINYADC_CHECK(levels <= 16, "too many MLC levels");
+  for (int l = 1; l < levels; ++l)
+    level_time[static_cast<std::size_t>(l)] = programming_time(
+        config.device, l, layer.config.cell_bits, config.program_voltage,
+        config.dt);
+
+  ProgrammingReport report;
+  const double pulse_power =
+      std::fabs(config.program_voltage) * config.compliance_current;
+  for (const auto& block : layer.blocks) {
+    report.cells_total += block.rows * block.cols * slices * 2;
+    for (std::int64_t r = 0; r < block.rows; ++r) {
+      // Row-parallel: the wordline's write time is its slowest cell's.
+      double row_time = 0.0;
+      for (std::int64_t c = 0; c < block.cols; ++c) {
+        const std::int32_t q = block.at(r, c);
+        if (q == 0) continue;
+        const auto mag = slice_magnitude(std::abs(q), layer.config.cell_bits,
+                                         slices);
+        for (int s = 0; s < slices; ++s) {
+          const int level = mag[static_cast<std::size_t>(s)];
+          if (level == 0) continue;
+          const double t = level_time[static_cast<std::size_t>(level)];
+          row_time = std::max(row_time, t);
+          report.energy_j += pulse_power * t;
+          ++report.cells_programmed;
+        }
+      }
+      report.time_s += row_time;
+    }
+  }
+  return report;
+}
+
+ProgrammingReport programming_cost(const MappedNetwork& net,
+                                   const ProgrammingConfig& config) {
+  ProgrammingReport total;
+  for (const auto& layer : net.layers) {
+    const auto r = programming_cost(layer, config);
+    total.time_s += r.time_s;
+    total.energy_j += r.energy_j;
+    total.cells_programmed += r.cells_programmed;
+    total.cells_total += r.cells_total;
+  }
+  return total;
+}
+
+}  // namespace tinyadc::xbar

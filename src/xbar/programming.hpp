@@ -1,0 +1,41 @@
+// One-time weight-programming cost of a mapped layer/network.
+//
+// Loading a model into ReRAM means SET-programming every non-zero cell to
+// its MLC level (cells rest at G_off after a bulk RESET, so level-0 cells —
+// i.e. every pruned weight's cells — cost nothing). Programming runs
+// row-parallel per array (one wordline's cells program together, bounded by
+// the slowest cell in the row), which is how the paper-scale chips are
+// actually written. CP pruning therefore shrinks programming time and
+// energy along with everything else: most wordlines hold only G_off cells.
+#pragma once
+
+#include "xbar/mapping.hpp"
+#include "xbar/reram_cell.hpp"
+
+namespace tinyadc::xbar {
+
+/// Programming-cost knobs.
+struct ProgrammingConfig {
+  VteamParams device{};
+  double program_voltage = -1.5;  ///< SET pulse amplitude (< v_on)
+  double compliance_current = 1e-5;  ///< per-cell programming current, A
+  double dt = 1e-7;               ///< integration step for the VTEAM model
+};
+
+/// Cost of writing one mapped layer.
+struct ProgrammingReport {
+  double time_s = 0.0;        ///< Σ per-wordline max programming times
+  double energy_j = 0.0;      ///< Σ cell programming energies (V·I·t)
+  std::int64_t cells_programmed = 0;  ///< non-zero-level cells written
+  std::int64_t cells_total = 0;       ///< all cells in the mapping
+};
+
+/// Estimates programming cost for `layer` (row-parallel per array).
+ProgrammingReport programming_cost(const MappedLayer& layer,
+                                   const ProgrammingConfig& config = {});
+
+/// Aggregates over a network.
+ProgrammingReport programming_cost(const MappedNetwork& net,
+                                   const ProgrammingConfig& config = {});
+
+}  // namespace tinyadc::xbar

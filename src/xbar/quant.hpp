@@ -1,0 +1,41 @@
+// Fixed-point weight/activation quantization and MLC bit-slicing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tinyadc::xbar {
+
+/// Symmetric linear quantizer parameters: real ≈ q · scale with
+/// q ∈ [−(2^(bits−1)−1), 2^(bits−1)−1] for signed, [0, 2^bits−1] unsigned.
+struct QuantParams {
+  int bits = 8;
+  float scale = 1.0F;
+};
+
+/// Chooses a scale so that `max_abs` maps to the largest signed code.
+QuantParams fit_signed(float max_abs, int bits);
+/// Chooses a scale so that `max_value` maps to the largest unsigned code.
+QuantParams fit_unsigned(float max_value, int bits);
+
+/// Quantizes one value to a signed code (round-to-nearest, saturating).
+std::int32_t quantize_signed(float v, const QuantParams& p);
+/// Quantizes one value to an unsigned code (negative inputs clamp to 0).
+std::int32_t quantize_unsigned(float v, const QuantParams& p);
+/// Reconstructs the real value of a code.
+float dequantize(std::int32_t q, const QuantParams& p);
+
+/// Number of `cell_bits` cells needed for a (bits−1)-bit magnitude.
+int cells_per_weight(int weight_bits, int cell_bits);
+
+/// Splits a non-negative magnitude into `num_slices` little-endian
+/// `cell_bits`-wide slices: magnitude = Σ slice[j] · 2^(j·cell_bits).
+std::vector<int> slice_magnitude(std::int32_t magnitude, int cell_bits,
+                                 int num_slices);
+
+/// Inverse of slice_magnitude.
+std::int32_t unslice_magnitude(const std::vector<int>& slices, int cell_bits);
+
+}  // namespace tinyadc::xbar

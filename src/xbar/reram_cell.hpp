@@ -1,0 +1,84 @@
+// VTEAM-style ReRAM device model (Kvatinsky et al., TCAS-II 2015).
+//
+// The VTEAM model describes a voltage-controlled memristor whose internal
+// state variable s ∈ [0, 1] moves only when the applied voltage exceeds
+// threshold (v_off for RESET, v_on for SET), with polynomial rate:
+//     ds/dt = k_off · (v/v_off − 1)^α_off · f(s)   for v > v_off > 0
+//     ds/dt = k_on  · (v/v_on − 1)^α_on  · f(s)    for v < v_on < 0
+//     ds/dt = 0 otherwise,
+// and linear ion-drift I–V: G(s) = G_off + s · (G_on − G_off).
+// We use it for (a) deriving the MLC conductance levels the functional
+// simulator reads, (b) programming-time estimates, and (c) the 10 % process
+// variation the paper applies during evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace tinyadc::xbar {
+
+/// VTEAM device parameters (defaults: TaOx-class device at 32 nm, values in
+/// SI units, consistent with the ranges published in the VTEAM paper).
+struct VteamParams {
+  double r_on = 10e3;     ///< low-resistance state, Ω
+  double r_off = 1e6;     ///< high-resistance state, Ω
+  double v_on = -0.7;     ///< SET threshold (negative polarity), V
+  double v_off = 0.5;     ///< RESET threshold, V
+  double k_on = -1e4;     ///< SET rate coefficient, 1/s (negative: s grows)
+  double k_off = 5e3;     ///< RESET rate coefficient, 1/s
+  double alpha_on = 3.0;  ///< SET nonlinearity exponent
+  double alpha_off = 3.0; ///< RESET nonlinearity exponent
+
+  /// G_on = 1/r_on.
+  double g_on() const { return 1.0 / r_on; }
+  /// G_off = 1/r_off.
+  double g_off() const { return 1.0 / r_off; }
+};
+
+/// A single VTEAM cell with internal state s ∈ [0, 1].
+class VteamCell {
+ public:
+  explicit VteamCell(VteamParams params = {}, double initial_state = 0.0);
+
+  /// Conductance at the current state (linear ion drift).
+  double conductance() const;
+  /// Current for an applied read voltage (I = G·V).
+  double current(double voltage) const { return conductance() * voltage; }
+
+  /// Integrates the state equation for `dt` seconds at `voltage` (explicit
+  /// Euler with Joglekar-style window f(s) = 1 − (2s − 1)²).
+  void step(double voltage, double dt);
+
+  /// Internal state variable.
+  double state() const { return state_; }
+  /// Forces the state (used when programming to a target MLC level).
+  void set_state(double s);
+
+  const VteamParams& params() const { return params_; }
+
+ private:
+  VteamParams params_;
+  double state_;
+};
+
+/// Evenly-spaced MLC conductance levels for a `cell_bits`-bit cell:
+/// level 0 → G_off (cell fully off, a pruned/zero weight) through
+/// level 2^bits−1 → G_on. Returned in siemens.
+std::vector<double> mlc_conductance_levels(const VteamParams& params,
+                                           int cell_bits);
+
+/// Internal state s that realizes a given MLC level.
+double state_for_level(const VteamParams& params, int level, int cell_bits);
+
+/// Applies multiplicative lognormal process variation (σ = `sigma`, paper
+/// uses 10 %) to a nominal conductance.
+double perturbed_conductance(double nominal, double sigma, Rng& rng);
+
+/// Time (s) to program a cell from s = 0 to the state of `level`, by
+/// integrating the VTEAM SET dynamics at `program_voltage` (< v_on).
+double programming_time(const VteamParams& params, int level, int cell_bits,
+                        double program_voltage, double dt = 1e-7);
+
+}  // namespace tinyadc::xbar

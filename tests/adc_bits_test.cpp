@@ -1,0 +1,100 @@
+// Eq. 1 (required ADC bits): paper examples, edge cases, and the dominance
+// property over the information-theoretic bound.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/check.hpp"
+#include "xbar/adc_bits.hpp"
+
+namespace tinyadc::xbar {
+namespace {
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+  EXPECT_EQ(ceil_log2(128), 7);
+  EXPECT_THROW(ceil_log2(0), tinyadc::CheckError);
+}
+
+TEST(RequiredAdcBits, PaperSection2BExample) {
+  // "8 activated rows, 1-bit DAC, 2-bit MLC → a 5-bit ADC is required."
+  EXPECT_EQ(required_adc_bits(1, 2, 8), 5);
+}
+
+TEST(RequiredAdcBits, PaperFig2Example) {
+  // 4× CP pruning on an 8×8 array: 2 active rows → 3-bit ADC replaces 5-bit.
+  EXPECT_EQ(required_adc_bits(1, 2, 2), 3);
+}
+
+TEST(RequiredAdcBits, DenseBaseline128Rows) {
+  // Pure Eq. 1 asks for 9 bits at 128 rows; the paper's 8-bit baseline
+  // additionally relies on ISAAC's weight-flip encoding, modeled as the
+  // one-bit design saving (see MappingConfig::isaac_encoding).
+  EXPECT_EQ(required_adc_bits(1, 2, 128), 9);
+}
+
+TEST(RequiredAdcBits, Table1Reductions) {
+  // Table I: CP rates 8/16/32/64× on 128-row crossbars reduce the 8-bit
+  // baseline by 3/4/5/6 bits.
+  const int dense = required_adc_bits(1, 2, 128);
+  EXPECT_EQ(dense - required_adc_bits(1, 2, 128 / 8), 3);
+  EXPECT_EQ(dense - required_adc_bits(1, 2, 128 / 16), 4);
+  EXPECT_EQ(dense - required_adc_bits(1, 2, 128 / 32), 5);
+  EXPECT_EQ(dense - required_adc_bits(1, 2, 128 / 64), 6);
+  // And 2×/4× (the ImageNet rows) reduce by 1/2 bits.
+  EXPECT_EQ(dense - required_adc_bits(1, 2, 64), 1);
+  EXPECT_EQ(dense - required_adc_bits(1, 2, 32), 2);
+}
+
+TEST(RequiredAdcBits, MultiBitBranchOfEq1) {
+  // v > 1 and w > 1 keeps the full v + w + log r.
+  EXPECT_EQ(required_adc_bits(2, 2, 8), 7);
+  EXPECT_EQ(required_adc_bits(1, 1, 8), 4);  // both 1: minus one
+}
+
+TEST(RequiredAdcBits, EdgeRows) {
+  EXPECT_EQ(required_adc_bits(1, 2, 0), 0);  // fully-pruned column
+  EXPECT_EQ(required_adc_bits(1, 2, 1), 2);  // single row: 1+2+0−1
+}
+
+TEST(RequiredAdcBits, MonotonicInRows) {
+  int prev = 0;
+  for (std::int64_t r = 1; r <= 256; ++r) {
+    const int bits = required_adc_bits(1, 2, r);
+    EXPECT_GE(bits, prev);
+    prev = bits;
+  }
+}
+
+TEST(ExactAdcBits, MatchesBruteForceCount) {
+  // ceil(log2(max_sum+1)) for small cases.
+  EXPECT_EQ(exact_adc_bits(1, 2, 8), 5);   // 24 + 1 → 5 bits
+  EXPECT_EQ(exact_adc_bits(1, 1, 3), 2);   // 3 + 1 → 2 bits
+  EXPECT_EQ(exact_adc_bits(2, 2, 1), 4);   // 9 + 1 → 4 bits
+}
+
+/// Dominance: the paper's formula is always a safe (≥ exact) sizing rule.
+class AdcBitsDominance
+    : public ::testing::TestWithParam<std::tuple<int, int, std::int64_t>> {};
+
+TEST_P(AdcBitsDominance, PaperFormulaIsSafe) {
+  const auto [v, w, r] = GetParam();
+  EXPECT_GE(required_adc_bits(v, w, r), exact_adc_bits(v, w, r))
+      << "v=" << v << " w=" << w << " r=" << r;
+  // And never wasteful by more than 1 bit.
+  EXPECT_LE(required_adc_bits(v, w, r), exact_adc_bits(v, w, r) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdcBitsDominance,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values<std::int64_t>(1, 2, 3, 4, 7, 8, 16,
+                                                       100, 128)));
+
+}  // namespace
+}  // namespace tinyadc::xbar

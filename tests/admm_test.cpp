@@ -1,0 +1,275 @@
+// ADMM regularizer: spec building, proximal gradients, dual updates,
+// residual convergence (P5), hard pruning and mask enforcement.
+#include <gtest/gtest.h>
+
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::core {
+namespace {
+
+std::unique_ptr<nn::Model> tiny_model() {
+  nn::ModelConfig cfg;
+  cfg.num_classes = 4;
+  cfg.image_size = 8;
+  cfg.width_mult = 0.0625F;
+  return nn::resnet18(cfg);
+}
+
+data::DatasetPair tiny_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.image_size = 8;
+  spec.train_per_class = 16;
+  spec.test_per_class = 8;
+  spec.seed = 55;
+  return data::make_synthetic(spec);
+}
+
+TEST(Specs, UniformCpSkipsFirstConvByDefault) {
+  auto model = tiny_model();
+  const auto specs = uniform_cp_specs(*model, 4, {8, 8});
+  ASSERT_EQ(specs.size(), model->prunable_views().size());
+  EXPECT_FALSE(specs.front().enabled);  // stem conv
+  EXPECT_TRUE(specs[1].enabled);
+  EXPECT_EQ(specs[1].cp_keep, 2);  // 8 rows / 4x
+  // Linear layers excluded by default.
+  EXPECT_FALSE(specs.back().enabled);
+}
+
+TEST(Specs, KeepFloorsAtOne) {
+  auto model = tiny_model();
+  const auto specs = uniform_cp_specs(*model, 64, {8, 8});
+  EXPECT_EQ(specs[1].cp_keep, 1);  // 8/64 < 1 floors to 1
+}
+
+TEST(Specs, RateOneMeansNoConstraint) {
+  auto model = tiny_model();
+  const auto specs = uniform_cp_specs(*model, 1, {8, 8});
+  for (const auto& s : specs) EXPECT_EQ(s.cp_keep, 0);
+}
+
+TEST(Specs, OptionsIncludeLinearAndFirstConv) {
+  auto model = tiny_model();
+  SpecOptions opt;
+  opt.skip_first_conv = false;
+  opt.include_linear = true;
+  const auto specs = uniform_cp_specs(*model, 4, {8, 8}, opt);
+  EXPECT_TRUE(specs.front().enabled);
+  EXPECT_TRUE(specs.back().enabled);
+}
+
+TEST(Specs, AddStructuredRoundsToCrossbarMultiples) {
+  auto model = tiny_model();
+  auto specs = uniform_cp_specs(*model, 2, {4, 4});
+  add_structured(specs, *model, 0.5, 0.25, {4, 4});
+  const auto views = model->prunable_views();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!specs[i].enabled) continue;
+    EXPECT_EQ(specs[i].remove_filters % 4, 0);
+    EXPECT_EQ(specs[i].remove_shapes % 4, 0);
+    EXPECT_LE(specs[i].remove_filters, views[i].cols);
+    EXPECT_LE(specs[i].remove_shapes, views[i].rows);
+  }
+}
+
+TEST(Specs, StructuredNeverRemovesEverything) {
+  auto model = tiny_model();
+  auto specs = uniform_cp_specs(*model, 2, {4, 4});
+  add_structured(specs, *model, 0.99, 0.99, {4, 4});
+  const auto views = model->prunable_views();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!specs[i].enabled) continue;
+    EXPECT_LT(specs[i].remove_filters, views[i].cols);
+    EXPECT_LT(specs[i].remove_shapes, views[i].rows);
+  }
+}
+
+TEST(CombinedProjection, SatisfiedAfterProjection) {
+  Rng rng(9);
+  std::vector<float> data(16 * 8);
+  for (auto& v : data) v = rng.normal(0.0F, 1.0F);
+  LayerPruneSpec spec;
+  spec.enabled = true;
+  spec.cp_keep = 2;
+  spec.remove_filters = 4;
+  spec.remove_shapes = 4;
+  const CrossbarDims dims{4, 4};
+  project_combined({data.data(), 16, 8}, spec, dims);
+  EXPECT_TRUE(satisfies_combined({data.data(), 16, 8}, spec, dims));
+}
+
+TEST(CombinedProjection, InactiveSpecIsNoop) {
+  std::vector<float> data = {1, 2, 3, 4};
+  auto orig = data;
+  LayerPruneSpec spec;  // nothing set
+  project_combined({data.data(), 2, 2}, spec, {2, 2});
+  EXPECT_EQ(data, orig);
+  EXPECT_TRUE(satisfies_combined({data.data(), 2, 2}, spec, {2, 2}));
+}
+
+TEST(Admm, SpecCountMustMatchViews) {
+  auto model = tiny_model();
+  std::vector<LayerPruneSpec> too_few(3);
+  EXPECT_THROW(AdmmPruner(*model, too_few, {8, 8}, {}), CheckError);
+}
+
+TEST(Admm, ProximalGradientPullsTowardZ) {
+  auto model = tiny_model();
+  auto specs = uniform_cp_specs(*model, 4, {8, 8});
+  AdmmConfig cfg;
+  cfg.rho = 0.5F;
+  AdmmPruner pruner(*model, specs, {8, 8}, cfg);
+  pruner.initialize();
+  auto views = model->prunable_views();
+  // Zero all grads, apply the proximal term, check W-Z direction on an
+  // enabled layer: grad = rho (W - Z + 0), nonzero where W was pruned in Z.
+  for (nn::Param* p : model->params()) p->zero_grad();
+  pruner.add_proximal_gradient();
+  double grad_norm = 0.0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (!specs[i].active()) {
+      EXPECT_NEAR(frobenius_norm(views[i].weight->grad), 0.0, 1e-12);
+    } else {
+      grad_norm += frobenius_norm(views[i].weight->grad);
+    }
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+/// Distance from the constraint set, relative to the weight norm: the
+/// quantity ADMM must drive toward zero so hard pruning is loss-free.
+double relative_violation(nn::Model& model,
+                          const std::vector<LayerPruneSpec>& specs,
+                          CrossbarDims dims) {
+  auto views = model.prunable_views();
+  double gap_sq = 0.0;
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (!specs[i].active()) continue;
+    const float* w = views[i].weight->value.data();
+    const auto n = static_cast<std::size_t>(views[i].rows * views[i].cols);
+    std::vector<float> proj(w, w + n);
+    project_combined({proj.data(), views[i].rows, views[i].cols}, specs[i],
+                     dims);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double d = static_cast<double>(w[k]) - proj[k];
+      gap_sq += d * d;
+      norm_sq += static_cast<double>(w[k]) * w[k];
+    }
+  }
+  return std::sqrt(gap_sq) / (std::sqrt(norm_sq) + 1e-12);
+}
+
+TEST(Admm, TrainingDrivesWeightsTowardConstraintSet) {
+  auto model = tiny_model();
+  const auto data = tiny_data();
+  const CrossbarDims dims{8, 8};
+  auto specs = uniform_cp_specs(*model, 4, dims);
+
+  // Short pretrain so weights carry signal.
+  {
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 16;
+    tc.sgd.lr = 0.05F;
+    tc.sgd.total_epochs = 3;
+    nn::Trainer trainer(*model, tc);
+    trainer.fit(data.train, data.test);
+  }
+  const double violation_before = relative_violation(*model, specs, dims);
+
+  AdmmConfig acfg;
+  acfg.rho = 0.2F;
+  AdmmPruner pruner(*model, specs, dims, acfg);
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.02F;
+  tc.sgd.schedule = nn::LrSchedule::kConstant;
+  nn::Trainer trainer(*model, tc);
+  pruner.attach(trainer);
+  trainer.fit(data.train, data.test);
+
+  const double violation_after = relative_violation(*model, specs, dims);
+  EXPECT_LT(violation_after, violation_before * 0.8);
+  // Residual diagnostics were recorded by the epoch hook.
+  EXPECT_GT(pruner.residuals().primal, 0.0);
+}
+
+TEST(Admm, HardPruneSatisfiesAllConstraints) {
+  auto model = tiny_model();
+  auto specs = uniform_cp_specs(*model, 8, {8, 8});
+  AdmmPruner pruner(*model, specs, {8, 8}, {});
+  pruner.initialize();
+  EXPECT_FALSE(pruner.pruned());
+  pruner.hard_prune();
+  EXPECT_TRUE(pruner.pruned());
+  auto views = model->prunable_views();
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ConstMatrixRef m{views[i].weight->value.data(), views[i].rows,
+                     views[i].cols};
+    EXPECT_TRUE(satisfies_combined(m, specs[i], {8, 8}))
+        << views[i].layer_name;
+  }
+}
+
+TEST(Admm, EnforceMasksRestoresSparsityAfterUpdate) {
+  auto model = tiny_model();
+  auto specs = uniform_cp_specs(*model, 8, {8, 8});
+  AdmmPruner pruner(*model, specs, {8, 8}, {});
+  pruner.initialize();
+  pruner.hard_prune();
+  // Corrupt weights as an optimizer step would.
+  auto views = model->prunable_views();
+  for (auto& v : views) {
+    float* w = v.weight->value.data();
+    for (std::int64_t k = 0; k < v.rows * v.cols; ++k) w[k] += 0.01F;
+  }
+  // Now the constraint is violated…
+  bool any_violation = false;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ConstMatrixRef m{views[i].weight->value.data(), views[i].rows,
+                     views[i].cols};
+    if (!satisfies_combined(m, specs[i], {8, 8})) any_violation = true;
+  }
+  EXPECT_TRUE(any_violation);
+  // …and enforce_masks restores it.
+  pruner.enforce_masks();
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ConstMatrixRef m{views[i].weight->value.data(), views[i].rows,
+                     views[i].cols};
+    EXPECT_TRUE(satisfies_combined(m, specs[i], {8, 8}));
+  }
+}
+
+TEST(Admm, EnforceBeforeHardPruneThrows) {
+  auto model = tiny_model();
+  auto specs = uniform_cp_specs(*model, 4, {8, 8});
+  AdmmPruner pruner(*model, specs, {8, 8}, {});
+  pruner.initialize();
+  EXPECT_THROW(pruner.enforce_masks(), CheckError);
+}
+
+TEST(Stats, ReportCountsAndRates) {
+  auto model = tiny_model();
+  auto specs = uniform_cp_specs(*model, 8, {8, 8});
+  AdmmPruner pruner(*model, specs, {8, 8}, {});
+  pruner.initialize();
+  pruner.hard_prune();
+  const auto report = build_report(*model, specs, {8, 8});
+  EXPECT_EQ(report.layers.size(), model->prunable_views().size());
+  EXPECT_GT(report.total, report.nonzero);
+  EXPECT_GT(report.pruning_rate(), 1.0);
+  // Worst enabled occupancy must equal the CP keep value (dense random
+  // weights fill every allowed slot).
+  EXPECT_EQ(report.max_col_nonzeros, 1);
+  // Table renders without crashing and mentions a layer name.
+  const std::string table = to_table(report);
+  EXPECT_NE(table.find("layer1.0.conv1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tinyadc::core

@@ -1,0 +1,191 @@
+// Whole-network analog inference: hook mechanics, calibration, end-to-end
+// accuracy of the simulated chip vs the float model, variation effects.
+#include <gtest/gtest.h>
+
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "msim/analog_network.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::msim {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<nn::Model> model;
+  data::DatasetPair data;
+  double float_accuracy = 0.0;
+
+  Fixture() {
+    nn::ModelConfig mc;
+    mc.num_classes = 4;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625F;
+    model = nn::resnet18(mc);
+
+    data::SyntheticSpec spec;
+    spec.num_classes = 4;
+    spec.image_size = 8;
+    spec.train_per_class = 20;
+    spec.test_per_class = 6;
+    spec.noise = 0.15F;
+    spec.seed = 71;
+    data = data::make_synthetic(spec);
+
+    nn::TrainConfig tc;
+    tc.epochs = 10;
+    tc.batch_size = 16;
+    tc.sgd.lr = 0.05F;
+    tc.sgd.total_epochs = 10;
+    nn::Trainer trainer(*model, tc);
+    trainer.fit(data.train, data.test);
+    float_accuracy = trainer.evaluate(data.test);
+  }
+};
+
+xbar::MappingConfig small_map() {
+  xbar::MappingConfig cfg;
+  cfg.dims = {16, 16};
+  return cfg;
+}
+
+TEST(MvmHook, NullOptFallsBackToFloatPath) {
+  Rng rng(1);
+  nn::Conv2d conv("c", 2, 3, 3, 1, 1, false, rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  const Tensor expected = conv.forward(x, false);
+  int calls = 0;
+  conv.set_mvm_hook([&calls](const Tensor&) -> std::optional<Tensor> {
+    ++calls;
+    return std::nullopt;
+  });
+  const Tensor got = conv.forward(x, false);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(allclose(got, expected, 0.0F));
+}
+
+TEST(MvmHook, TrainingPathIgnoresHook) {
+  Rng rng(2);
+  nn::Linear fc("fc", 4, 2, false, rng);
+  int calls = 0;
+  fc.set_mvm_hook([&calls](const Tensor&) -> std::optional<Tensor> {
+    ++calls;
+    return std::nullopt;
+  });
+  Tensor x = Tensor::randn({2, 4}, rng);
+  fc.forward(x, /*training=*/true);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(MvmHook, HookResultReplacesGemm) {
+  Rng rng(3);
+  nn::Linear fc("fc", 3, 2, false, rng);
+  fc.set_mvm_hook([](const Tensor& input) -> std::optional<Tensor> {
+    return Tensor::full({input.dim(0), 2}, 42.0F);
+  });
+  Tensor x = Tensor::randn({2, 3}, rng);
+  const Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 42.0F);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 42.0F);
+}
+
+TEST(AnalogNetwork, RequiresCalibration) {
+  Fixture f;
+  auto net = xbar::map_model(*f.model, small_map());
+  AnalogNetwork chip(*f.model, net, {});
+  EXPECT_FALSE(chip.calibrated());
+  EXPECT_THROW(chip.forward(f.data.test.images), CheckError);
+}
+
+TEST(AnalogNetwork, MatchesFloatAccuracyWithIdealComponents) {
+  Fixture f;
+  auto net = xbar::map_model(*f.model, small_map());
+  AnalogNetwork chip(*f.model, net, {});
+  chip.calibrate(f.data.train);
+  const double analog_acc = chip.evaluate(f.data.test);
+  // With Eq. 1 ADCs and no variation, the only gap is 8-bit weight and
+  // activation quantization — a few points at most.
+  EXPECT_GT(analog_acc, f.float_accuracy - 0.15);
+  // ADC conversions actually happened on every layer.
+  for (const auto& sim : chip.sims())
+    EXPECT_GT(sim->stats().adc_conversions, 0);
+}
+
+TEST(AnalogNetwork, DestructorRestoresFloatPath) {
+  Fixture f;
+  nn::TrainConfig tc;
+  nn::Trainer trainer(*f.model, tc);
+  const double before = trainer.evaluate(f.data.test);
+  {
+    auto net = xbar::map_model(*f.model, small_map());
+    AnalogNetwork chip(*f.model, net, {});
+    chip.calibrate(f.data.train);
+  }
+  EXPECT_DOUBLE_EQ(trainer.evaluate(f.data.test), before);
+}
+
+TEST(AnalogNetwork, FirstLayerDetectedAsSignedInput) {
+  Fixture f;
+  auto net = xbar::map_model(*f.model, small_map());
+  AnalogNetwork chip(*f.model, net, {});
+  chip.calibrate(f.data.train);
+  // Raw pixels are signed; post-ReLU inner activations are not. The
+  // calibration pass must have noticed for at least the first layer and
+  // the analog pass must still classify sensibly.
+  EXPECT_GT(chip.evaluate(f.data.test), 0.4);
+}
+
+TEST(AnalogNetwork, ModerateVariationDegradesGracefully) {
+  Fixture f;
+  auto net = xbar::map_model(*f.model, small_map());
+  // The paper's 10% process variation.
+  MsimConfig cfg;
+  cfg.variation_sigma = 0.10;
+  AnalogNetwork chip(*f.model, net, cfg);
+  chip.calibrate(f.data.train);
+  const double with_variation = chip.evaluate(f.data.test);
+  EXPECT_GT(with_variation, 0.3);  // still far above chance (0.25)
+}
+
+TEST(AnalogNetwork, CpPrunedChipStillClassifies) {
+  Fixture f;
+  core::PipelineConfig pcfg;
+  pcfg.xbar = {16, 16};
+  pcfg.pretrain.epochs = 0;
+  pcfg.admm.epochs = 4;
+  pcfg.admm.batch_size = 16;
+  pcfg.admm.sgd.lr = 0.02F;
+  pcfg.retrain.epochs = 4;
+  pcfg.retrain.batch_size = 16;
+  pcfg.retrain.sgd.lr = 0.01F;
+  auto specs = core::uniform_cp_specs(*f.model, 4, pcfg.xbar);
+  core::run_pipeline(*f.model, f.data.train, f.data.test, specs, pcfg);
+
+  auto net = xbar::map_model(*f.model, small_map(), specs);
+  AnalogNetwork chip(*f.model, net, {});
+  chip.calibrate(f.data.train);
+  const double analog_acc = chip.evaluate(f.data.test);
+  EXPECT_GT(analog_acc, 0.4);
+  // The pruned chip's post-first-layer ADCs are smaller than dense.
+  const int dense_bits =
+      xbar::required_adc_bits(1, 2, small_map().dims.rows);
+  bool any_smaller = false;
+  for (std::size_t i = 1; i < chip.sims().size(); ++i)
+    if (chip.sims()[i]->adc_bits() < dense_bits) any_smaller = true;
+  EXPECT_TRUE(any_smaller);
+}
+
+TEST(AnalogNetwork, RejectsMismatchedMapping) {
+  Fixture f;
+  nn::ModelConfig other;
+  other.num_classes = 4;
+  other.image_size = 8;
+  other.width_mult = 0.0625F;
+  auto vgg = nn::vgg16(other);
+  auto net = xbar::map_model(*vgg, small_map());
+  EXPECT_THROW(AnalogNetwork(*f.model, net, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace tinyadc::msim

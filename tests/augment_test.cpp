@@ -1,0 +1,121 @@
+// Data augmentation: geometric correctness and trainer integration.
+#include <gtest/gtest.h>
+
+#include "data/augment.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::data {
+namespace {
+
+Batch one_image_batch() {
+  Batch b;
+  b.images = Tensor({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  b.labels = {0};
+  return b;
+}
+
+TEST(Augment, InactiveConfigIsNoop) {
+  Batch b = one_image_batch();
+  const Tensor before = b.images.clone();
+  AugmentConfig cfg{/*max_shift=*/0, /*hflip=*/false, /*noise=*/0.0F};
+  Rng rng(1);
+  augment_batch(b, cfg, rng);
+  EXPECT_TRUE(allclose(b.images, before, 0.0F));
+}
+
+TEST(Augment, FlipReversesRows) {
+  Batch b = one_image_batch();
+  AugmentConfig cfg{0, true, 0.0F};
+  // Find a seed whose first bernoulli(0.5) fires.
+  Rng rng(3);
+  while (true) {
+    Rng probe = rng;
+    if (probe.bernoulli(0.5)) break;
+    rng.next_u64();
+  }
+  augment_batch(b, cfg, rng);
+  EXPECT_FLOAT_EQ(b.images.at4(0, 0, 0, 0), 3.0F);
+  EXPECT_FLOAT_EQ(b.images.at4(0, 0, 0, 2), 1.0F);
+  EXPECT_FLOAT_EQ(b.images.at4(0, 0, 1, 1), 5.0F);  // center fixed
+}
+
+TEST(Augment, ShiftZeroPadsEdges) {
+  // Force a deterministic shift by scanning seeds until (dy, dx) = (1, 0).
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng probe(seed);
+    const auto dy = static_cast<std::int64_t>(probe.uniform_int(3)) - 1;
+    const auto dx = static_cast<std::int64_t>(probe.uniform_int(3)) - 1;
+    if (dy == 1 && dx == 0) {
+      Batch b = one_image_batch();
+      AugmentConfig cfg{1, false, 0.0F};
+      Rng rng(seed);
+      augment_batch(b, cfg, rng);
+      // Shift down by one: top row zero-padded, old top row now row 1.
+      EXPECT_FLOAT_EQ(b.images.at4(0, 0, 0, 1), 0.0F);
+      EXPECT_FLOAT_EQ(b.images.at4(0, 0, 1, 0), 1.0F);
+      EXPECT_FLOAT_EQ(b.images.at4(0, 0, 2, 2), 6.0F);
+      return;
+    }
+  }
+  FAIL() << "no seed produced the probed shift";
+}
+
+TEST(Augment, NoisePerturbsEveryPixel) {
+  Batch b = one_image_batch();
+  const Tensor before = b.images.clone();
+  AugmentConfig cfg{0, false, 0.5F};
+  Rng rng(9);
+  augment_batch(b, cfg, rng);
+  EXPECT_GT(max_abs_diff(b.images, before), 0.0F);
+}
+
+TEST(Augment, PreservesLabelAndShape) {
+  const auto pair = make_synthetic([] {
+    SyntheticSpec s;
+    s.num_classes = 3;
+    s.image_size = 8;
+    s.train_per_class = 4;
+    s.test_per_class = 2;
+    return s;
+  }());
+  BatchIterator it(pair.train, 6, nullptr);
+  Batch b;
+  ASSERT_TRUE(it.next(b));
+  const auto labels = b.labels;
+  const auto shape = b.images.shape();
+  AugmentConfig cfg{1, true, 0.1F};
+  Rng rng(4);
+  augment_batch(b, cfg, rng);
+  EXPECT_EQ(b.labels, labels);
+  EXPECT_EQ(b.images.shape(), shape);
+}
+
+TEST(Augment, TrainerIntegrationStillLearns) {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.image_size = 8;
+  spec.train_per_class = 24;
+  spec.test_per_class = 8;
+  spec.seed = 81;
+  const auto data = make_synthetic(spec);
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  auto model = nn::resnet18(mc);
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05F;
+  tc.sgd.total_epochs = 8;
+  tc.augment = AugmentConfig{1, true, 0.05F};
+  nn::Trainer trainer(*model, tc);
+  trainer.fit(data.train, data.test);
+  EXPECT_GT(trainer.evaluate(data.test), 0.55);
+}
+
+}  // namespace
+}  // namespace tinyadc::data

@@ -1,0 +1,166 @@
+// Cross-module property tests for COMBINED pruning: the structured reform
+// (compaction) interacts with the CP constraint and the analog datapath.
+// This is the §III-D machinery end-to-end: shape-prune → filter-prune →
+// CP on the reformed geometry → map with removal → Eq. 1 ADC → exact MVM.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/prune_spec.hpp"
+#include "msim/analog_mvm.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc {
+namespace {
+
+/// Random column-major matrix, combined-projected, returned with its spec.
+struct PrunedCase {
+  std::vector<float> store;  // column-major (weight-storage layout)
+  Tensor matrix;             // row-major for the mapper
+  core::LayerPruneSpec spec;
+  core::StructuralSelection selection;  // what the projection removed
+
+  xbar::StructuralRemoval removal() const {
+    return {selection.rows, selection.cols};
+  }
+};
+
+PrunedCase make_case(std::int64_t rows, std::int64_t cols,
+                     core::CrossbarDims dims, std::int64_t keep,
+                     std::int64_t remove_shapes, std::int64_t remove_filters,
+                     std::uint64_t seed) {
+  PrunedCase pc;
+  Rng rng(seed);
+  pc.store.resize(static_cast<std::size_t>(rows * cols));
+  for (auto& v : pc.store) v = rng.normal(0.0F, 1.0F);
+  pc.spec.enabled = true;
+  pc.spec.cp_keep = keep;
+  pc.spec.remove_shapes = remove_shapes;
+  pc.spec.remove_filters = remove_filters;
+  pc.selection = core::project_combined_tracked({pc.store.data(), rows, cols},
+                                                pc.spec, dims);
+  pc.matrix = Tensor({rows, cols});
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      pc.matrix.at(r, c) = pc.store[static_cast<std::size_t>(c * rows + r)];
+  return pc;
+}
+
+TEST(CombinedReform, ProjectionSatisfiesReformedConstraint) {
+  const core::CrossbarDims dims{8, 8};
+  auto pc = make_case(24, 16, dims, 2, 8, 8, 1);
+  EXPECT_TRUE(core::satisfies_combined({pc.store.data(), 24, 16}, pc.spec,
+                                       dims, pc.selection));
+}
+
+TEST(CombinedReform, ReformedOccupancyHonorsKeepAfterCompaction) {
+  // 24 rows with 8 removed → 16 kept rows re-tile into two 8-row blocks;
+  // in-place (non-reformed) blocks would straddle differently.
+  const core::CrossbarDims dims{8, 8};
+  auto pc = make_case(24, 16, dims, 2, 8, 0, 2);
+  const auto removal = pc.removal();
+  ASSERT_EQ(removal.rows.size(), 8U);
+  xbar::MappingConfig cfg;
+  cfg.dims = {dims.rows, dims.cols};
+  const auto layer = xbar::map_matrix(pc.matrix, "l", cfg, removal);
+  EXPECT_LE(layer.max_active_rows(), 2);
+}
+
+TEST(CombinedReform, WithoutReformedProjectionOccupancyCanOverflow) {
+  // Demonstrates WHY §III-D forbids shape pruning after CP pruning: apply
+  // plain (non-reformed) CP first, then remove shapes, then compact — the
+  // merged blocks can exceed the keep bound.
+  const core::CrossbarDims dims{8, 8};
+  Rng rng(3);
+  constexpr std::int64_t rows = 16, cols = 4;
+  std::vector<float> store(rows * cols);
+  for (auto& v : store) v = rng.normal(0.0F, 1.0F);
+  // CP first (wrong order).
+  core::project_column_proportional({store.data(), rows, cols}, dims, 2);
+  // Now remove 4 shapes — rows that carry surviving weights in NEITHER
+  // block would be ideal, but lowest-norm picks zero-norm rows arbitrarily;
+  // force the bad case by removing 4 rows that are zero, merging blocks.
+  // Construct: block 0 rows {0,1} and block 1 rows {8,9} hold the keepers
+  // for column 0; removing rows 2..5 (if zero) merges them into one block.
+  std::vector<std::int64_t> removable;
+  for (std::int64_t r = 0; r < rows && removable.size() < 4; ++r) {
+    bool all_zero = true;
+    for (std::int64_t c = 0; c < cols && all_zero; ++c)
+      all_zero = (store[static_cast<std::size_t>(c * rows + r)] == 0.0F);
+    if (all_zero) removable.push_back(r);
+  }
+  if (removable.size() < 4) GTEST_SKIP() << "no mergeable rows drawn";
+  Tensor m({rows, cols});
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      m.at(r, c) = store[static_cast<std::size_t>(c * rows + r)];
+  xbar::StructuralRemoval removal;
+  removal.rows = removable;
+  xbar::MappingConfig cfg;
+  cfg.dims = {dims.rows, dims.cols};
+  const auto layer = xbar::map_matrix(m, "l", cfg, removal);
+  // Occupancy may exceed 2 — and whenever it does, the Eq. 1 sizing grows
+  // with it, so exactness is still guaranteed (measured census drives it).
+  msim::AnalogLayerSim sim(layer, {});
+  std::vector<std::int32_t> x(static_cast<std::size_t>(rows));
+  for (auto& v : x)
+    v = static_cast<std::int32_t>(Rng(9).uniform_int(1U << cfg.input_bits));
+  EXPECT_EQ(sim.mvm(x), xbar::reference_mvm(layer, x));
+}
+
+/// The full combined exactness sweep (P2 extended to §III-D): reformed
+/// mapping with the census-sized ADC is bit-exact for every configuration.
+class CombinedExactness
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(CombinedExactness, ReformedAnalogMvmIsExact) {
+  const auto [keep, remove_shapes, remove_filters] = GetParam();
+  const core::CrossbarDims dims{8, 8};
+  auto pc = make_case(24, 16, dims, keep, remove_shapes, remove_filters,
+                      static_cast<std::uint64_t>(keep * 100 + remove_shapes *
+                                                 10 + remove_filters));
+  const auto removal = pc.removal();
+  xbar::MappingConfig cfg;
+  cfg.dims = {dims.rows, dims.cols};
+  cfg.input_bits = 6;
+  const auto layer = xbar::map_matrix(pc.matrix, "l", cfg, removal);
+  EXPECT_LE(layer.max_active_rows(), keep);
+
+  msim::AnalogLayerSim sim(layer, {});
+  Rng rng(1234);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<std::int32_t> x(24);
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(64));
+    EXPECT_EQ(sim.mvm(x), xbar::reference_mvm(layer, x));
+  }
+  EXPECT_EQ(sim.stats().adc_clip_events, 0);
+  // Structured reform converted into block reduction.
+  if (remove_filters >= dims.cols || remove_shapes >= dims.rows)
+    EXPECT_LT(layer.total_blocks(), layer.dense_blocks());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CombinedExactness,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 2, 4),
+                       ::testing::Values<std::int64_t>(0, 8),
+                       ::testing::Values<std::int64_t>(0, 8)));
+
+TEST(CombinedReform, DemapPlacesWeightsAtOriginalCoordinates) {
+  const core::CrossbarDims dims{8, 8};
+  auto pc = make_case(24, 16, dims, 2, 8, 8, 7);
+  const auto removal = pc.removal();
+  xbar::MappingConfig cfg;
+  cfg.dims = {dims.rows, dims.cols};
+  const auto layer = xbar::map_matrix(pc.matrix, "l", cfg, removal);
+  const Tensor back = layer.demap();
+  EXPECT_LT(max_abs_diff(back, pc.matrix), layer.quant.scale * 0.5F + 1e-6F);
+  // Removed rows/cols demap to exact zeros.
+  for (std::int64_t r : removal.rows)
+    for (std::int64_t c = 0; c < 16; ++c) EXPECT_EQ(back.at(r, c), 0.0F);
+  for (std::int64_t c : removal.cols)
+    for (std::int64_t r = 0; r < 24; ++r) EXPECT_EQ(back.at(r, c), 0.0F);
+}
+
+}  // namespace
+}  // namespace tinyadc

@@ -1,0 +1,168 @@
+// Synthetic dataset generation and batch iteration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::data {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 3;
+  spec.image_size = 8;
+  spec.train_per_class = 10;
+  spec.test_per_class = 5;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(Synthetic, SizesMatchSpec) {
+  const auto pair = make_synthetic(small_spec());
+  EXPECT_EQ(pair.train.size(), 40);
+  EXPECT_EQ(pair.test.size(), 20);
+  EXPECT_EQ(pair.train.images.shape(), Shape({40, 3, 8, 8}));
+  EXPECT_EQ(pair.train.num_classes, 4);
+}
+
+TEST(Synthetic, LabelsCoverAllClasses) {
+  const auto pair = make_synthetic(small_spec());
+  std::set<std::int64_t> seen(pair.train.labels.begin(),
+                              pair.train.labels.end());
+  EXPECT_EQ(seen.size(), 4U);
+  for (auto l : pair.train.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const auto a = make_synthetic(small_spec());
+  const auto b = make_synthetic(small_spec());
+  EXPECT_TRUE(allclose(a.train.images, b.train.images, 0.0F));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto spec2 = small_spec();
+  spec2.seed = 43;
+  const auto a = make_synthetic(small_spec());
+  const auto b = make_synthetic(spec2);
+  EXPECT_GT(max_abs_diff(a.train.images, b.train.images), 0.1F);
+}
+
+TEST(Synthetic, SameClassSamplesCorrelateMoreThanCrossClass) {
+  // Prototype structure must dominate noise: the mean intra-class pixel
+  // distance should undercut the inter-class distance.
+  auto spec = small_spec();
+  spec.noise = 0.1F;
+  const auto pair = make_synthetic(spec);
+  const std::int64_t per = 3 * 8 * 8;
+  auto dist = [&](std::int64_t i, std::int64_t j) {
+    double d = 0.0;
+    const float* a = pair.train.images.data() + i * per;
+    const float* b = pair.train.images.data() + j * per;
+    for (std::int64_t k = 0; k < per; ++k) {
+      const double diff = a[k] - b[k];
+      d += diff * diff;
+    }
+    return d;
+  };
+  // samples 0..9 are class 0, 10..19 class 1 (generation is class-ordered).
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (int i = 0; i < 10; ++i)
+    for (int j = i + 1; j < 10; ++j) {
+      intra += dist(i, j);
+      ++n_intra;
+    }
+  for (int i = 0; i < 10; ++i)
+    for (int j = 10; j < 20; ++j) {
+      inter += dist(i, j);
+      ++n_inter;
+    }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(Synthetic, TiersEscalateDifficulty) {
+  const auto c10 = cifar10_like();
+  const auto c100 = cifar100_like();
+  const auto inet = imagenet_like();
+  EXPECT_LT(c10.num_classes, c100.num_classes);
+  EXPECT_LT(c100.num_classes, inet.num_classes);
+  EXPECT_LT(c10.noise, inet.noise);
+  EXPECT_LT(c10.shift_frac, inet.shift_frac);
+}
+
+TEST(Synthetic, TierLookupByName) {
+  EXPECT_EQ(tier_by_name("cifar10").name, "cifar10");
+  EXPECT_EQ(tier_by_name("imagenet").name, "imagenet");
+  EXPECT_THROW(tier_by_name("mnist"), CheckError);
+}
+
+TEST(Dataset, SubsetExtractsRows) {
+  const auto pair = make_synthetic(small_spec());
+  const auto sub = pair.train.subset({0, 39});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.labels[0], pair.train.labels[0]);
+  EXPECT_EQ(sub.labels[1], pair.train.labels[39]);
+}
+
+TEST(Dataset, SubsetRejectsOutOfRange) {
+  const auto pair = make_synthetic(small_spec());
+  EXPECT_THROW(pair.train.subset({40}), CheckError);
+}
+
+TEST(BatchIterator, CoversEveryExampleOnce) {
+  const auto pair = make_synthetic(small_spec());
+  Rng rng(3);
+  BatchIterator it(pair.train, 7, &rng);
+  EXPECT_EQ(it.batches_per_epoch(), 6U);  // ceil(40/7)
+  Batch b;
+  std::int64_t seen = 0;
+  std::vector<int> label_counts(4, 0);
+  while (it.next(b)) {
+    seen += static_cast<std::int64_t>(b.labels.size());
+    for (auto l : b.labels) ++label_counts[static_cast<std::size_t>(l)];
+  }
+  EXPECT_EQ(seen, 40);
+  for (int c : label_counts) EXPECT_EQ(c, 10);
+}
+
+TEST(BatchIterator, SequentialWithoutRng) {
+  const auto pair = make_synthetic(small_spec());
+  BatchIterator it(pair.train, 40, nullptr);
+  Batch b;
+  ASSERT_TRUE(it.next(b));
+  EXPECT_EQ(b.labels, pair.train.labels);
+  EXPECT_FALSE(it.next(b));
+}
+
+TEST(BatchIterator, ResetRestartsEpoch) {
+  const auto pair = make_synthetic(small_spec());
+  BatchIterator it(pair.train, 40, nullptr);
+  Batch b;
+  EXPECT_TRUE(it.next(b));
+  EXPECT_FALSE(it.next(b));
+  it.reset();
+  EXPECT_TRUE(it.next(b));
+}
+
+TEST(BatchIterator, ShuffleChangesOrderButNotContent) {
+  const auto pair = make_synthetic(small_spec());
+  Rng rng(4);
+  BatchIterator it(pair.train, 40, &rng);
+  Batch b;
+  ASSERT_TRUE(it.next(b));
+  EXPECT_NE(b.labels, pair.train.labels);  // shuffled (40! >> collisions)
+  std::multiset<std::int64_t> a(b.labels.begin(), b.labels.end());
+  std::multiset<std::int64_t> c(pair.train.labels.begin(),
+                                pair.train.labels.end());
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace tinyadc::data

@@ -1,0 +1,126 @@
+// GEMM correctness: fixed cases, transpose variants, alpha/beta contract,
+// and a parameterized property sweep against a naive triple loop.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t({a.dim(1), a.dim(0)});
+  for (std::int64_t i = 0; i < a.dim(0); ++i)
+    for (std::int64_t j = 0; j < a.dim(1); ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+TEST(Gemm, Identity) {
+  Tensor eye = Tensor::zeros({3, 3});
+  for (int i = 0; i < 3; ++i) eye.at(i, i) = 1.0F;
+  Rng rng(1);
+  Tensor a = Tensor::randn({3, 3}, rng);
+  EXPECT_TRUE(allclose(matmul(eye, a), a));
+  EXPECT_TRUE(allclose(matmul(a, eye), a));
+}
+
+TEST(Gemm, KnownSmallProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0F);
+}
+
+TEST(Gemm, BetaAccumulates) {
+  Tensor a({2, 2}, {1, 0, 0, 1});
+  Tensor b({2, 2}, {1, 2, 3, 4});
+  Tensor c = Tensor::full({2, 2}, 10.0F);
+  gemm(a, false, b, false, c, 1.0F, 1.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 14.0F);
+}
+
+TEST(Gemm, AlphaScales) {
+  Tensor a({1, 1}, {3.0F});
+  Tensor b({1, 1}, {4.0F});
+  Tensor c({1, 1});
+  gemm(a, false, b, false, c, 0.5F, 0.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 6.0F);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  Tensor c({2, 2});
+  EXPECT_THROW(gemm(a, false, b, false, c), CheckError);
+}
+
+TEST(Gemm, OutputShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({3, 4});
+  Tensor c({2, 3});
+  EXPECT_THROW(gemm(a, false, b, false, c), CheckError);
+}
+
+TEST(Matvec, MatchesGemm) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({5, 7}, rng);
+  Tensor x = Tensor::randn({7}, rng);
+  Tensor y = matvec(a, x);
+  Tensor ym = matmul(a, x.reshape({7, 1}));
+  for (std::int64_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(y.at(i), ym.at(i, 0), 1e-4F);
+}
+
+TEST(Matvec, ValidatesShapes) {
+  Tensor a({2, 3});
+  Tensor x({2});
+  EXPECT_THROW(matvec(a, x), CheckError);
+}
+
+/// Property sweep: all four transpose combinations over assorted sizes must
+/// match the naive reference.
+class GemmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {
+};
+
+TEST_P(GemmSweep, MatchesNaiveReference) {
+  const auto [m, k, n, ta, tb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 73 + k * 37 + n * 11 + ta * 2 + tb));
+  Tensor a_plain = Tensor::randn({m, k}, rng);
+  Tensor b_plain = Tensor::randn({k, n}, rng);
+  const Tensor expected = naive_matmul(a_plain, b_plain);
+  const Tensor a = ta ? transpose(a_plain) : a_plain;
+  const Tensor b = tb ? transpose(b_plain) : b_plain;
+  const Tensor got = matmul(a, b, ta, tb);
+  EXPECT_LT(max_abs_diff(got, expected), 1e-3F)
+      << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta << " tb=" << tb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSweep,
+    ::testing::Combine(::testing::Values(1, 3, 17, 64),
+                       ::testing::Values(1, 5, 33),
+                       ::testing::Values(1, 4, 29),
+                       ::testing::Bool(), ::testing::Bool()));
+
+}  // namespace
+}  // namespace tinyadc

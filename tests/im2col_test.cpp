@@ -1,0 +1,106 @@
+// im2col/col2im: geometry, known patch layouts, and the adjoint property.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{3, 8, 8, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 8);
+  EXPECT_EQ(g.out_w(), 8);
+  EXPECT_EQ(g.patch_rows(), 27);
+  EXPECT_EQ(g.patch_cols(), 64);
+}
+
+TEST(ConvGeometry, StrideShrinksOutput) {
+  ConvGeometry g{1, 8, 8, 3, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 4);
+  EXPECT_EQ(g.out_w(), 4);
+}
+
+TEST(Im2col, Kernel1x1IsIdentityLayout) {
+  Tensor img({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  ConvGeometry g{2, 2, 2, 1, 1, 1, 0};
+  Tensor cols = im2col(img, g);
+  EXPECT_EQ(cols.shape(), Shape({2, 4}));
+  // Row c of the patch matrix is channel c's pixels in scan order.
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(cols.at(i), img.at(i));
+}
+
+TEST(Im2col, PaddingReadsZero) {
+  Tensor img({1, 2, 2}, {1, 2, 3, 4});
+  ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+  Tensor cols = im2col(img, g);
+  EXPECT_EQ(cols.shape(), Shape({9, 4}));
+  // Patch at output (0,0): top-left tap (kh=0,kw=0) is out of bounds.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0F);
+  // Center tap (kh=1,kw=1 → row 4) is the pixel itself.
+  EXPECT_FLOAT_EQ(cols.at(4, 0), 1.0F);
+  EXPECT_FLOAT_EQ(cols.at(4, 3), 4.0F);
+}
+
+TEST(Im2col, RowOrderIsChannelKhKw) {
+  // Two channels, 2x2 kernel on a 2x2 image without padding: one patch.
+  Tensor img({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  ConvGeometry g{2, 2, 2, 2, 2, 1, 0};
+  Tensor cols = im2col(img, g);
+  EXPECT_EQ(cols.shape(), Shape({8, 1}));
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(cols.at(i, 0), img.at(i));
+}
+
+TEST(Im2col, RejectsMismatchedInput) {
+  Tensor img({1, 4, 4});
+  ConvGeometry g{2, 4, 4, 3, 3, 1, 1};
+  EXPECT_THROW(im2col(img, g), CheckError);
+}
+
+TEST(Im2col, RejectsDegenerateGeometry) {
+  Tensor img({1, 2, 2});
+  ConvGeometry bad{1, 2, 2, 5, 5, 1, 0};  // kernel larger than input
+  EXPECT_THROW(im2col(img, bad), CheckError);
+}
+
+TEST(Col2im, AccumulatesOverlaps) {
+  // 3x3 kernel, stride 1, pad 1 on a 2x2 image: center pixels are touched by
+  // several patches; scattering all-ones patch matrix counts the taps.
+  ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+  Tensor cols = Tensor::ones({g.patch_rows(), g.patch_cols()});
+  Tensor img = col2im(cols, g);
+  // Every pixel is covered by 4 valid (in-bounds) taps in this geometry.
+  for (std::int64_t i = 0; i < img.numel(); ++i)
+    EXPECT_FLOAT_EQ(img.at(i), 4.0F);
+}
+
+/// Adjoint property: <im2col(x), y> == <x, col2im(y)> for random x, y.
+/// This is exactly the identity the conv backward pass relies on.
+class Im2colAdjoint
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Im2colAdjoint, InnerProductIdentity) {
+  const auto [channels, size, kernel, stride] = GetParam();
+  const int pad = kernel / 2;
+  ConvGeometry g{channels, size, size, kernel, kernel, stride, pad};
+  if (g.out_h() <= 0 || g.out_w() <= 0) GTEST_SKIP();
+  Rng rng(static_cast<std::uint64_t>(channels * 100 + size * 10 + kernel));
+  Tensor x = Tensor::randn({channels, size, size}, rng);
+  Tensor y = Tensor::randn({g.patch_rows(), g.patch_cols()}, rng);
+  const Tensor ax = im2col(x, g);
+  const Tensor aty = col2im(y, g);
+  const double lhs = sum(mul(ax, y));
+  const double rhs = sum(mul(x, aty));
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Im2colAdjoint,
+                         ::testing::Combine(::testing::Values(1, 3),
+                                            ::testing::Values(4, 7, 8),
+                                            ::testing::Values(1, 3, 5),
+                                            ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace tinyadc

@@ -1,0 +1,106 @@
+// Full-stack integration: train → ADMM CP-prune → map to crossbars →
+// verify analog exactness with the reduced ADC → hardware savings.
+// This is the whole TinyADC story on one miniature instance.
+#include <gtest/gtest.h>
+
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "fault/evaluate.hpp"
+#include "hw/cost_model.hpp"
+#include "msim/analog_mvm.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc {
+namespace {
+
+TEST(Integration, WholePipelineOnMiniatureInstance) {
+  // --- data & model -------------------------------------------------------
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_size = 8;
+  dspec.train_per_class = 24;
+  dspec.test_per_class = 10;
+  dspec.seed = 91;
+  const auto data = data::make_synthetic(dspec);
+
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  auto model = nn::resnet18(mc);
+
+  // --- TinyADC pipeline: 4x CP on 8-row crossbars -------------------------
+  core::PipelineConfig pcfg;
+  pcfg.xbar = {8, 8};
+  pcfg.pretrain.epochs = 8;
+  pcfg.pretrain.batch_size = 16;
+  pcfg.pretrain.sgd.lr = 0.05F;
+  pcfg.pretrain.sgd.total_epochs = 8;
+  pcfg.admm.epochs = 4;
+  pcfg.admm.batch_size = 16;
+  pcfg.admm.sgd.lr = 0.02F;
+  pcfg.retrain.epochs = 4;
+  pcfg.retrain.batch_size = 16;
+  pcfg.retrain.sgd.lr = 0.01F;
+  // Constrain the FC layer too so every post-first-layer ADC shrinks (the
+  // paper applies the reduction "to all ADCs except for the first layer").
+  core::SpecOptions opts;
+  opts.include_linear = true;
+  auto specs = core::uniform_cp_specs(*model, 4, pcfg.xbar, opts);
+  const auto result =
+      core::run_pipeline(*model, data.train, data.test, specs, pcfg);
+  EXPECT_GT(result.baseline_accuracy, 0.5);
+  EXPECT_GT(result.final_accuracy, result.baseline_accuracy - 0.2);
+
+  // --- map to crossbars ----------------------------------------------------
+  xbar::MappingConfig map_cfg;
+  map_cfg.dims = pcfg.xbar;
+  auto net = xbar::map_model(*model, map_cfg);
+  // CP constraint shows up as reduced occupancy everywhere after layer 0.
+  for (std::size_t i = 1; i < net.layers.size(); ++i)
+    EXPECT_LE(net.layers[i].max_active_rows(), 2) << net.layers[i].name;
+  const int reduced_bits = net.worst_adc_bits_after_first();
+  const int dense_bits = xbar::required_adc_bits(1, 2, map_cfg.dims.rows);
+  EXPECT_LT(reduced_bits, dense_bits);
+
+  // --- analog exactness with the reduced ADC ------------------------------
+  // Pick a mid conv layer and check the analog MVM against the integer
+  // reference with random inputs.
+  const auto& layer = net.layers[3];
+  msim::AnalogLayerSim sim(layer, {});
+  Rng rng(17);
+  std::vector<std::int32_t> x(static_cast<std::size_t>(layer.rows));
+  for (auto& v : x)
+    v = static_cast<std::int32_t>(rng.uniform_int(1U << map_cfg.input_bits));
+  EXPECT_EQ(sim.mvm(x), xbar::reference_mvm(layer, x));
+  EXPECT_EQ(sim.stats().adc_clip_events, 0);
+
+  // --- hardware savings ----------------------------------------------------
+  // Dense twin with identical topology and training, no pruning.
+  auto dense_model = nn::resnet18(mc);
+  {
+    nn::TrainConfig tc = pcfg.pretrain;
+    nn::Trainer trainer(*dense_model, tc);
+    trainer.fit(data.train, data.test);
+  }
+  auto dense_net = xbar::map_model(*dense_model, map_cfg);
+  const hw::CostConstants constants;
+  const auto dense_report = hw::build_accelerator(dense_net, constants);
+  const auto pruned_report = hw::build_accelerator(net, constants);
+  EXPECT_LT(pruned_report.power_vs(dense_report), 0.95);
+  EXPECT_LT(pruned_report.area_vs(dense_report), 0.95);
+
+  // --- quantized model still classifies ------------------------------------
+  // Write the mapped (quantized) weights back and re-evaluate.
+  auto views = model->prunable_views();
+  for (std::size_t i = 0; i < views.size(); ++i)
+    views[i].from_matrix(net.layers[i].demap());
+  nn::TrainConfig eval_tc;
+  nn::Trainer eval_trainer(*model, eval_tc);
+  const double quantized_acc = eval_trainer.evaluate(data.test);
+  EXPECT_GT(quantized_acc, result.final_accuracy - 0.15);
+}
+
+}  // namespace
+}  // namespace tinyadc

@@ -1,0 +1,233 @@
+// Loss function and optimizer behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  Tensor logits = Tensor::zeros({2, 4});
+  const auto res = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(res.loss, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectHasLowLoss) {
+  Tensor logits({1, 3}, {10.0F, 0.0F, 0.0F});
+  const auto res = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(res.loss, 1e-3);
+  EXPECT_EQ(res.correct, 1);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Tensor logits({2, 5}, {1, 2, 3, 4, 5, -1, 0, 1, 0, -1});
+  const auto res = softmax_cross_entropy(logits, {2, 4});
+  for (int r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 5; ++c) s += res.grad_logits.at(r, c);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  Tensor logits({1, 3}, {0.5F, -0.2F, 0.1F});
+  const auto res = softmax_cross_entropy(logits, {1});
+  const float eps = 1e-3F;
+  for (int j = 0; j < 3; ++j) {
+    Tensor lp = logits.clone();
+    lp.at(0, j) += eps;
+    Tensor lm = logits.clone();
+    lm.at(0, j) -= eps;
+    const double numeric = (softmax_cross_entropy(lp, {1}).loss -
+                            softmax_cross_entropy(lm, {1}).loss) /
+                           (2.0 * eps);
+    EXPECT_NEAR(res.grad_logits.at(0, j), numeric, 1e-4);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericallyStableWithHugeLogits) {
+  Tensor logits({1, 2}, {1000.0F, -1000.0F});
+  const auto res = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(res.loss));
+  EXPECT_NEAR(res.loss, 0.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), CheckError);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), CheckError);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), CheckError);
+}
+
+TEST(TopkAccuracy, KnownCases) {
+  Tensor logits({2, 4}, {1, 2, 3, 4, 4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {3, 0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {2, 2}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {2, 2}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {0, 0}, 4), 1.0);
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  Param p("w", Tensor::from({1.0F, 1.0F}));
+  p.grad = Tensor::from({1.0F, -1.0F});
+  SgdConfig cfg;
+  cfg.lr = 0.1F;
+  cfg.momentum = 0.0F;
+  cfg.weight_decay = 0.0F;
+  cfg.schedule = LrSchedule::kConstant;
+  Sgd sgd(cfg);
+  sgd.step({&p}, 0);
+  EXPECT_FLOAT_EQ(p.value.at(0), 0.9F);
+  EXPECT_FLOAT_EQ(p.value.at(1), 1.1F);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Param p("w", Tensor::from({0.0F}));
+  SgdConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.momentum = 0.5F;
+  cfg.weight_decay = 0.0F;
+  cfg.schedule = LrSchedule::kConstant;
+  Sgd sgd(cfg);
+  p.grad = Tensor::from({1.0F});
+  sgd.step({&p}, 0);  // v=1, w=-1
+  p.grad = Tensor::from({1.0F});
+  sgd.step({&p}, 0);  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value.at(0), -2.5F);
+}
+
+TEST(Sgd, WeightDecayRespectsParamFlag) {
+  Param decayed("w", Tensor::from({1.0F}), /*apply_decay=*/true);
+  Param exempt("b", Tensor::from({1.0F}), /*apply_decay=*/false);
+  decayed.grad.fill(0.0F);
+  exempt.grad.fill(0.0F);
+  SgdConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.momentum = 0.0F;
+  cfg.weight_decay = 0.1F;
+  cfg.schedule = LrSchedule::kConstant;
+  Sgd sgd(cfg);
+  sgd.step({&decayed, &exempt}, 0);
+  EXPECT_FLOAT_EQ(decayed.value.at(0), 0.9F);
+  EXPECT_FLOAT_EQ(exempt.value.at(0), 1.0F);
+}
+
+TEST(Sgd, CosineScheduleDecaysToZero) {
+  SgdConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.schedule = LrSchedule::kCosine;
+  cfg.total_epochs = 10;
+  Sgd sgd(cfg);
+  EXPECT_FLOAT_EQ(sgd.lr_at(0), 1.0F);
+  EXPECT_NEAR(sgd.lr_at(5), 0.5F, 1e-6F);
+  EXPECT_NEAR(sgd.lr_at(10), 0.0F, 1e-6F);
+  EXPECT_NEAR(sgd.lr_at(20), 0.0F, 1e-6F);  // past horizon stays clamped
+}
+
+TEST(Sgd, StepScheduleDropsByGamma) {
+  SgdConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.schedule = LrSchedule::kStep;
+  cfg.step_every = 10;
+  cfg.step_gamma = 0.1F;
+  Sgd sgd(cfg);
+  EXPECT_FLOAT_EQ(sgd.lr_at(9), 1.0F);
+  EXPECT_FLOAT_EQ(sgd.lr_at(10), 0.1F);
+  EXPECT_NEAR(sgd.lr_at(25), 0.01F, 1e-8F);
+}
+
+TEST(Sgd, ZeroGradClearsAccumulators) {
+  Param p("w", Tensor::from({1.0F}));
+  p.grad.fill(5.0F);
+  Sgd::zero_grad({&p});
+  EXPECT_FLOAT_EQ(p.grad.at(0), 0.0F);
+}
+
+TEST(Sgd, ResetStateDropsMomentum) {
+  Param p("w", Tensor::from({0.0F}));
+  SgdConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.momentum = 0.9F;
+  cfg.weight_decay = 0.0F;
+  cfg.schedule = LrSchedule::kConstant;
+  Sgd sgd(cfg);
+  p.grad = Tensor::from({1.0F});
+  sgd.step({&p}, 0);
+  sgd.reset_state();
+  p.grad = Tensor::from({0.0F});
+  sgd.step({&p}, 0);  // with cleared velocity, nothing moves
+  EXPECT_FLOAT_EQ(p.value.at(0), -1.0F);
+}
+
+
+TEST(Adam, MovesAgainstGradient) {
+  Param p("w", Tensor::from({1.0F, 1.0F}));
+  p.grad = Tensor::from({1.0F, -1.0F});
+  AdamConfig cfg;
+  cfg.lr = 0.1F;
+  Adam adam(cfg);
+  adam.step({&p}, 0);
+  EXPECT_LT(p.value.at(0), 1.0F);
+  EXPECT_GT(p.value.at(1), 1.0F);
+}
+
+TEST(Adam, FirstStepSizeIsApproximatelyLr) {
+  // Bias correction makes the first update ≈ lr·sign(g).
+  Param p("w", Tensor::from({0.0F}));
+  p.grad = Tensor::from({0.5F});
+  AdamConfig cfg;
+  cfg.lr = 0.01F;
+  Adam adam(cfg);
+  adam.step({&p}, 0);
+  EXPECT_NEAR(p.value.at(0), -0.01F, 1e-4F);
+}
+
+TEST(Adam, AdaptsToGradientScale) {
+  // Two params with wildly different gradient magnitudes move comparably.
+  Param a("a", Tensor::from({0.0F}));
+  Param b("b", Tensor::from({0.0F}));
+  AdamConfig cfg;
+  cfg.lr = 0.01F;
+  Adam adam(cfg);
+  for (int i = 0; i < 10; ++i) {
+    a.grad = Tensor::from({100.0F});
+    b.grad = Tensor::from({0.01F});
+    adam.step({&a, &b}, 0);
+  }
+  EXPECT_NEAR(a.value.at(0) / b.value.at(0), 1.0F, 0.2F);
+}
+
+TEST(Adam, DecoupledWeightDecayRespectsFlag) {
+  Param decayed("w", Tensor::from({1.0F}), /*apply_decay=*/true);
+  Param exempt("b", Tensor::from({1.0F}), /*apply_decay=*/false);
+  decayed.grad.fill(0.0F);
+  exempt.grad.fill(0.0F);
+  AdamConfig cfg;
+  cfg.lr = 1.0F;
+  cfg.weight_decay = 0.1F;
+  Adam adam(cfg);
+  adam.step({&decayed, &exempt}, 0);
+  EXPECT_LT(decayed.value.at(0), 1.0F);
+  EXPECT_FLOAT_EQ(exempt.value.at(0), 1.0F);
+}
+
+TEST(Adam, ResetStateClearsMoments) {
+  Param p("w", Tensor::from({0.0F}));
+  AdamConfig cfg;
+  cfg.lr = 0.1F;
+  Adam adam(cfg);
+  p.grad = Tensor::from({1.0F});
+  adam.step({&p}, 0);
+  adam.reset_state();
+  p.grad = Tensor::from({0.0F});
+  const float before = p.value.at(0);
+  adam.step({&p}, 0);  // no gradient, no momentum → no motion
+  EXPECT_FLOAT_EQ(p.value.at(0), before);
+}
+
+}  // namespace
+}  // namespace tinyadc::nn

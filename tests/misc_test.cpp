@@ -1,0 +1,167 @@
+// Cross-cutting coverage: error machinery, stats edge cases, signed analog
+// MVM, design-bits switches, view-order contracts, chips with defects.
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+#include "data/synthetic.hpp"
+#include "fault/fault_model.hpp"
+#include "hw/adc_cost.hpp"
+#include "msim/analog_network.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc {
+namespace {
+
+TEST(Check, ErrorCarriesLocationAndMessage) {
+  try {
+    TINYADC_CHECK(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+    EXPECT_NE(what.find("misc_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Stats, PruningRateHandlesAllZeroLayer) {
+  core::LayerSparsityReport layer;
+  layer.total = 100;
+  layer.nonzero = 0;
+  EXPECT_DOUBLE_EQ(layer.pruning_rate(), 100.0);
+  core::NetworkSparsityReport net;
+  net.total = 10;
+  net.nonzero = 0;
+  EXPECT_DOUBLE_EQ(net.pruning_rate(), 10.0);
+}
+
+TEST(AdcCost, CapdacFractionExtremes) {
+  hw::AdcCostModel all_linear;
+  all_linear.capdac_fraction = 0.0;
+  // Pure linear: power(14)/power(7) == 2 exactly.
+  EXPECT_NEAR(all_linear.power_w(14) / all_linear.power_w(7), 2.0, 1e-9);
+  hw::AdcCostModel all_exp;
+  all_exp.capdac_fraction = 1.0;
+  // Pure exponential: power doubles per bit.
+  EXPECT_NEAR(all_exp.power_w(8) / all_exp.power_w(7), 2.0, 1e-9);
+}
+
+TEST(DesignBits, EncodingToggle) {
+  xbar::MappingConfig with;
+  xbar::MappingConfig without;
+  without.isaac_encoding = false;
+  EXPECT_EQ(xbar::design_adc_bits(with, 128), 8);
+  EXPECT_EQ(xbar::design_adc_bits(without, 128), 9);
+  // The saving never drives the resolution to zero.
+  EXPECT_EQ(xbar::design_adc_bits(with, 1), 1);
+  EXPECT_EQ(xbar::design_adc_bits(with, 0), 0);
+}
+
+TEST(AnalogMvm, SignedInputSplitsCorrectly) {
+  Rng rng(1);
+  Tensor m = Tensor::randn({8, 4}, rng);
+  xbar::MappingConfig cfg;
+  cfg.dims = {8, 8};
+  cfg.input_bits = 8;
+  const auto layer = xbar::map_matrix(m, "l", cfg);
+  msim::AnalogLayerSim sim(layer, {});
+  std::vector<float> x = {0.5F, -0.25F, 0.0F, 1.0F, -1.0F, 0.75F, -0.5F,
+                          0.125F};
+  const auto xq = xbar::fit_unsigned(1.0F, 8);
+  const auto y = sim.mvm_real_signed(x, xq);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    double expect = 0.0;
+    for (std::int64_t r = 0; r < 8; ++r)
+      expect += static_cast<double>(m.at(r, c)) * x[static_cast<std::size_t>(r)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(c)], expect, 0.1) << "col " << c;
+  }
+}
+
+TEST(Model, PrunableViewOrderMatchesLayerEnumeration) {
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  auto model = nn::vgg16(mc);
+  const auto views = model->prunable_views();
+  std::vector<std::string> visit_order;
+  model->root().visit([&visit_order](nn::Layer& l) {
+    if (dynamic_cast<nn::Conv2d*>(&l) != nullptr ||
+        dynamic_cast<nn::Linear*>(&l) != nullptr)
+      visit_order.push_back(l.name());
+  });
+  ASSERT_EQ(views.size(), visit_order.size());
+  for (std::size_t i = 0; i < views.size(); ++i)
+    EXPECT_EQ(views[i].layer_name, visit_order[i]);
+}
+
+TEST(Model, EvalForwardIsDeterministicAcrossCalls) {
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  for (const char* name : {"resnet18", "resnet50", "vgg16"}) {
+    auto model = nn::build_model(name, mc);
+    Rng rng(2);
+    Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+    const Tensor a = model->forward(x, false);
+    const Tensor b = model->forward(x, false);
+    EXPECT_TRUE(allclose(a, b, 0.0F)) << name;
+  }
+}
+
+TEST(Model, TrainingForwardUpdatesBatchNormRunningStats) {
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  auto model = nn::resnet18(mc);
+  Rng rng(3);
+  Tensor x = Tensor::randn({4, 3, 8, 8}, rng, 3.0F);
+  const Tensor eval_before = model->forward(x, false);
+  for (int i = 0; i < 5; ++i) model->forward(x, true);
+  const Tensor eval_after = model->forward(x, false);
+  EXPECT_GT(max_abs_diff(eval_before, eval_after), 1e-4F);
+}
+
+TEST(AnalogNetwork, ChipWithInjectedDefectsStillRuns) {
+  // Full stack: trained model → mapped → stuck-at faults injected into the
+  // mapped conductances → analog inference on the defective chip.
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.image_size = 8;
+  spec.train_per_class = 16;
+  spec.test_per_class = 5;
+  spec.seed = 44;
+  const auto data = data::make_synthetic(spec);
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  auto model = nn::resnet18(mc);
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05F;
+  tc.sgd.total_epochs = 8;
+  nn::Trainer trainer(*model, tc);
+  trainer.fit(data.train, data.test);
+
+  xbar::MappingConfig map_cfg;
+  map_cfg.dims = {16, 16};
+  auto net = xbar::map_model(*model, map_cfg);
+  fault::FaultSpec fspec;
+  fspec.rate = 0.02;
+  fault::inject_faults(net, fspec);
+
+  msim::AnalogNetwork chip(*model, net, {});
+  chip.calibrate(data.train);
+  const double acc = chip.evaluate(data.test);
+  EXPECT_GT(acc, 0.3);  // degraded but functional
+}
+
+}  // namespace
+}  // namespace tinyadc

@@ -1,0 +1,302 @@
+// Layer-level tests: output shapes, known values, and — most importantly —
+// numerical gradient checks of every backward pass against central finite
+// differences (the strongest correctness evidence an explicit-backprop
+// stack can have).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::nn {
+namespace {
+
+/// Scalar loss L = <layer(x), G> used for gradient checking.
+double loss_of(Layer& layer, const Tensor& x, const Tensor& g) {
+  Tensor y = layer.forward(x, /*training=*/true);
+  return sum(mul(y, g));
+}
+
+/// Checks dL/dx and dL/dθ against central differences.
+void gradient_check(Layer& layer, Tensor x, double tol = 2e-2) {
+  Rng rng(99);
+  Tensor y0 = layer.forward(x, true);
+  Tensor g = Tensor::randn(y0.shape(), rng);
+
+  // Analytic gradients.
+  for (Param* p : layer.params()) p->zero_grad();
+  layer.forward(x, true);
+  Tensor gx = layer.backward(g);
+
+  const float eps = 1e-2F;
+  // Input gradient.
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(x.numel(), 24); ++i) {
+    const float orig = x.at(i);
+    x.at(i) = orig + eps;
+    const double lp = loss_of(layer, x, g);
+    x.at(i) = orig - eps;
+    const double lm = loss_of(layer, x, g);
+    x.at(i) = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gx.at(i), numeric, tol * (std::abs(numeric) + 1.0))
+        << "input grad mismatch at " << i;
+  }
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(p->value.numel(), 16);
+         ++i) {
+      const float orig = p->value.at(i);
+      p->value.at(i) = orig + eps;
+      const double lp = loss_of(layer, x, g);
+      p->value.at(i) = orig - eps;
+      const double lm = loss_of(layer, x, g);
+      p->value.at(i) = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad.at(i), numeric, tol * (std::abs(numeric) + 1.0))
+          << "param " << p->name << " grad mismatch at " << i;
+    }
+  }
+}
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(1);
+  Conv2d conv("c", 3, 8, 3, 1, 1, true, rng);
+  Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 6, 6}));
+}
+
+TEST(Conv2d, StrideAndPaddingShape) {
+  Rng rng(1);
+  Conv2d conv("c", 2, 4, 3, 2, 1, false, rng);
+  Tensor x = Tensor::randn({1, 2, 8, 8}, rng);
+  EXPECT_EQ(conv.forward(x, false).shape(), Shape({1, 4, 4, 4}));
+}
+
+TEST(Conv2d, KnownValueIdentityKernel) {
+  Rng rng(1);
+  Conv2d conv("c", 1, 1, 1, 1, 0, false, rng);
+  conv.weight().value.fill(2.0F);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = conv.forward(x, false);
+  EXPECT_TRUE(allclose(y.reshape({4}), Tensor::from({2, 4, 6, 8})));
+}
+
+TEST(Conv2d, BiasIsAddedPerFilter) {
+  Rng rng(1);
+  Conv2d conv("c", 1, 2, 1, 1, 0, true, rng);
+  conv.weight().value.fill(0.0F);
+  conv.bias().value.at(0) = 1.5F;
+  conv.bias().value.at(1) = -2.0F;
+  Tensor x = Tensor::zeros({1, 1, 2, 2});
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.5F);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 1, 1), -2.0F);
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(7);
+  Conv2d conv("c", 2, 3, 3, 1, 1, true, rng);
+  gradient_check(conv, Tensor::randn({2, 2, 4, 4}, rng));
+}
+
+TEST(Conv2d, GradientCheckStride2NoBias) {
+  Rng rng(8);
+  Conv2d conv("c", 2, 2, 3, 2, 1, false, rng);
+  gradient_check(conv, Tensor::randn({1, 2, 5, 5}, rng));
+}
+
+TEST(Conv2d, BackwardWithoutForwardThrows) {
+  Rng rng(1);
+  Conv2d conv("c", 1, 1, 3, 1, 1, false, rng);
+  Tensor g({1, 1, 4, 4});
+  EXPECT_THROW(conv.backward(g), CheckError);
+}
+
+TEST(Linear, OutputAndKnownValue) {
+  Rng rng(2);
+  Linear fc("fc", 3, 2, true, rng);
+  fc.weight().value = Tensor({2, 3}, {1, 0, 0, 0, 1, 0});
+  fc.bias().value = Tensor::from({0.5F, -0.5F});
+  Tensor x({1, 3}, {10, 20, 30});
+  Tensor y = fc.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 10.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 19.5F);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(9);
+  Linear fc("fc", 5, 4, true, rng);
+  gradient_check(fc, Tensor::randn({3, 5}, rng));
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Linear fc("fc", 3, 2, false, rng);
+  Tensor x({1, 4});
+  EXPECT_THROW(fc.forward(x, false), CheckError);
+}
+
+TEST(BatchNorm2d, NormalizesBatchStatistics) {
+  Rng rng(3);
+  BatchNorm2d bn("bn", 2);
+  Tensor x = Tensor::randn({8, 2, 3, 3}, rng, 5.0F);
+  Tensor y = bn.forward(x, true);
+  // Per-channel mean ≈ 0, var ≈ 1 after normalization with γ=1, β=0.
+  for (int c = 0; c < 2; ++c) {
+    double s = 0.0, sq = 0.0;
+    int n = 0;
+    for (int b = 0; b < 8; ++b)
+      for (int i = 0; i < 9; ++i) {
+        const float v = y.at4(b, c, i / 3, i % 3);
+        s += v;
+        sq += v * v;
+        ++n;
+      }
+    EXPECT_NEAR(s / n, 0.0, 1e-4);
+    EXPECT_NEAR(sq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  Rng rng(4);
+  BatchNorm2d bn("bn", 1);
+  Tensor x = Tensor::full({4, 1, 2, 2}, 10.0F);
+  // Without any training forward, running stats are mean 0 / var 1.
+  Tensor y = bn.forward(x, false);
+  EXPECT_NEAR(y.at(0), 10.0F, 1e-3F);
+  // After many training passes on constant-10 data the running mean → 10.
+  for (int i = 0; i < 200; ++i) bn.forward(x, true);
+  Tensor y2 = bn.forward(x, false);
+  EXPECT_NEAR(y2.at(0), 0.0F, 0.1F);
+}
+
+TEST(BatchNorm2d, GradientCheck) {
+  Rng rng(10);
+  BatchNorm2d bn("bn", 3);
+  gradient_check(bn, Tensor::randn({4, 3, 2, 2}, rng), 5e-2);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu("r");
+  Tensor x = Tensor::from({-1, 0, 2});
+  Tensor y = relu.forward(x, false);
+  EXPECT_TRUE(allclose(y, Tensor::from({0, 0, 2})));
+}
+
+TEST(ReLU, GradientMasksNegativeInputs) {
+  ReLU relu("r");
+  Tensor x = Tensor::from({-1, 1, 2});
+  relu.forward(x, true);
+  Tensor g = relu.backward(Tensor::from({10, 10, 10}));
+  EXPECT_TRUE(allclose(g, Tensor::from({0, 10, 10})));
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten f("f");
+  Tensor x = Tensor::ones({2, 3, 4, 5});
+  Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 60}));
+  Tensor g = f.backward(Tensor::ones({2, 60}));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  Dropout d("d", 0.5F, 1);
+  Tensor x = Tensor::ones({100});
+  Tensor y = d.forward(x, false);
+  EXPECT_TRUE(allclose(y, x));
+}
+
+TEST(Dropout, TrainingPreservesExpectation) {
+  Dropout d("d", 0.5F, 2);
+  Tensor x = Tensor::ones({20000});
+  Tensor y = d.forward(x, true);
+  EXPECT_NEAR(mean(y), 1.0, 0.05);  // inverted dropout keeps E[y] = x
+}
+
+TEST(MaxPool2d, KnownValues) {
+  MaxPool2d pool("p", 2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 5.0F);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool("p", 2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  pool.forward(x, true);
+  Tensor g = pool.backward(Tensor::full({1, 1, 1, 1}, 7.0F));
+  EXPECT_TRUE(
+      allclose(g.reshape({4}), Tensor::from({0, 7, 0, 0})));
+}
+
+TEST(AvgPool2d, KnownValuesAndGradient) {
+  AvgPool2d pool("p", 2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 6});
+  Tensor y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 3.0F);
+  Tensor g = pool.backward(Tensor::full({1, 1, 1, 1}, 4.0F));
+  EXPECT_TRUE(allclose(g.reshape({4}), Tensor::from({1, 1, 1, 1})));
+}
+
+TEST(GlobalAvgPool, ReducesToPerChannelMean) {
+  GlobalAvgPool gap("g");
+  Tensor x({1, 2, 2, 2}, {1, 1, 1, 1, 2, 4, 6, 8});
+  Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 5.0F);
+  Tensor g = gap.backward(Tensor::from({4.0F, 8.0F}).reshape({1, 2}));
+  EXPECT_FLOAT_EQ(g.at4(0, 0, 0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(g.at4(0, 1, 1, 1), 2.0F);
+}
+
+TEST(Sequential, ChainsForwardAndBackward) {
+  Rng rng(11);
+  auto seq = std::make_unique<Sequential>("s");
+  seq->emplace<Linear>("fc1", 4, 6, true, rng);
+  seq->emplace<ReLU>("r");
+  seq->emplace<Linear>("fc2", 6, 2, true, rng);
+  gradient_check(*seq, Tensor::randn({3, 4}, rng));
+}
+
+TEST(Residual, IdentityShortcutGradient) {
+  Rng rng(12);
+  auto main = std::make_unique<Sequential>("m");
+  main->emplace<Conv2d>("c1", 2, 2, 3, 1, 1, false, rng);
+  Residual res("res", std::move(main), nullptr);
+  gradient_check(res, Tensor::randn({2, 2, 3, 3}, rng));
+}
+
+TEST(Residual, ProjectionShortcutGradient) {
+  Rng rng(13);
+  auto main = std::make_unique<Sequential>("m");
+  main->emplace<Conv2d>("c1", 2, 4, 3, 2, 1, false, rng);
+  auto sc = std::make_unique<Sequential>("s");
+  sc->emplace<Conv2d>("cs", 2, 4, 1, 2, 0, false, rng);
+  Residual res("res", std::move(main), std::move(sc));
+  gradient_check(res, Tensor::randn({1, 2, 4, 4}, rng));
+}
+
+TEST(Residual, VisitReachesAllChildren) {
+  Rng rng(14);
+  auto main = std::make_unique<Sequential>("m");
+  main->emplace<Conv2d>("c1", 2, 2, 3, 1, 1, false, rng);
+  auto sc = std::make_unique<Sequential>("s");
+  sc->emplace<Conv2d>("cs", 2, 2, 1, 1, 0, false, rng);
+  Residual res("res", std::move(main), std::move(sc));
+  int count = 0;
+  res.visit([&count](Layer&) { ++count; });
+  EXPECT_EQ(count, 5);  // res + 2 sequentials + 2 convs
+}
+
+}  // namespace
+}  // namespace tinyadc::nn

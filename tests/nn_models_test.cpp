@@ -1,0 +1,182 @@
+// Model zoo: construction, forward shapes, parameter bookkeeping,
+// prunable-view layout contract, and checkpoint round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::nn {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.num_classes = 10;
+  cfg.image_size = 16;
+  cfg.width_mult = 0.0625F;
+  return cfg;
+}
+
+TEST(ScaledChannels, FloorsAndEvens) {
+  EXPECT_EQ(scaled_channels(64, 1.0F), 64);
+  EXPECT_EQ(scaled_channels(64, 0.0625F), 4);
+  EXPECT_EQ(scaled_channels(64, 0.01F), 4);   // floor at 4
+  EXPECT_EQ(scaled_channels(100, 0.05F), 6);  // 5 rounds up to even
+}
+
+TEST(ResNet18, ForwardShape) {
+  auto model = resnet18(tiny_config());
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor y = model->forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST(ResNet18, HasExpectedLayerCounts) {
+  auto model = resnet18(tiny_config());
+  // stem + 8 blocks × 2 convs + 3 downsample convs = 20 convs, 1 fc.
+  EXPECT_EQ(model->conv_layers().size(), 20U);
+  EXPECT_EQ(model->linear_layers().size(), 1U);
+}
+
+TEST(ResNet50, ForwardShapeAndDepth) {
+  auto model = resnet50(tiny_config());
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  EXPECT_EQ(model->forward(x, false).shape(), Shape({1, 10}));
+  // stem + 16 bottlenecks × 3 convs + 4 downsample convs = 53 convs.
+  EXPECT_EQ(model->conv_layers().size(), 53U);
+}
+
+TEST(Vgg16, ForwardShapeAndConvCount) {
+  auto model = vgg16(tiny_config());
+  Rng rng(3);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  EXPECT_EQ(model->forward(x, false).shape(), Shape({2, 10}));
+  EXPECT_EQ(model->conv_layers().size(), 13U);
+  EXPECT_EQ(model->linear_layers().size(), 2U);
+}
+
+TEST(ModelZoo, BuildByNameAndUnknownRejected) {
+  EXPECT_NE(build_model("resnet18", tiny_config()), nullptr);
+  EXPECT_NE(build_model("resnet50", tiny_config()), nullptr);
+  EXPECT_NE(build_model("vgg16", tiny_config()), nullptr);
+  EXPECT_THROW(build_model("alexnet", tiny_config()), CheckError);
+}
+
+TEST(ModelZoo, ImagenetStemShrinksSpatial) {
+  ModelConfig cfg = tiny_config();
+  cfg.image_size = 32;
+  cfg.imagenet_stem = true;
+  auto model = resnet18(cfg);
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  EXPECT_EQ(model->forward(x, false).shape(), Shape({1, 10}));
+}
+
+TEST(ModelZoo, ParamNamesAreUnique) {
+  auto model = resnet50(tiny_config());
+  std::set<std::string> names;
+  for (Param* p : model->params()) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate " << p->name;
+  }
+}
+
+TEST(ModelZoo, WidthMultScalesParamCount) {
+  ModelConfig small = tiny_config();
+  ModelConfig bigger = tiny_config();
+  bigger.width_mult = 0.25F;
+  auto a = resnet18(small);
+  auto b = resnet18(bigger);
+  EXPECT_GT(b->param_count(), 4 * a->param_count());
+}
+
+TEST(ModelZoo, SeedReproducesInitialization) {
+  auto a = resnet18(tiny_config());
+  auto b = resnet18(tiny_config());
+  auto pa = a->params();
+  auto pb = b->params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_TRUE(allclose(pa[i]->value, pb[i]->value, 0.0F));
+}
+
+TEST(WeightMatrixView, ConvLayoutMatchesFig3) {
+  // Conv weight (F=2, C=1, K=1): 2-D matrix is rows=1 (taps) × cols=2
+  // (filters); element (0, f) must read filter f's weight.
+  Rng rng(5);
+  Conv2d conv("c", 1, 2, 1, 1, 0, false, rng);
+  conv.weight().value.at(0) = 3.0F;  // filter 0
+  conv.weight().value.at(1) = 7.0F;  // filter 1
+  auto view = matrix_view(conv);
+  EXPECT_EQ(view.rows, 1);
+  EXPECT_EQ(view.cols, 2);
+  Tensor m = view.to_matrix();
+  EXPECT_FLOAT_EQ(m.at(0, 0), 3.0F);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 7.0F);
+}
+
+TEST(WeightMatrixView, RoundTripPreservesWeights) {
+  Rng rng(6);
+  Conv2d conv("c", 3, 4, 3, 1, 1, false, rng);
+  Tensor before = conv.weight().value.clone();
+  auto view = matrix_view(conv);
+  view.from_matrix(view.to_matrix());
+  EXPECT_TRUE(allclose(conv.weight().value, before, 0.0F));
+}
+
+TEST(WeightMatrixView, MutationThroughMatrixReachesStorage) {
+  Rng rng(7);
+  Linear fc("fc", 3, 2, false, rng);
+  auto view = matrix_view(fc);
+  Tensor m = view.to_matrix();
+  m.fill(1.25F);
+  view.from_matrix(m);
+  for (std::int64_t i = 0; i < fc.weight().value.numel(); ++i)
+    EXPECT_FLOAT_EQ(fc.weight().value.at(i), 1.25F);
+}
+
+TEST(Model, PrunableViewsCoverConvAndLinear) {
+  auto model = vgg16(tiny_config());
+  const auto views = model->prunable_views();
+  EXPECT_EQ(views.size(), 15U);  // 13 convs + 2 fcs
+  EXPECT_TRUE(views.front().is_conv);
+  EXPECT_FALSE(views.back().is_conv);
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tinyadc_model_test.bin")
+          .string();
+  auto a = resnet18(tiny_config());
+  a->save(path);
+  ModelConfig cfg = tiny_config();
+  cfg.seed = 777;  // different init
+  auto b = resnet18(cfg);
+  b->load(path);
+  auto pa = a->params();
+  auto pb = b->params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_TRUE(allclose(pa[i]->value, pb[i]->value, 0.0F));
+  // Loaded model must produce identical logits.
+  Rng rng(8);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  EXPECT_TRUE(allclose(a->forward(x, false), b->forward(x, false), 1e-6F));
+  std::remove(path.c_str());
+}
+
+TEST(Model, LoadRejectsWrongArchitecture) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tinyadc_model_test2.bin")
+          .string();
+  auto a = resnet18(tiny_config());
+  a->save(path);
+  auto b = vgg16(tiny_config());
+  EXPECT_THROW(b->load(path), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tinyadc::nn

@@ -1,0 +1,119 @@
+// End-to-end pruning pipeline (integration across nn + data + core).
+#include <gtest/gtest.h>
+
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+
+namespace tinyadc::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<nn::Model> model;
+  data::DatasetPair data;
+
+  Fixture() {
+    nn::ModelConfig mc;
+    mc.num_classes = 4;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625F;
+    model = nn::resnet18(mc);
+
+    data::SyntheticSpec spec;
+    spec.num_classes = 4;
+    spec.image_size = 8;
+    spec.train_per_class = 20;
+    spec.test_per_class = 8;
+    spec.noise = 0.2F;
+    spec.seed = 31;
+    data = data::make_synthetic(spec);
+  }
+};
+
+PipelineConfig quick_config() {
+  PipelineConfig cfg;
+  cfg.xbar = {8, 8};
+  cfg.pretrain.epochs = 5;
+  cfg.pretrain.batch_size = 16;
+  cfg.pretrain.sgd.lr = 0.05F;
+  cfg.pretrain.sgd.total_epochs = 5;
+  cfg.admm.epochs = 4;
+  cfg.admm.batch_size = 16;
+  cfg.admm.sgd.lr = 0.02F;
+  cfg.admm.sgd.total_epochs = 4;
+  cfg.admm_params.rho = 5e-2F;
+  cfg.retrain.epochs = 4;
+  cfg.retrain.batch_size = 16;
+  cfg.retrain.sgd.lr = 0.01F;
+  cfg.retrain.sgd.total_epochs = 4;
+  return cfg;
+}
+
+TEST(Pipeline, EndToEndCpPruningKeepsConstraintAndAccuracy) {
+  Fixture f;
+  const auto cfg = quick_config();
+  auto specs = uniform_cp_specs(*f.model, 4, cfg.xbar);
+  const auto result =
+      run_pipeline(*f.model, f.data.train, f.data.test, specs, cfg);
+
+  // Final weights satisfy every constraint exactly.
+  auto views = f.model->prunable_views();
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ConstMatrixRef m{views[i].weight->value.data(), views[i].rows,
+                     views[i].cols};
+    EXPECT_TRUE(satisfies_combined(m, specs[i], cfg.xbar))
+        << views[i].layer_name;
+  }
+  // Learning happened and pruning did not destroy it.
+  EXPECT_GT(result.baseline_accuracy, 0.5);
+  EXPECT_GT(result.final_accuracy, result.baseline_accuracy - 0.15);
+  // Occupancy is at the CP budget.
+  EXPECT_EQ(result.report.max_col_nonzeros, 2);  // 8 rows / 4x
+  // Traces recorded per phase.
+  EXPECT_EQ(result.pretrain_trace.size(), 5U);
+  EXPECT_EQ(result.admm_trace.size(), 4U);
+  EXPECT_EQ(result.retrain_trace.size(), 4U);
+}
+
+TEST(Pipeline, MaskedRetrainRecoversHardPruneDamage) {
+  Fixture f;
+  auto cfg = quick_config();
+  auto specs = uniform_cp_specs(*f.model, 8, cfg.xbar);  // aggressive
+  const auto result =
+      run_pipeline(*f.model, f.data.train, f.data.test, specs, cfg);
+  // Retraining should not do worse than the raw hard-pruned model.
+  EXPECT_GE(result.final_accuracy + 1e-9, result.hard_prune_accuracy - 0.05);
+}
+
+TEST(Pipeline, CombinedPruningReducesStructures) {
+  Fixture f;
+  auto cfg = quick_config();
+  auto specs = uniform_cp_specs(*f.model, 2, cfg.xbar);
+  add_structured(specs, *f.model, 0.5, 0.0, cfg.xbar);
+  const auto result =
+      run_pipeline(*f.model, f.data.train, f.data.test, specs, cfg);
+  // Some layer must have fully-zero columns in crossbar multiples.
+  bool any_zero_cols = false;
+  for (const auto& l : result.report.layers)
+    if (l.enabled && l.zero_cols > 0) {
+      any_zero_cols = true;
+      EXPECT_GE(l.zero_cols, 8);  // at least one crossbar column block
+    }
+  EXPECT_TRUE(any_zero_cols);
+  EXPECT_GT(result.report.pruning_rate(), 2.0);
+}
+
+TEST(Pipeline, SkippedPretrainUsesProvidedWeights) {
+  Fixture f;
+  auto cfg = quick_config();
+  cfg.pretrain.epochs = 0;
+  auto specs = uniform_cp_specs(*f.model, 4, cfg.xbar);
+  const auto result =
+      run_pipeline(*f.model, f.data.train, f.data.test, specs, cfg);
+  EXPECT_TRUE(result.pretrain_trace.empty());
+  // Untrained baseline is near chance.
+  EXPECT_LT(result.baseline_accuracy, 0.6);
+}
+
+}  // namespace
+}  // namespace tinyadc::core

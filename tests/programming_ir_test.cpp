@@ -1,0 +1,159 @@
+// Programming-cost model and the IR-drop analog non-ideality.
+#include <gtest/gtest.h>
+
+#include "core/projection.hpp"
+#include "msim/analog_mvm.hpp"
+#include "tensor/ops.hpp"
+#include "xbar/programming.hpp"
+
+namespace tinyadc {
+namespace {
+
+xbar::MappedLayer mapped(const Tensor& m, std::int64_t xbar_dim = 8) {
+  xbar::MappingConfig cfg;
+  cfg.dims = {xbar_dim, xbar_dim};
+  return xbar::map_matrix(m, "l", cfg);
+}
+
+TEST(Programming, ZeroLayerCostsNothing) {
+  const auto report = xbar::programming_cost(mapped(Tensor::zeros({8, 8})));
+  EXPECT_EQ(report.cells_programmed, 0);
+  EXPECT_DOUBLE_EQ(report.time_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.energy_j, 0.0);
+  EXPECT_GT(report.cells_total, 0);
+}
+
+TEST(Programming, DenseLayerProgramsMostCells) {
+  Rng rng(1);
+  const auto report = xbar::programming_cost(mapped(Tensor::randn({8, 8}, rng)));
+  EXPECT_GT(report.cells_programmed, 0);
+  EXPECT_GT(report.time_s, 0.0);
+  EXPECT_GT(report.energy_j, 0.0);
+}
+
+TEST(Programming, CpPruningCutsProgrammingCost) {
+  Rng rng(2);
+  Tensor dense = Tensor::randn({16, 16}, rng);
+  Tensor pruned = dense.clone();
+  // Prune columns of the row-major matrix directly (top-1 per 8-row block).
+  for (std::int64_t c = 0; c < 16; ++c)
+    for (std::int64_t r0 = 0; r0 < 16; r0 += 8) {
+      std::int64_t best = r0;
+      for (std::int64_t r = r0; r < r0 + 8; ++r)
+        if (std::fabs(pruned.at(r, c)) > std::fabs(pruned.at(best, c)))
+          best = r;
+      for (std::int64_t r = r0; r < r0 + 8; ++r)
+        if (r != best) pruned.at(r, c) = 0.0F;
+    }
+  const auto dense_report = xbar::programming_cost(mapped(dense));
+  const auto pruned_report = xbar::programming_cost(mapped(pruned));
+  EXPECT_LT(pruned_report.cells_programmed, dense_report.cells_programmed);
+  EXPECT_LT(pruned_report.energy_j, dense_report.energy_j);
+  EXPECT_LE(pruned_report.time_s, dense_report.time_s);
+}
+
+TEST(Programming, HigherLevelsTakeLonger) {
+  // A layer whose codes are all small programs faster than one maxed out.
+  Tensor small = Tensor::full({8, 8}, 0.1F);
+  Tensor big = Tensor::full({8, 8}, 0.1F);
+  big.at(0, 0) = 1.0F;  // rescales quantization so most codes are small…
+  // Compare instead two uniform layers with different magnitudes relative
+  // to their own scale: all-max vs all-min nonzero codes.
+  Tensor all_max = Tensor::ones({8, 8});
+  const auto t_max = xbar::programming_cost(mapped(all_max)).time_s;
+  Tensor tiny_codes = Tensor::ones({8, 8});
+  tiny_codes.at(0, 0) = 127.0F;  // one huge weight → others quantize to 1
+  const auto t_small = xbar::programming_cost(mapped(tiny_codes)).time_s;
+  EXPECT_LT(t_small, t_max);
+}
+
+TEST(Programming, NetworkAggregates) {
+  Rng rng(3);
+  xbar::MappedNetwork net;
+  net.config = xbar::MappingConfig{};
+  net.layers.push_back(mapped(Tensor::randn({8, 8}, rng)));
+  net.layers.push_back(mapped(Tensor::randn({8, 4}, rng)));
+  const auto total = xbar::programming_cost(net);
+  const auto a = xbar::programming_cost(net.layers[0]);
+  const auto b = xbar::programming_cost(net.layers[1]);
+  EXPECT_DOUBLE_EQ(total.energy_j, a.energy_j + b.energy_j);
+  EXPECT_EQ(total.cells_programmed, a.cells_programmed + b.cells_programmed);
+}
+
+TEST(Programming, ValidatesVoltage) {
+  Rng rng(4);
+  xbar::ProgrammingConfig cfg;
+  cfg.program_voltage = -0.1;  // above SET threshold
+  EXPECT_THROW(xbar::programming_cost(mapped(Tensor::randn({4, 4}, rng)), cfg),
+               CheckError);
+}
+
+TEST(IrDrop, ZeroAlphaIsExact) {
+  Rng rng(5);
+  const auto layer = mapped(Tensor::randn({8, 8}, rng));
+  msim::MsimConfig cfg;
+  cfg.ir_drop_alpha = 0.0;
+  msim::AnalogLayerSim sim(layer, cfg);
+  std::vector<std::int32_t> x(8, 200);
+  EXPECT_EQ(sim.mvm(x), xbar::reference_mvm(layer, x));
+}
+
+TEST(IrDrop, ErrorGrowsWithAlpha) {
+  Rng rng(6);
+  const auto layer = mapped(Tensor::randn({8, 8}, rng));
+  std::vector<std::int32_t> x(8, 200);
+  const auto ref = xbar::reference_mvm(layer, x);
+  double prev_err = -1.0;
+  for (double alpha : {0.05, 0.2, 0.8}) {
+    msim::MsimConfig cfg;
+    cfg.ir_drop_alpha = alpha;
+    msim::AnalogLayerSim sim(layer, cfg);
+    const auto y = sim.mvm(x);
+    double err = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      err += std::abs(static_cast<double>(y[i]) - ref[i]);
+    EXPECT_GE(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_GT(prev_err, 0.0);
+}
+
+TEST(IrDrop, CpPrunedColumnsSufferLess) {
+  // Same alpha, same weights where kept: the CP-pruned layer's lighter
+  // bitline load must yield a smaller relative error than the dense one.
+  Rng rng(7);
+  Tensor dense = Tensor::randn({16, 8}, rng);
+  apply_(dense, [](float v) { return v > 0 ? v + 0.5F : v - 0.5F; });
+  Tensor pruned = dense.clone();
+  for (std::int64_t c = 0; c < 8; ++c) {
+    std::int64_t kept = 0;
+    for (std::int64_t r = 0; r < 16; ++r) {
+      if (kept < 2 && std::fabs(pruned.at(r, c)) > 1.2F) {
+        ++kept;
+        continue;
+      }
+      pruned.at(r, c) = 0.0F;
+    }
+  }
+  auto rel_error = [](const Tensor& m) {
+    xbar::MappingConfig mc;
+    mc.dims = {16, 16};
+    const auto layer = xbar::map_matrix(m, "l", mc);
+    msim::MsimConfig cfg;
+    cfg.ir_drop_alpha = 0.5;
+    msim::AnalogLayerSim sim(layer, cfg);
+    std::vector<std::int32_t> x(16, 255);
+    const auto y = sim.mvm(x);
+    const auto ref = xbar::reference_mvm(layer, x);
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      err += std::abs(static_cast<double>(y[i]) - ref[i]);
+      norm += std::abs(static_cast<double>(ref[i])) + 1.0;
+    }
+    return err / norm;
+  };
+  EXPECT_LT(rel_error(pruned), rel_error(dense));
+}
+
+}  // namespace
+}  // namespace tinyadc

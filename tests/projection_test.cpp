@@ -1,0 +1,234 @@
+// Property tests of the CP-pruning Euclidean projection and the structured
+// projections (P1, P4 in DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/projection.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::core {
+namespace {
+
+/// Builds a random (rows × cols) matrix wrapped for MatrixRef access
+/// (column-major storage, matching the weight-tensor layout).
+std::vector<float> random_matrix(std::int64_t rows, std::int64_t cols,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(static_cast<std::size_t>(rows * cols));
+  for (auto& v : data) v = rng.normal(0.0F, 1.0F);
+  return data;
+}
+
+std::int64_t column_nonzeros(ConstMatrixRef m, std::int64_t col,
+                             std::int64_t r0, std::int64_t r1) {
+  std::int64_t nz = 0;
+  for (std::int64_t r = r0; r < r1; ++r) nz += (m.at(r, col) != 0.0F);
+  return nz;
+}
+
+TEST(CpProjection, EnforcesKeepBound) {
+  auto data = random_matrix(8, 8, 1);
+  MatrixRef m{data.data(), 8, 8};
+  project_column_proportional(m, {8, 8}, 2);
+  EXPECT_TRUE(satisfies_column_proportional({data.data(), 8, 8}, {8, 8}, 2));
+  for (std::int64_t c = 0; c < 8; ++c)
+    EXPECT_EQ(column_nonzeros({data.data(), 8, 8}, c, 0, 8), 2);
+}
+
+TEST(CpProjection, KeepsLargestMagnitudes) {
+  // One column with known magnitudes: keep=3 must retain {9, -8, 7}.
+  std::vector<float> data = {1, -8, 3, 9, 0.5F, 7, -2, 4};
+  MatrixRef m{data.data(), 8, 1};
+  project_column_proportional(m, {8, 8}, 3);
+  EXPECT_FLOAT_EQ(data[1], -8.0F);
+  EXPECT_FLOAT_EQ(data[3], 9.0F);
+  EXPECT_FLOAT_EQ(data[5], 7.0F);
+  EXPECT_FLOAT_EQ(data[0], 0.0F);
+  EXPECT_FLOAT_EQ(data[2], 0.0F);
+}
+
+TEST(CpProjection, IsIdempotent) {
+  auto data = random_matrix(16, 12, 2);
+  MatrixRef m{data.data(), 16, 12};
+  project_column_proportional(m, {4, 4}, 1);
+  auto once = data;
+  project_column_proportional(m, {4, 4}, 1);
+  EXPECT_EQ(data, once);
+}
+
+TEST(CpProjection, EuclideanOptimalAmongConstraintSet) {
+  // The projection must be the closest point: any other support choice of
+  // the same cardinality is farther in L2. Verify against exhaustive
+  // support enumeration on a small column.
+  std::vector<float> data = {3, -1, 2, -4};
+  std::vector<float> orig = data;
+  MatrixRef m{data.data(), 4, 1};
+  project_column_proportional(m, {4, 4}, 2);
+  auto dist = [&orig](const std::vector<float>& x) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      const double diff = orig[i] - x[i];
+      d += diff * diff;
+    }
+    return d;
+  };
+  const double proj_dist = dist(data);
+  // All 2-element supports.
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) {
+      std::vector<float> cand(4, 0.0F);
+      cand[static_cast<std::size_t>(i)] = orig[static_cast<std::size_t>(i)];
+      cand[static_cast<std::size_t>(j)] = orig[static_cast<std::size_t>(j)];
+      EXPECT_LE(proj_dist, dist(cand) + 1e-9);
+    }
+}
+
+TEST(CpProjection, BlockStructureRespected) {
+  // 8 rows, crossbar rows 4 → two vertical blocks; keep=1 per block column
+  // means 2 survivors per full matrix column.
+  auto data = random_matrix(8, 4, 3);
+  MatrixRef m{data.data(), 8, 4};
+  project_column_proportional(m, {4, 8}, 1);
+  ConstMatrixRef cm{data.data(), 8, 4};
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_LE(column_nonzeros(cm, c, 0, 4), 1);
+    EXPECT_LE(column_nonzeros(cm, c, 4, 8), 1);
+  }
+}
+
+TEST(CpProjection, RemainderBlocksConstrained) {
+  // 10 rows with crossbar rows 4 → blocks of 4, 4, 2; the 2-row remainder
+  // block must also satisfy keep=1.
+  auto data = random_matrix(10, 3, 4);
+  MatrixRef m{data.data(), 10, 3};
+  project_column_proportional(m, {4, 4}, 1);
+  ConstMatrixRef cm{data.data(), 10, 3};
+  for (std::int64_t c = 0; c < 3; ++c)
+    EXPECT_LE(column_nonzeros(cm, c, 8, 10), 1);
+}
+
+TEST(CpProjection, KeepGreaterThanBlockIsNoop) {
+  auto data = random_matrix(4, 4, 5);
+  auto orig = data;
+  MatrixRef m{data.data(), 4, 4};
+  project_column_proportional(m, {8, 8}, 8);
+  EXPECT_EQ(data, orig);
+}
+
+TEST(CpProjection, KeepZeroZeroesEverything) {
+  auto data = random_matrix(4, 4, 6);
+  MatrixRef m{data.data(), 4, 4};
+  project_column_proportional(m, {4, 4}, 0);
+  for (float v : data) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(MaxColumnNonzeros, CountsWorstBlockColumn) {
+  std::vector<float> data(16, 0.0F);
+  MatrixRef m{data.data(), 4, 4};
+  m.at(0, 2) = 1.0F;
+  m.at(1, 2) = 1.0F;
+  m.at(3, 2) = 1.0F;
+  m.at(0, 0) = 1.0F;
+  EXPECT_EQ(max_column_nonzeros({data.data(), 4, 4}, {4, 4}), 3);
+  EXPECT_EQ(max_column_nonzeros({data.data(), 4, 4}, {2, 4}), 2);
+}
+
+TEST(Satisfies, DetectsViolation) {
+  std::vector<float> data(16, 1.0F);
+  EXPECT_FALSE(
+      satisfies_column_proportional({data.data(), 4, 4}, {4, 4}, 3));
+  EXPECT_TRUE(satisfies_column_proportional({data.data(), 4, 4}, {4, 4}, 4));
+}
+
+TEST(Structured, LowestNormColumnSelection) {
+  std::vector<float> data(12, 0.0F);
+  MatrixRef m{data.data(), 4, 3};
+  for (std::int64_t r = 0; r < 4; ++r) {
+    m.at(r, 0) = 10.0F;
+    m.at(r, 1) = 0.1F;
+    m.at(r, 2) = 5.0F;
+  }
+  const auto cols = lowest_norm_columns({data.data(), 4, 3}, 2);
+  EXPECT_EQ(cols, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Structured, LowestNormRowSelection) {
+  std::vector<float> data(12, 0.0F);
+  MatrixRef m{data.data(), 3, 4};
+  for (std::int64_t c = 0; c < 4; ++c) {
+    m.at(0, c) = 1.0F;
+    m.at(1, c) = 0.01F;
+    m.at(2, c) = 2.0F;
+  }
+  const auto rows = lowest_norm_rows({data.data(), 3, 4}, 1);
+  EXPECT_EQ(rows, (std::vector<std::int64_t>{1}));
+}
+
+TEST(Structured, ZeroColumnsAndRows) {
+  auto data = random_matrix(4, 4, 7);
+  MatrixRef m{data.data(), 4, 4};
+  zero_columns(m, {1, 3});
+  zero_rows(m, {0});
+  ConstMatrixRef cm{data.data(), 4, 4};
+  for (std::int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(cm.at(r, 1), 0.0F);
+    EXPECT_EQ(cm.at(r, 3), 0.0F);
+  }
+  for (std::int64_t c = 0; c < 4; ++c) EXPECT_EQ(cm.at(0, c), 0.0F);
+  EXPECT_THROW(zero_columns(m, {4}), CheckError);
+}
+
+TEST(Structured, RoundRemovalToCrossbarMultiple) {
+  EXPECT_EQ(round_removal(300, 128, true), 256);
+  EXPECT_EQ(round_removal(127, 128, true), 0);
+  EXPECT_EQ(round_removal(128, 128, true), 128);
+  EXPECT_EQ(round_removal(300, 128, false), 300);  // ablation mode
+}
+
+TEST(Masks, SupportMaskAndApply) {
+  std::vector<float> data = {1.0F, 0.0F, -2.0F, 0.0F};
+  const auto mask = support_mask({data.data(), 2, 2});
+  EXPECT_EQ(mask, (std::vector<float>{1, 0, 1, 0}));
+  std::vector<float> other = {5, 6, 7, 8};
+  apply_mask({other.data(), 2, 2}, mask);
+  EXPECT_EQ(other, (std::vector<float>{5, 0, 7, 0}));
+}
+
+/// Parameterized sweep: for every (rows, cols, crossbar, keep) combination
+/// the projection must satisfy the constraint, be idempotent, and preserve
+/// exactly min(keep, block_rows) entries per full block column.
+class CpSweep : public ::testing::TestWithParam<
+                    std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                               std::int64_t>> {};
+
+TEST_P(CpSweep, ConstraintAndIdempotence) {
+  const auto [rows, cols, xrows, keep] = GetParam();
+  auto data = random_matrix(rows, cols,
+                            static_cast<std::uint64_t>(rows * 1000 + cols * 10 +
+                                                       xrows + keep));
+  MatrixRef m{data.data(), rows, cols};
+  const CrossbarDims dims{xrows, xrows};
+  project_column_proportional(m, dims, keep);
+  EXPECT_TRUE(
+      satisfies_column_proportional({data.data(), rows, cols}, dims, keep));
+  auto once = data;
+  project_column_proportional(m, dims, keep);
+  EXPECT_EQ(data, once);
+  // Random dense input ⇒ full blocks keep exactly `keep` (a.s. no zeros).
+  ConstMatrixRef cm{data.data(), rows, cols};
+  for (std::int64_t c = 0; c < cols; ++c)
+    for (std::int64_t r0 = 0; r0 + xrows <= rows; r0 += xrows)
+      EXPECT_EQ(column_nonzeros(cm, c, r0, r0 + xrows),
+                std::min<std::int64_t>(keep, xrows));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CpSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(4, 9, 16, 33),
+                       ::testing::Values<std::int64_t>(1, 5, 12),
+                       ::testing::Values<std::int64_t>(4, 8),
+                       ::testing::Values<std::int64_t>(1, 2, 4)));
+
+}  // namespace
+}  // namespace tinyadc::core

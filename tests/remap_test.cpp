@@ -1,0 +1,134 @@
+// Fault-aware row remapping: sampler/applier equivalence, damage
+// accounting, and the greedy remapper's guarantees.
+#include <gtest/gtest.h>
+
+#include "fault/remap.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::fault {
+namespace {
+
+xbar::MappedLayer mapped(const Tensor& m) {
+  xbar::MappingConfig cfg;
+  cfg.dims = {8, 8};
+  return xbar::map_matrix(m, "l", cfg);
+}
+
+TEST(FaultMap, SamplerHitsExpectedFraction) {
+  tinyadc::Rng gen(1);
+  auto layer = mapped(Tensor::randn({16, 16}, gen));
+  FaultSpec spec;
+  spec.rate = 0.1;
+  tinyadc::Rng rng(2);
+  const auto map = sample_fault_map(layer, spec, rng);
+  // 256 weights × 8 cells = 2048 cells; ~10 % faulty.
+  EXPECT_NEAR(static_cast<double>(map.total_faults()) / 2048.0, 0.1, 0.03);
+}
+
+TEST(FaultMap, IdentityPermApplicationMatchesDirectInjection) {
+  // apply_fault_map under identity perms must equal inject_faults when both
+  // consume the same random stream.
+  tinyadc::Rng gen(3);
+  Tensor m = Tensor::randn({16, 8}, gen);
+  auto a = mapped(m);
+  auto b = mapped(m);
+  FaultSpec spec;
+  spec.rate = 0.2;
+  spec.sa0_fraction = 0.7;
+  tinyadc::Rng r1(4), r2(4);
+  inject_faults(a, spec, r1);
+  const auto map = sample_fault_map(b, spec, r2);
+  apply_fault_map(b, map, identity_permutations(b));
+  for (std::size_t i = 0; i < a.blocks.size(); ++i)
+    EXPECT_EQ(a.blocks[i].q, b.blocks[i].q) << "block " << i;
+}
+
+TEST(FaultMap, DamageZeroWithoutFaults) {
+  tinyadc::Rng gen(5);
+  auto layer = mapped(Tensor::randn({8, 8}, gen));
+  FaultMap empty;
+  empty.blocks.resize(layer.blocks.size());
+  EXPECT_EQ(fault_damage(layer, empty, identity_permutations(layer)), 0);
+}
+
+TEST(FaultMap, DamageMatchesAppliedDelta) {
+  tinyadc::Rng gen(6);
+  auto layer = mapped(Tensor::randn({8, 8}, gen));
+  FaultSpec spec;
+  spec.rate = 0.15;
+  tinyadc::Rng rng(7);
+  const auto map = sample_fault_map(layer, spec, rng);
+  const auto perms = identity_permutations(layer);
+  const std::int64_t predicted = fault_damage(layer, map, perms);
+  auto copy = layer;
+  apply_fault_map(copy, map, perms);
+  std::int64_t realized = 0;
+  for (std::size_t b = 0; b < layer.blocks.size(); ++b)
+    for (std::size_t k = 0; k < layer.blocks[b].q.size(); ++k)
+      realized += std::abs(copy.blocks[b].q[k] - layer.blocks[b].q[k]);
+  EXPECT_EQ(predicted, realized);
+}
+
+TEST(Remap, GreedyNeverWorseThanIdentity) {
+  for (std::uint64_t seed = 10; seed < 20; ++seed) {
+    tinyadc::Rng gen(seed);
+    auto layer = mapped(Tensor::randn({16, 16}, gen));
+    FaultSpec spec;
+    spec.rate = 0.1;
+    tinyadc::Rng rng(seed * 7);
+    const auto map = sample_fault_map(layer, spec, rng);
+    const auto greedy = remap_rows_greedy(layer, map);
+    EXPECT_LE(fault_damage(layer, map, greedy),
+              fault_damage(layer, map, identity_permutations(layer)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Remap, GreedyProducesValidPermutations) {
+  tinyadc::Rng gen(21);
+  auto layer = mapped(Tensor::randn({16, 8}, gen));
+  FaultSpec spec;
+  spec.rate = 0.3;
+  tinyadc::Rng rng(22);
+  const auto map = sample_fault_map(layer, spec, rng);
+  const auto perms = remap_rows_greedy(layer, map);
+  ASSERT_EQ(perms.size(), layer.blocks.size());
+  for (std::size_t b = 0; b < perms.size(); ++b) {
+    std::vector<bool> seen(perms[b].size(), false);
+    for (std::int64_t p : perms[b]) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, static_cast<std::int64_t>(perms[b].size()));
+      EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+}
+
+TEST(Remap, CpPrunedLayerCanAbsorbSa0Completely) {
+  // A CP-pruned block has mostly-zero rows; if the faults are SA0-only and
+  // fewer wordlines are faulty than there are all-zero rows per... the
+  // greedy remapper should often park every faulty wordline under a zero
+  // weight, reaching zero damage.
+  Tensor m = Tensor::zeros({8, 8});
+  for (int c = 0; c < 8; ++c) m.at(c % 2, c) = 1.0F;  // 2 live rows only
+  auto layer = mapped(m);
+  FaultSpec spec;
+  spec.rate = 0.05;
+  spec.sa0_fraction = 1.0;
+  tinyadc::Rng rng(30);
+  const auto map = sample_fault_map(layer, spec, rng);
+  if (map.total_faults() == 0) GTEST_SKIP();
+  const auto greedy = remap_rows_greedy(layer, map);
+  EXPECT_EQ(fault_damage(layer, map, greedy), 0);
+}
+
+TEST(Remap, AlignmentValidated) {
+  tinyadc::Rng gen(31);
+  auto layer = mapped(Tensor::randn({8, 8}, gen));
+  FaultMap bad;  // wrong block count
+  EXPECT_THROW(fault_damage(layer, bad, identity_permutations(layer)),
+               tinyadc::CheckError);
+}
+
+}  // namespace
+}  // namespace tinyadc::fault

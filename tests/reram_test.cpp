@@ -1,0 +1,137 @@
+// VTEAM ReRAM device model: I–V behaviour, threshold dynamics, MLC levels,
+// process variation, programming time.
+#include <gtest/gtest.h>
+
+#include "xbar/reram_cell.hpp"
+
+namespace tinyadc::xbar {
+namespace {
+
+TEST(Vteam, ConductanceBounds) {
+  VteamCell off(VteamParams{}, 0.0);
+  VteamCell on(VteamParams{}, 1.0);
+  EXPECT_DOUBLE_EQ(off.conductance(), off.params().g_off());
+  EXPECT_DOUBLE_EQ(on.conductance(), on.params().g_on());
+  EXPECT_GT(on.conductance(), off.conductance());
+}
+
+TEST(Vteam, OhmicRead) {
+  VteamCell cell(VteamParams{}, 0.5);
+  const double g = cell.conductance();
+  EXPECT_DOUBLE_EQ(cell.current(0.2), g * 0.2);
+  EXPECT_DOUBLE_EQ(cell.current(-0.2), -g * 0.2);
+}
+
+TEST(Vteam, NoDriftBelowThreshold) {
+  VteamCell cell(VteamParams{}, 0.5);
+  const double before = cell.state();
+  // Read voltages inside (v_on, v_off) must not disturb the state.
+  for (int i = 0; i < 1000; ++i) cell.step(0.3, 1e-6);
+  for (int i = 0; i < 1000; ++i) cell.step(-0.3, 1e-6);
+  EXPECT_DOUBLE_EQ(cell.state(), before);
+}
+
+TEST(Vteam, SetMovesTowardOn) {
+  VteamCell cell(VteamParams{}, 0.5);
+  for (int i = 0; i < 100; ++i) cell.step(-1.2, 1e-6);
+  EXPECT_GT(cell.state(), 0.5);
+}
+
+TEST(Vteam, ResetMovesTowardOff) {
+  VteamCell cell(VteamParams{}, 0.5);
+  for (int i = 0; i < 100; ++i) cell.step(1.2, 1e-6);
+  EXPECT_LT(cell.state(), 0.5);
+}
+
+TEST(Vteam, StateStaysInUnitInterval) {
+  VteamCell cell(VteamParams{}, 0.9);
+  for (int i = 0; i < 100000; ++i) cell.step(-2.0, 1e-5);
+  EXPECT_LE(cell.state(), 1.0);
+  VteamCell cell2(VteamParams{}, 0.1);
+  for (int i = 0; i < 100000; ++i) cell2.step(2.0, 1e-5);
+  EXPECT_GE(cell2.state(), 0.0);
+}
+
+TEST(Vteam, ParameterValidation) {
+  VteamParams bad;
+  bad.r_off = bad.r_on;  // must be strictly larger
+  EXPECT_THROW(VteamCell cell(bad), tinyadc::CheckError);
+  VteamParams bad2;
+  bad2.v_on = 0.5;  // must be negative
+  EXPECT_THROW(VteamCell cell(bad2), tinyadc::CheckError);
+}
+
+TEST(MlcLevels, CountSpacingAndEndpoints) {
+  VteamParams params;
+  const auto levels = mlc_conductance_levels(params, 2);
+  ASSERT_EQ(levels.size(), 4U);
+  EXPECT_DOUBLE_EQ(levels.front(), params.g_off());
+  EXPECT_DOUBLE_EQ(levels.back(), params.g_on());
+  // Strictly increasing, evenly spaced.
+  const double step = levels[1] - levels[0];
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GT(levels[i], levels[i - 1]);
+    EXPECT_NEAR(levels[i] - levels[i - 1], step, 1e-12);
+  }
+}
+
+TEST(MlcLevels, RejectsImpracticalBitCounts) {
+  // The paper: "using more than 2-3 ReRAM bit cells is not practical".
+  EXPECT_THROW(mlc_conductance_levels(VteamParams{}, 5), tinyadc::CheckError);
+  EXPECT_THROW(mlc_conductance_levels(VteamParams{}, 0), tinyadc::CheckError);
+}
+
+TEST(MlcLevels, StateForLevelRealizesConductance) {
+  VteamParams params;
+  for (int level = 0; level < 4; ++level) {
+    VteamCell cell(params, state_for_level(params, level, 2));
+    const auto levels = mlc_conductance_levels(params, 2);
+    EXPECT_NEAR(cell.conductance(), levels[static_cast<std::size_t>(level)],
+                1e-12);
+  }
+}
+
+TEST(Variation, ZeroSigmaIsExact) {
+  tinyadc::Rng rng(1);
+  EXPECT_DOUBLE_EQ(perturbed_conductance(1e-4, 0.0, rng), 1e-4);
+}
+
+TEST(Variation, TenPercentSigmaSpread) {
+  tinyadc::Rng rng(2);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = perturbed_conductance(1.0, 0.1, rng);
+    EXPECT_GT(g, 0.0);  // lognormal never flips sign
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double stdev = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(stdev / mean, 0.1, 0.02);  // ~10 % relative spread
+}
+
+TEST(ProgrammingTime, MonotonicInTargetLevel) {
+  VteamParams params;
+  double prev = 0.0;
+  for (int level = 1; level < 4; ++level) {
+    const double t = programming_time(params, level, 2, -1.5);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ProgrammingTime, FasterAtHigherVoltage) {
+  VteamParams params;
+  const double slow = programming_time(params, 3, 2, -1.0);
+  const double fast = programming_time(params, 3, 2, -2.0);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(ProgrammingTime, RequiresSuperThresholdVoltage) {
+  EXPECT_THROW(programming_time(VteamParams{}, 1, 2, -0.1),
+               tinyadc::CheckError);
+}
+
+}  // namespace
+}  // namespace tinyadc::xbar

@@ -1,0 +1,123 @@
+// Unit + property tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/rng.hpp"
+
+namespace tinyadc {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 10U);  // state not stuck at zero
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng r(5);
+  const auto first = r.next_u64();
+  r.next_u64();
+  r.reseed(5);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = r.uniform(-2.0F, 3.0F);
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng r(9);
+  int counts[5] = {};
+  for (int i = 0; i < 5000; ++i) ++counts[r.uniform_int(5)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_int(0), CheckError);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(10);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalMeanStdParameters) {
+  Rng r(11);
+  double sum = 0.0;
+  constexpr int n = 10000;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0F, 0.5F);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng r(12);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng r(13);
+  const auto p = r.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100U);
+  EXPECT_EQ(*seen.begin(), 0U);
+  EXPECT_EQ(*seen.rbegin(), 99U);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng r(14);
+  EXPECT_TRUE(r.permutation(0).empty());
+  const auto p = r.permutation(1);
+  ASSERT_EQ(p.size(), 1U);
+  EXPECT_EQ(p[0], 0U);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.split();
+  // The child stream should differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace tinyadc

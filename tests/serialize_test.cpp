@@ -1,0 +1,71 @@
+// Tensor/checkpoint serialization round trips and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "tensor/ops.hpp"
+#include "tensor/serialize.hpp"
+
+namespace tinyadc {
+namespace {
+
+TEST(Serialize, TensorRoundTrip) {
+  Rng rng(21);
+  Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_TRUE(allclose(back, t, 0.0F));
+}
+
+TEST(Serialize, ScalarAndEmptyShapes) {
+  std::stringstream ss;
+  write_tensor(ss, Tensor::full({1}, 3.0F));
+  write_tensor(ss, Tensor::zeros({0}));
+  Tensor a = read_tensor(ss);
+  Tensor b = read_tensor(ss);
+  EXPECT_FLOAT_EQ(a.at(0), 3.0F);
+  EXPECT_EQ(b.numel(), 0);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream ss("XXXXgarbage");
+  EXPECT_THROW(read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, TruncatedPayloadRejected) {
+  std::stringstream ss;
+  write_tensor(ss, Tensor::ones({8}));
+  std::string payload = ss.str();
+  payload.resize(payload.size() - 4);
+  std::stringstream truncated(payload);
+  EXPECT_THROW(read_tensor(truncated), CheckError);
+}
+
+TEST(Serialize, RecordsRoundTripThroughFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tinyadc_records_test.bin")
+          .string();
+  Rng rng(5);
+  std::vector<TensorRecord> records;
+  records.push_back({"conv1.weight", Tensor::randn({4, 3, 3, 3}, rng)});
+  records.push_back({"fc.bias", Tensor::randn({10}, rng)});
+  save_records(path, records);
+  const auto loaded = load_records(path);
+  ASSERT_EQ(loaded.size(), 2U);
+  EXPECT_EQ(loaded[0].name, "conv1.weight");
+  EXPECT_EQ(loaded[1].name, "fc.bias");
+  EXPECT_TRUE(allclose(loaded[0].value, records[0].value, 0.0F));
+  EXPECT_TRUE(allclose(loaded[1].value, records[1].value, 0.0F));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_records("/nonexistent/path/x.bin"), CheckError);
+}
+
+}  // namespace
+}  // namespace tinyadc

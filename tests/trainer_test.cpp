@@ -1,0 +1,133 @@
+// Trainer: learning actually happens, hooks fire in the right places.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace tinyadc::nn {
+namespace {
+
+data::DatasetPair easy_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.image_size = 8;
+  spec.train_per_class = 24;
+  spec.test_per_class = 8;
+  spec.noise = 0.15F;
+  spec.seed = 77;
+  return data::make_synthetic(spec);
+}
+
+std::unique_ptr<Model> small_model() {
+  ModelConfig cfg;
+  cfg.num_classes = 4;
+  cfg.image_size = 8;
+  cfg.width_mult = 0.0625F;
+  return resnet18(cfg);
+}
+
+TEST(Trainer, LearnsSeparableTask) {
+  const auto data = easy_data();
+  auto model = small_model();
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05F;
+  tc.sgd.total_epochs = 8;
+  Trainer trainer(*model, tc);
+  const double before = trainer.evaluate(data.test);
+  const auto trace = trainer.fit(data.train, data.test);
+  const double after = trainer.evaluate(data.test);
+  EXPECT_GT(after, before + 0.2);
+  EXPECT_GT(after, 0.6);
+  // Loss should broadly decrease from first to last epoch.
+  EXPECT_LT(trace.back().loss, trace.front().loss);
+}
+
+TEST(Trainer, AdamBackendAlsoLearns) {
+  const auto data = easy_data();
+  auto model = small_model();
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.optimizer = OptimizerKind::kAdam;
+  tc.adam.lr = 2e-3F;
+  Trainer trainer(*model, tc);
+  trainer.fit(data.train, data.test);
+  EXPECT_GT(trainer.evaluate(data.test), 0.6);
+}
+
+TEST(Trainer, TopkEvaluationBoundsTop1) {
+  const auto data = easy_data();
+  auto model = small_model();
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05F;
+  tc.sgd.total_epochs = 4;
+  Trainer trainer(*model, tc);
+  trainer.fit(data.train, data.test);
+  const double top1 = trainer.evaluate(data.test);
+  const double top2 = trainer.evaluate_topk(data.test, 2);
+  EXPECT_GE(top2, top1);
+  EXPECT_DOUBLE_EQ(trainer.evaluate_topk(data.test, 4), 1.0);  // 4 classes
+  EXPECT_NEAR(trainer.evaluate_topk(data.test, 1), top1, 1e-12);
+}
+
+TEST(Trainer, EvaluateIsDeterministic) {
+  const auto data = easy_data();
+  auto model = small_model();
+  TrainConfig tc;
+  Trainer trainer(*model, tc);
+  EXPECT_DOUBLE_EQ(trainer.evaluate(data.test), trainer.evaluate(data.test));
+}
+
+TEST(Trainer, GradHookRunsPerBatchBeforeStep) {
+  const auto data = easy_data();
+  auto model = small_model();
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 32;
+  Trainer trainer(*model, tc);
+  int grad_calls = 0, step_calls = 0;
+  trainer.set_grad_hook([&] { ++grad_calls; });
+  trainer.set_step_hook([&] { ++step_calls; });
+  trainer.train_epoch(data.train, 0);
+  const int batches = (96 + 31) / 32;
+  EXPECT_EQ(grad_calls, batches);
+  EXPECT_EQ(step_calls, batches);
+}
+
+TEST(Trainer, EpochHookSeesEpochIndex) {
+  const auto data = easy_data();
+  auto model = small_model();
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 96;
+  Trainer trainer(*model, tc);
+  std::vector<int> epochs;
+  trainer.set_epoch_hook([&](int e) { epochs.push_back(e); });
+  trainer.fit(data.train, data.test);
+  EXPECT_EQ(epochs, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Trainer, FitReturnsOneStatPerEpoch) {
+  const auto data = easy_data();
+  auto model = small_model();
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 48;
+  Trainer trainer(*model, tc);
+  const auto trace = trainer.fit(data.train, data.test);
+  ASSERT_EQ(trace.size(), 2U);
+  for (const auto& s : trace) {
+    EXPECT_GE(s.train_accuracy, 0.0);
+    EXPECT_LE(s.train_accuracy, 1.0);
+    EXPECT_GE(s.test_accuracy, 0.0);
+    EXPECT_LE(s.test_accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tinyadc::nn

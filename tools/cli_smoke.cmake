@@ -1,0 +1,21 @@
+# End-to-end CLI smoke: train → prune → map → report → fault on a tiny
+# budget; any non-zero exit fails the test.
+function(run)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    string(REPLACE ";" " " pretty "${ARGN}")
+    message(FATAL_ERROR "command failed (${rc}): ${pretty}")
+  endif()
+endfunction()
+
+set(common --net resnet18 --dataset cifar10 --width-mult 0.0625
+    --image-size 8 --train-per-class 8 --test-per-class 4)
+run(${CLI} train ${common} --epochs 2 --out ${WORK}/smoke.bin)
+run(${CLI} prune ${common} --in ${WORK}/smoke.bin --cp-rate 4
+    --admm-epochs 1 --retrain-epochs 1 --out ${WORK}/smoke_pruned.bin)
+run(${CLI} map --net resnet18 --width-mult 0.0625 --image-size 8
+    --classes 10 --in ${WORK}/smoke_pruned.bin)
+run(${CLI} report --net resnet18 --width-mult 0.0625 --image-size 8
+    --classes 10 --in ${WORK}/smoke_pruned.bin)
+run(${CLI} fault ${common} --in ${WORK}/smoke_pruned.bin --rate 0.05
+    --trials 1 --remap)

@@ -1,0 +1,252 @@
+// tinyadc — command-line front end for the TinyADC toolkit.
+//
+// Subcommands:
+//   train   train a model on a synthetic tier and save a checkpoint
+//   prune   run the TinyADC pipeline (CP and/or structured) on a checkpoint
+//   map     map a checkpoint onto crossbars and print the ADC/array table
+//   report  price the accelerator (area/power) and the pipeline schedule
+//   fault   evaluate accuracy under stuck-at faults (optionally remapped)
+//
+// Examples:
+//   tinyadc train --net resnet18 --dataset cifar10 --epochs 10 --out m.bin
+//   tinyadc prune --net resnet18 --dataset cifar10 --in m.bin --cp-rate 8 \
+//                 --out pruned.bin
+//   tinyadc map --net resnet18 --in pruned.bin --xbar 128
+//   tinyadc report --net resnet18 --in pruned.bin
+//   tinyadc fault --net resnet18 --dataset cifar10 --in pruned.bin \
+//                 --rate 0.10 --remap
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "fault/evaluate.hpp"
+#include "hw/inference_model.hpp"
+#include "hw/pipeline.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace tinyadc;
+
+/// Minimal --key value argument map with typed getters and defaults.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      TINYADC_CHECK(key.rfind("--", 0) == 0, "expected --flag, got " << key);
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // boolean flag
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::DatasetPair load_dataset(const Args& args) {
+  auto spec = data::tier_by_name(args.get("dataset", "cifar10"));
+  spec.image_size = args.get_int("image-size", 8);
+  spec.train_per_class = args.get_int("train-per-class", 24);
+  spec.test_per_class = args.get_int("test-per-class", 8);
+  if (args.has("classes")) spec.num_classes = args.get_int("classes", 10);
+  return data::make_synthetic(spec);
+}
+
+std::unique_ptr<nn::Model> load_model(const Args& args,
+                                      std::int64_t num_classes) {
+  nn::ModelConfig cfg;
+  cfg.num_classes = num_classes;
+  cfg.image_size = args.get_int("image-size", 8);
+  cfg.width_mult = static_cast<float>(args.get_double("width-mult", 0.125));
+  auto model = nn::build_model(args.get("net", "resnet18"), cfg);
+  if (args.has("in")) model->load(args.get("in", ""));
+  return model;
+}
+
+xbar::MappingConfig mapping_config(const Args& args) {
+  xbar::MappingConfig cfg;
+  const auto dim = args.get_int("xbar", 16);
+  cfg.dims = {dim, dim};
+  cfg.weight_bits = static_cast<int>(args.get_int("weight-bits", 8));
+  cfg.cell_bits = static_cast<int>(args.get_int("cell-bits", 2));
+  cfg.input_bits = static_cast<int>(args.get_int("input-bits", 8));
+  return cfg;
+}
+
+int cmd_train(const Args& args) {
+  const auto data = load_dataset(args);
+  auto model = load_model(args, data.train.num_classes);
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<int>(args.get_int("epochs", 10));
+  tc.batch_size = static_cast<std::size_t>(args.get_int("batch", 32));
+  tc.sgd.lr = static_cast<float>(args.get_double("lr", 0.05));
+  tc.sgd.total_epochs = tc.epochs;
+  tc.verbose = args.has("verbose");
+  nn::Trainer trainer(*model, tc);
+  trainer.fit(data.train, data.test);
+  std::printf("final accuracy: %.2f%%\n",
+              100.0 * trainer.evaluate(data.test));
+  if (args.has("out")) {
+    model->save(args.get("out", ""));
+    std::printf("saved checkpoint to %s\n", args.get("out", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_prune(const Args& args) {
+  const auto data = load_dataset(args);
+  auto model = load_model(args, data.train.num_classes);
+  core::PipelineConfig cfg;
+  const auto dim = args.get_int("xbar", 16);
+  cfg.xbar = {dim, dim};
+  cfg.pretrain.epochs =
+      args.has("in") ? 0 : static_cast<int>(args.get_int("epochs", 10));
+  cfg.pretrain.sgd.total_epochs = std::max(cfg.pretrain.epochs, 1);
+  cfg.admm.epochs = static_cast<int>(args.get_int("admm-epochs", 6));
+  cfg.admm.sgd.lr = 0.02F;
+  cfg.retrain.epochs = static_cast<int>(args.get_int("retrain-epochs", 6));
+  cfg.retrain.sgd.lr = 0.01F;
+  cfg.verbose = args.has("verbose");
+
+  core::SpecOptions opts;
+  opts.include_linear = args.has("include-linear");
+  auto specs = core::uniform_cp_specs(*model, args.get_int("cp-rate", 8),
+                                      cfg.xbar, opts);
+  const double filter_frac = args.get_double("filter-frac", 0.0);
+  const double shape_frac = args.get_double("shape-frac", 0.0);
+  if (filter_frac > 0.0 || shape_frac > 0.0)
+    core::add_structured(specs, *model, filter_frac, shape_frac, cfg.xbar,
+                         !args.has("no-xbar-aware"), opts);
+
+  const auto result =
+      core::run_pipeline(*model, data.train, data.test, specs, cfg);
+  std::printf("baseline %.2f%% -> pruned %.2f%% (overall %.1fx)\n",
+              100.0 * result.baseline_accuracy,
+              100.0 * result.final_accuracy, result.report.pruning_rate());
+  std::printf("%s", core::to_table(result.report).c_str());
+  if (args.has("out")) {
+    model->save(args.get("out", ""));
+    std::printf("saved pruned checkpoint to %s\n",
+                args.get("out", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_map(const Args& args) {
+  auto model = load_model(args, args.get_int("classes", 10));
+  const auto cfg = mapping_config(args);
+  const auto net = xbar::map_model(*model, cfg);
+  std::printf("%-26s %8s %8s %10s %8s %8s\n", "layer", "dense", "active",
+              "occupancy", "Eq.1", "design");
+  for (const auto& layer : net.layers)
+    std::printf("%-26s %8lld %8lld %10lld %8d %8d\n", layer.name.c_str(),
+                static_cast<long long>(layer.dense_blocks() *
+                                       layer.arrays_per_block()),
+                static_cast<long long>(layer.active_arrays()),
+                static_cast<long long>(layer.max_active_rows()),
+                layer.required_adc_bits(), layer.design_adc_bits());
+  std::printf("crossbar reduction %.1f%%, worst design ADC after first "
+              "layer: %d bits\n",
+              100.0 * net.crossbar_reduction(),
+              net.worst_design_adc_bits_after_first());
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  auto model = load_model(args, args.get_int("classes", 10));
+  const auto cfg = mapping_config(args);
+  const auto net = xbar::map_model(*model, cfg);
+  const hw::CostConstants constants;
+  const auto acc_report = hw::build_accelerator(net, constants);
+  std::printf("%s\n", hw::to_table(acc_report).c_str());
+  const std::int64_t side = args.get_int("image-size", 8);
+  const auto mvms = hw::mvms_per_inference(*model, {3, side, side});
+  const auto cost = hw::estimate_inference(net, mvms, constants);
+  std::printf("per-image: %.2f us, %.3f uJ (ADC %.0f%%)\n",
+              1e6 * cost.latency_s, 1e6 * cost.energy_j,
+              100.0 * cost.adc_energy_j / cost.energy_j);
+  const auto schedule = hw::schedule_pipeline(net, mvms, constants);
+  std::printf("\npipeline schedule:\n%s", hw::to_table(schedule).c_str());
+  return 0;
+}
+
+int cmd_fault(const Args& args) {
+  const auto data = load_dataset(args);
+  auto model = load_model(args, data.train.num_classes);
+  const auto cfg = mapping_config(args);
+  fault::FaultSpec spec;
+  spec.rate = args.get_double("rate", 0.10);
+  spec.sa0_fraction = args.get_double("sa0-fraction", 1.0);
+  const int trials = static_cast<int>(args.get_int("trials", 3));
+  const auto plain =
+      fault::evaluate_under_faults(*model, data.test, cfg, spec, trials);
+  std::printf("clean %.2f%%  faulted %.2f%% (drop %.2fpp, min %.2f%%)\n",
+              100.0 * plain.clean_accuracy, 100.0 * plain.mean_accuracy,
+              100.0 * plain.accuracy_drop(), 100.0 * plain.min_accuracy);
+  if (args.has("remap")) {
+    const auto remapped = fault::evaluate_under_faults_remapped(
+        *model, data.test, cfg, spec, trials);
+    std::printf("with fault-aware remapping: faulted %.2f%% (drop %.2fpp)\n",
+                100.0 * remapped.mean_accuracy,
+                100.0 * remapped.accuracy_drop());
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: tinyadc <train|prune|map|report|fault> [--flag value]...\n"
+      "common flags: --net resnet18|resnet50|vgg16  --dataset "
+      "cifar10|cifar100|imagenet\n"
+      "              --width-mult 0.125  --image-size 8  --xbar 16  --in/"
+      "--out ckpt.bin\n"
+      "prune flags : --cp-rate N  --filter-frac F  --shape-frac F  "
+      "--include-linear\n"
+      "fault flags : --rate R  --sa0-fraction F  --trials N  --remap\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv, 2);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "prune") return cmd_prune(args);
+    if (cmd == "map") return cmd_map(args);
+    if (cmd == "report") return cmd_report(args);
+    if (cmd == "fault") return cmd_fault(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
