@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adc_clip.dir/bench_ablation_adc_clip.cpp.o"
+  "CMakeFiles/bench_ablation_adc_clip.dir/bench_ablation_adc_clip.cpp.o.d"
+  "bench_ablation_adc_clip"
+  "bench_ablation_adc_clip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adc_clip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

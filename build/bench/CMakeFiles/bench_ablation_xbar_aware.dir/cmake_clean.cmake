@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xbar_aware.dir/bench_ablation_xbar_aware.cpp.o"
+  "CMakeFiles/bench_ablation_xbar_aware.dir/bench_ablation_xbar_aware.cpp.o.d"
+  "bench_ablation_xbar_aware"
+  "bench_ablation_xbar_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xbar_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adc_bits.dir/bench_adc_bits.cpp.o"
+  "CMakeFiles/bench_adc_bits.dir/bench_adc_bits.cpp.o.d"
+  "bench_adc_bits"
+  "bench_adc_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adc_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

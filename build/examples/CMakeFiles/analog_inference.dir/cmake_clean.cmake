@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_inference.dir/analog_inference.cpp.o"
+  "CMakeFiles/analog_inference.dir/analog_inference.cpp.o.d"
+  "analog_inference"
+  "analog_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

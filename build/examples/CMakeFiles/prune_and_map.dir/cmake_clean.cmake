@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_and_map.dir/prune_and_map.cpp.o"
+  "CMakeFiles/prune_and_map.dir/prune_and_map.cpp.o.d"
+  "prune_and_map"
+  "prune_and_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_and_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admm.cpp" "src/core/CMakeFiles/tinyadc_core.dir/admm.cpp.o" "gcc" "src/core/CMakeFiles/tinyadc_core.dir/admm.cpp.o.d"
+  "/root/repo/src/core/group_lasso.cpp" "src/core/CMakeFiles/tinyadc_core.dir/group_lasso.cpp.o" "gcc" "src/core/CMakeFiles/tinyadc_core.dir/group_lasso.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/tinyadc_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/tinyadc_core.dir/projection.cpp.o.d"
+  "/root/repo/src/core/prune_spec.cpp" "src/core/CMakeFiles/tinyadc_core.dir/prune_spec.cpp.o" "gcc" "src/core/CMakeFiles/tinyadc_core.dir/prune_spec.cpp.o.d"
+  "/root/repo/src/core/pruner.cpp" "src/core/CMakeFiles/tinyadc_core.dir/pruner.cpp.o" "gcc" "src/core/CMakeFiles/tinyadc_core.dir/pruner.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/tinyadc_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/tinyadc_core.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tinyadc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tinyadc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tinyadc_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

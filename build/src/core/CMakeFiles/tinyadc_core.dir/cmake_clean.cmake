@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_core.dir/admm.cpp.o"
+  "CMakeFiles/tinyadc_core.dir/admm.cpp.o.d"
+  "CMakeFiles/tinyadc_core.dir/group_lasso.cpp.o"
+  "CMakeFiles/tinyadc_core.dir/group_lasso.cpp.o.d"
+  "CMakeFiles/tinyadc_core.dir/projection.cpp.o"
+  "CMakeFiles/tinyadc_core.dir/projection.cpp.o.d"
+  "CMakeFiles/tinyadc_core.dir/prune_spec.cpp.o"
+  "CMakeFiles/tinyadc_core.dir/prune_spec.cpp.o.d"
+  "CMakeFiles/tinyadc_core.dir/pruner.cpp.o"
+  "CMakeFiles/tinyadc_core.dir/pruner.cpp.o.d"
+  "CMakeFiles/tinyadc_core.dir/stats.cpp.o"
+  "CMakeFiles/tinyadc_core.dir/stats.cpp.o.d"
+  "libtinyadc_core.a"
+  "libtinyadc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

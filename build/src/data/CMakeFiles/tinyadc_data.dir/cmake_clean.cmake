@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_data.dir/augment.cpp.o"
+  "CMakeFiles/tinyadc_data.dir/augment.cpp.o.d"
+  "CMakeFiles/tinyadc_data.dir/dataset.cpp.o"
+  "CMakeFiles/tinyadc_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/tinyadc_data.dir/synthetic.cpp.o"
+  "CMakeFiles/tinyadc_data.dir/synthetic.cpp.o.d"
+  "libtinyadc_data.a"
+  "libtinyadc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/evaluate.cpp" "src/fault/CMakeFiles/tinyadc_fault.dir/evaluate.cpp.o" "gcc" "src/fault/CMakeFiles/tinyadc_fault.dir/evaluate.cpp.o.d"
+  "/root/repo/src/fault/fault_model.cpp" "src/fault/CMakeFiles/tinyadc_fault.dir/fault_model.cpp.o" "gcc" "src/fault/CMakeFiles/tinyadc_fault.dir/fault_model.cpp.o.d"
+  "/root/repo/src/fault/march.cpp" "src/fault/CMakeFiles/tinyadc_fault.dir/march.cpp.o" "gcc" "src/fault/CMakeFiles/tinyadc_fault.dir/march.cpp.o.d"
+  "/root/repo/src/fault/remap.cpp" "src/fault/CMakeFiles/tinyadc_fault.dir/remap.cpp.o" "gcc" "src/fault/CMakeFiles/tinyadc_fault.dir/remap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xbar/CMakeFiles/tinyadc_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tinyadc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tinyadc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tinyadc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tinyadc_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

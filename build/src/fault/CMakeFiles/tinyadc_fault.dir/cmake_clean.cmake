@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_fault.dir/evaluate.cpp.o"
+  "CMakeFiles/tinyadc_fault.dir/evaluate.cpp.o.d"
+  "CMakeFiles/tinyadc_fault.dir/fault_model.cpp.o"
+  "CMakeFiles/tinyadc_fault.dir/fault_model.cpp.o.d"
+  "CMakeFiles/tinyadc_fault.dir/march.cpp.o"
+  "CMakeFiles/tinyadc_fault.dir/march.cpp.o.d"
+  "CMakeFiles/tinyadc_fault.dir/remap.cpp.o"
+  "CMakeFiles/tinyadc_fault.dir/remap.cpp.o.d"
+  "libtinyadc_fault.a"
+  "libtinyadc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

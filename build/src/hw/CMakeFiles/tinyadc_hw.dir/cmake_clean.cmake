@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_hw.dir/adc_cost.cpp.o"
+  "CMakeFiles/tinyadc_hw.dir/adc_cost.cpp.o.d"
+  "CMakeFiles/tinyadc_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/tinyadc_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tinyadc_hw.dir/inference_model.cpp.o"
+  "CMakeFiles/tinyadc_hw.dir/inference_model.cpp.o.d"
+  "CMakeFiles/tinyadc_hw.dir/pipeline.cpp.o"
+  "CMakeFiles/tinyadc_hw.dir/pipeline.cpp.o.d"
+  "CMakeFiles/tinyadc_hw.dir/throughput.cpp.o"
+  "CMakeFiles/tinyadc_hw.dir/throughput.cpp.o.d"
+  "libtinyadc_hw.a"
+  "libtinyadc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtinyadc_hw.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_msim.dir/adc.cpp.o"
+  "CMakeFiles/tinyadc_msim.dir/adc.cpp.o.d"
+  "CMakeFiles/tinyadc_msim.dir/analog_mvm.cpp.o"
+  "CMakeFiles/tinyadc_msim.dir/analog_mvm.cpp.o.d"
+  "CMakeFiles/tinyadc_msim.dir/analog_network.cpp.o"
+  "CMakeFiles/tinyadc_msim.dir/analog_network.cpp.o.d"
+  "CMakeFiles/tinyadc_msim.dir/dac.cpp.o"
+  "CMakeFiles/tinyadc_msim.dir/dac.cpp.o.d"
+  "libtinyadc_msim.a"
+  "libtinyadc_msim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_msim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

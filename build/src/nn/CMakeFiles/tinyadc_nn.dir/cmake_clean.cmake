@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_nn.dir/activations.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/conv.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/init.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/init.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/linear.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/loss.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/model.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/model.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/models.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/models.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/pool.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/sequential.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/tinyadc_nn.dir/trainer.cpp.o"
+  "CMakeFiles/tinyadc_nn.dir/trainer.cpp.o.d"
+  "libtinyadc_nn.a"
+  "libtinyadc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

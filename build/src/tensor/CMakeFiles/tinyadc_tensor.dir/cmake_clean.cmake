@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/tinyadc_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/tinyadc_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/tinyadc_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/tinyadc_tensor.dir/ops.cpp.o"
+  "CMakeFiles/tinyadc_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/tinyadc_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/tinyadc_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/tinyadc_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/tinyadc_tensor.dir/tensor.cpp.o.d"
+  "libtinyadc_tensor.a"
+  "libtinyadc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xbar/adc_bits.cpp" "src/xbar/CMakeFiles/tinyadc_xbar.dir/adc_bits.cpp.o" "gcc" "src/xbar/CMakeFiles/tinyadc_xbar.dir/adc_bits.cpp.o.d"
+  "/root/repo/src/xbar/mapping.cpp" "src/xbar/CMakeFiles/tinyadc_xbar.dir/mapping.cpp.o" "gcc" "src/xbar/CMakeFiles/tinyadc_xbar.dir/mapping.cpp.o.d"
+  "/root/repo/src/xbar/programming.cpp" "src/xbar/CMakeFiles/tinyadc_xbar.dir/programming.cpp.o" "gcc" "src/xbar/CMakeFiles/tinyadc_xbar.dir/programming.cpp.o.d"
+  "/root/repo/src/xbar/quant.cpp" "src/xbar/CMakeFiles/tinyadc_xbar.dir/quant.cpp.o" "gcc" "src/xbar/CMakeFiles/tinyadc_xbar.dir/quant.cpp.o.d"
+  "/root/repo/src/xbar/reram_cell.cpp" "src/xbar/CMakeFiles/tinyadc_xbar.dir/reram_cell.cpp.o" "gcc" "src/xbar/CMakeFiles/tinyadc_xbar.dir/reram_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tinyadc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tinyadc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tinyadc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tinyadc_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

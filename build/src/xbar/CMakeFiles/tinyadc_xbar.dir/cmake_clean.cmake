@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_xbar.dir/adc_bits.cpp.o"
+  "CMakeFiles/tinyadc_xbar.dir/adc_bits.cpp.o.d"
+  "CMakeFiles/tinyadc_xbar.dir/mapping.cpp.o"
+  "CMakeFiles/tinyadc_xbar.dir/mapping.cpp.o.d"
+  "CMakeFiles/tinyadc_xbar.dir/programming.cpp.o"
+  "CMakeFiles/tinyadc_xbar.dir/programming.cpp.o.d"
+  "CMakeFiles/tinyadc_xbar.dir/quant.cpp.o"
+  "CMakeFiles/tinyadc_xbar.dir/quant.cpp.o.d"
+  "CMakeFiles/tinyadc_xbar.dir/reram_cell.cpp.o"
+  "CMakeFiles/tinyadc_xbar.dir/reram_cell.cpp.o.d"
+  "libtinyadc_xbar.a"
+  "libtinyadc_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

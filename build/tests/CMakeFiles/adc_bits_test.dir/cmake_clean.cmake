@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_bits_test.dir/adc_bits_test.cpp.o"
+  "CMakeFiles/adc_bits_test.dir/adc_bits_test.cpp.o.d"
+  "adc_bits_test"
+  "adc_bits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_network_test.dir/analog_network_test.cpp.o"
+  "CMakeFiles/analog_network_test.dir/analog_network_test.cpp.o.d"
+  "analog_network_test"
+  "analog_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combined_reform_test.dir/combined_reform_test.cpp.o"
+  "CMakeFiles/combined_reform_test.dir/combined_reform_test.cpp.o.d"
+  "combined_reform_test"
+  "combined_reform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combined_reform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

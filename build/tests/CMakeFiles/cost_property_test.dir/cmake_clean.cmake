@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_property_test.dir/cost_property_test.cpp.o"
+  "CMakeFiles/cost_property_test.dir/cost_property_test.cpp.o.d"
+  "cost_property_test"
+  "cost_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

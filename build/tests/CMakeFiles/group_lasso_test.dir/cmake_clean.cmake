@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_lasso_test.dir/group_lasso_test.cpp.o"
+  "CMakeFiles/group_lasso_test.dir/group_lasso_test.cpp.o.d"
+  "group_lasso_test"
+  "group_lasso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_lasso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_cellbits_test.dir/msim_cellbits_test.cpp.o"
+  "CMakeFiles/msim_cellbits_test.dir/msim_cellbits_test.cpp.o.d"
+  "msim_cellbits_test"
+  "msim_cellbits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_cellbits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_test.dir/msim_test.cpp.o"
+  "CMakeFiles/msim_test.dir/msim_test.cpp.o.d"
+  "msim_test"
+  "msim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_hw_test.dir/pipeline_hw_test.cpp.o"
+  "CMakeFiles/pipeline_hw_test.dir/pipeline_hw_test.cpp.o.d"
+  "pipeline_hw_test"
+  "pipeline_hw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programming_ir_test.dir/programming_ir_test.cpp.o"
+  "CMakeFiles/programming_ir_test.dir/programming_ir_test.cpp.o.d"
+  "programming_ir_test"
+  "programming_ir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programming_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_test.dir/remap_test.cpp.o"
+  "CMakeFiles/remap_test.dir/remap_test.cpp.o.d"
+  "remap_test"
+  "remap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

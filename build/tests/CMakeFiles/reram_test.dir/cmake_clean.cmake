@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reram_test.dir/reram_test.cpp.o"
+  "CMakeFiles/reram_test.dir/reram_test.cpp.o.d"
+  "reram_test"
+  "reram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbar_edge_test.dir/xbar_edge_test.cpp.o"
+  "CMakeFiles/xbar_edge_test.dir/xbar_edge_test.cpp.o.d"
+  "xbar_edge_test"
+  "xbar_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbar_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinyadc_cli.dir/tinyadc_cli.cpp.o"
+  "CMakeFiles/tinyadc_cli.dir/tinyadc_cli.cpp.o.d"
+  "tinyadc"
+  "tinyadc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinyadc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
