@@ -1,10 +1,24 @@
 // google-benchmark microbenchmarks of the performance-critical kernels:
 // GEMM, im2col, the CP projection, crossbar mapping and the analog MVM.
 // These bound how large a model the training/simulation benches can afford.
+//
+// Invoked with `--json <path>` (or TINYADC_BENCH_JSON=<path>) the binary
+// instead runs a self-timed thread sweep of the parallelized kernels at
+// 1/2/N threads, verifies every output is bit-identical to the 1-thread
+// run (the runtime's determinism contract), and writes the timings as JSON.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "bench_util.hpp"
 #include "core/projection.hpp"
+#include "fault/evaluate.hpp"
 #include "msim/analog_mvm.hpp"
+#include "runtime/parallel.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 
@@ -82,6 +96,126 @@ void BM_AnalogMvm(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalogMvm)->Arg(128)->Arg(512);
 
+// ---------------------------------------------------------------------------
+// Thread sweep with bit-identity verification (--json / TINYADC_BENCH_JSON).
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * 1099511628211ULL;
+  return h;
+}
+
+/// A sweep kernel: does a fixed amount of work and returns a digest of its
+/// output bytes. The same kernel is run at each thread count; digests must
+/// match the 1-thread run exactly.
+struct SweepKernel {
+  std::string name;
+  std::function<std::uint64_t()> run;
+};
+
+std::vector<SweepKernel> make_sweep_kernels() {
+  std::vector<SweepKernel> kernels;
+
+  kernels.push_back({"gemm_256", [] {
+    Rng rng(1);
+    const Tensor a = Tensor::randn({256, 256}, rng);
+    const Tensor b = Tensor::randn({256, 256}, rng);
+    Tensor c({256, 256});
+    std::uint64_t h = 0;
+    for (int rep = 0; rep < 8; ++rep) {
+      gemm(a, false, b, false, c);
+      h ^= fnv1a(c.data(), sizeof(float) * static_cast<std::size_t>(c.numel()));
+    }
+    return h;
+  }});
+
+  kernels.push_back({"cp_projection_4608x512", [] {
+    Rng rng(3);
+    std::vector<float> data(static_cast<std::size_t>(4608) * 512);
+    for (auto& v : data) v = rng.normal(0.0F, 1.0F);
+    core::project_column_proportional({data.data(), 4608, 512}, {128, 128}, 8);
+    return fnv1a(data.data(), sizeof(float) * data.size());
+  }});
+
+  kernels.push_back({"analog_mvm_512", [] {
+    Rng rng(5);
+    Tensor m = Tensor::randn({512, 64}, rng);
+    xbar::MappingConfig cfg;
+    cfg.dims = {128, 128};
+    const auto layer = xbar::map_matrix(m, "bench", cfg);
+    msim::AnalogLayerSim sim(layer, {});
+    std::vector<std::int32_t> x(512);
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(256));
+    std::uint64_t h = 0;
+    for (int rep = 0; rep < 16; ++rep) {
+      const auto y = sim.mvm(x);
+      h ^= fnv1a(y.data(), sizeof(y[0]) * y.size());
+    }
+    return h;
+  }});
+
+  return kernels;
+}
+
+int run_thread_sweep(const std::string& json_path) {
+  // Fault Monte-Carlo fixtures are built once: evaluate_under_faults leaves
+  // the model's weights untouched (trials run on clones).
+  data::DatasetPair ds = bench::bench_dataset("cifar10");
+  auto model = bench::bench_model("resnet18", 10);
+  const xbar::MappingConfig mapping = bench::paper_mapping();
+
+  auto kernels = make_sweep_kernels();
+  kernels.push_back({"fault_run_trials_4", [&] {
+    fault::FaultSpec spec;
+    const fault::FaultTrialResult r =
+        fault::evaluate_under_faults(*model, ds.test, mapping, spec, 4);
+    const double vals[3] = {r.clean_accuracy, r.mean_accuracy,
+                            r.min_accuracy};
+    return fnv1a(vals, sizeof(vals));
+  }});
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<int> thread_counts{1, 2,
+                                 static_cast<int>(hw > 4 ? hw : 4U)};
+
+  std::vector<bench::KernelTiming> rows;
+  bool all_identical = true;
+  for (const auto& kernel : kernels) {
+    std::uint64_t baseline = 0;
+    for (const int threads : thread_counts) {
+      runtime::set_thread_count(threads);
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::uint64_t digest = kernel.run();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (threads == 1) baseline = digest;
+      bench::KernelTiming row;
+      row.kernel = kernel.name;
+      row.threads = threads;
+      row.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      row.identical = digest == baseline;
+      all_identical = all_identical && row.identical;
+      std::printf("%-24s threads=%-2d %10.3f ms  %s\n", row.kernel.c_str(),
+                  row.threads, row.ms,
+                  row.identical ? "bit-identical" : "MISMATCH");
+      rows.push_back(row);
+    }
+  }
+  runtime::set_thread_count(0);  // restore default resolution
+
+  if (!bench::write_bench_json(json_path, "bench_kernels", rows)) return 1;
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = tinyadc::bench::bench_json_path(argc, argv);
+  if (!json_path.empty()) return run_thread_sweep(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

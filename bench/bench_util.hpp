@@ -9,7 +9,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/pruner.hpp"
 #include "data/synthetic.hpp"
@@ -102,6 +104,48 @@ inline void project_cp_inplace(nn::Model& model, std::int64_t cp_rate,
 inline void hr(int width = 86) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// One row of a kernel thread-sweep: wall time of a fixed amount of work at
+/// one thread count, plus whether the output was bit-identical to the
+/// 1-thread run of the same kernel (the runtime's determinism contract).
+struct KernelTiming {
+  std::string kernel;     ///< kernel name, e.g. "gemm_256"
+  int threads = 1;        ///< TINYADC_THREADS value used
+  double ms = 0.0;        ///< wall time in milliseconds
+  bool identical = true;  ///< output bytes match the 1-thread run
+};
+
+/// Resolves the bench JSON output path: `--json <path>` on the command line
+/// wins, else the TINYADC_BENCH_JSON environment variable, else "".
+inline std::string bench_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  const char* env = std::getenv("TINYADC_BENCH_JSON");
+  return env != nullptr ? env : "";
+}
+
+/// Writes sweep rows as a JSON document:
+///   {"bench": <name>, "results": [{"kernel": ..., "threads": ...,
+///    "ms": ..., "identical_to_1thread": ...}, ...]}
+/// Returns false (after printing to stderr) if the file cannot be written.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             const std::vector<KernelTiming>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write bench JSON to %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << name << "\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelTiming& r = rows[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"threads\": " << r.threads
+        << ", \"ms\": " << r.ms << ", \"identical_to_1thread\": "
+        << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
 }
 
 }  // namespace tinyadc::bench

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::core {
@@ -20,6 +21,12 @@ void check_dims(const CrossbarDims& dims) {
                 "invalid crossbar dims " << dims.rows << "x" << dims.cols);
 }
 
+// Columns per parallel chunk: selection work scales with the column height,
+// so aim for a few thousand elements per chunk.
+std::int64_t column_grain(std::int64_t rows) {
+  return std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, rows));
+}
+
 }  // namespace
 
 void project_column_proportional(MatrixRef m, CrossbarDims dims,
@@ -27,27 +34,34 @@ void project_column_proportional(MatrixRef m, CrossbarDims dims,
   check_matrix(m.data, m.rows, m.cols);
   check_dims(dims);
   TINYADC_CHECK(keep >= 0, "keep must be non-negative");
-  std::vector<std::pair<float, std::int64_t>> mags;  // (|w|, row)
-  for (std::int64_t c = 0; c < m.cols; ++c) {
-    float* col = m.data + c * m.rows;  // contiguous: storage is column-major
-    for (std::int64_t r0 = 0; r0 < m.rows; r0 += dims.rows) {
-      const std::int64_t r1 = std::min(m.rows, r0 + dims.rows);
-      const std::int64_t len = r1 - r0;
-      if (keep >= len) continue;  // constraint trivially satisfied
-      mags.clear();
-      for (std::int64_t r = r0; r < r1; ++r)
-        mags.emplace_back(std::fabs(col[r]), r);
-      // Keep the `keep` largest magnitudes; ties broken by lower row index
-      // for determinism.
-      std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
-                       [](const auto& a, const auto& b) {
-                         if (a.first != b.first) return a.first > b.first;
-                         return a.second < b.second;
-                       });
-      for (std::size_t i = static_cast<std::size_t>(keep); i < mags.size(); ++i)
-        col[mags[i].second] = 0.0F;
-    }
-  }
+  // Columns are independent, so the parallel projection is bit-identical to
+  // the serial one at any thread count.
+  runtime::parallel_for(
+      0, m.cols, column_grain(m.rows), [&](std::int64_t c0, std::int64_t c1) {
+        std::vector<std::pair<float, std::int64_t>> mags;  // (|w|, row)
+        for (std::int64_t c = c0; c < c1; ++c) {
+          float* col = m.data + c * m.rows;  // contiguous: column-major
+          for (std::int64_t r0 = 0; r0 < m.rows; r0 += dims.rows) {
+            const std::int64_t r1 = std::min(m.rows, r0 + dims.rows);
+            const std::int64_t len = r1 - r0;
+            if (keep >= len) continue;  // constraint trivially satisfied
+            mags.clear();
+            for (std::int64_t r = r0; r < r1; ++r)
+              mags.emplace_back(std::fabs(col[r]), r);
+            // Keep the `keep` largest magnitudes; ties broken by lower row
+            // index for determinism.
+            std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
+                             [](const auto& a, const auto& b) {
+                               if (a.first != b.first)
+                                 return a.first > b.first;
+                               return a.second < b.second;
+                             });
+            for (std::size_t i = static_cast<std::size_t>(keep);
+                 i < mags.size(); ++i)
+              col[mags[i].second] = 0.0F;
+          }
+        }
+      });
 }
 
 bool satisfies_column_proportional(ConstMatrixRef m, CrossbarDims dims,
@@ -112,27 +126,31 @@ void project_column_proportional_reformed(
   TINYADC_CHECK(std::is_sorted(removed_rows.begin(), removed_rows.end()),
                 "removed_rows must be sorted");
   const auto kept = kept_rows_after(m.rows, removed_rows);
-  std::vector<std::pair<float, std::int64_t>> mags;
-  for (std::int64_t c = 0; c < m.cols; ++c) {
-    float* col = m.data + c * m.rows;
-    for (std::size_t k0 = 0; k0 < kept.size();
-         k0 += static_cast<std::size_t>(dims.rows)) {
-      const std::size_t k1 = std::min(
-          kept.size(), k0 + static_cast<std::size_t>(dims.rows));
-      if (keep >= static_cast<std::int64_t>(k1 - k0)) continue;
-      mags.clear();
-      for (std::size_t k = k0; k < k1; ++k)
-        mags.emplace_back(std::fabs(col[kept[k]]), kept[k]);
-      std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
-                       [](const auto& a, const auto& b) {
-                         if (a.first != b.first) return a.first > b.first;
-                         return a.second < b.second;
-                       });
-      for (std::size_t i = static_cast<std::size_t>(keep); i < mags.size();
-           ++i)
-        col[mags[i].second] = 0.0F;
-    }
-  }
+  runtime::parallel_for(
+      0, m.cols, column_grain(m.rows), [&](std::int64_t c0, std::int64_t c1) {
+        std::vector<std::pair<float, std::int64_t>> mags;
+        for (std::int64_t c = c0; c < c1; ++c) {
+          float* col = m.data + c * m.rows;
+          for (std::size_t k0 = 0; k0 < kept.size();
+               k0 += static_cast<std::size_t>(dims.rows)) {
+            const std::size_t k1 = std::min(
+                kept.size(), k0 + static_cast<std::size_t>(dims.rows));
+            if (keep >= static_cast<std::int64_t>(k1 - k0)) continue;
+            mags.clear();
+            for (std::size_t k = k0; k < k1; ++k)
+              mags.emplace_back(std::fabs(col[kept[k]]), kept[k]);
+            std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
+                             [](const auto& a, const auto& b) {
+                               if (a.first != b.first)
+                                 return a.first > b.first;
+                               return a.second < b.second;
+                             });
+            for (std::size_t i = static_cast<std::size_t>(keep);
+                 i < mags.size(); ++i)
+              col[mags[i].second] = 0.0F;
+          }
+        }
+      });
 }
 
 std::int64_t max_column_nonzeros_reformed(

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <vector>
 
 #include "fault/remap.hpp"
+#include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::fault {
@@ -61,17 +63,30 @@ FaultTrialResult run_trials(
     restore_weights(model, snap);
   }
 
+  // Trials are independent Monte-Carlo draws: each gets its own full model
+  // replica (weights + BN stats, no shared storage), so no snapshot/restore
+  // interleaving is needed and trials can run concurrently. The per-trial
+  // seed derivation is unchanged, and each trial's accuracy lands in its
+  // own slot; the reduction below is serial and in trial order, so the
+  // reported statistics match the old serial loop bit for bit.
+  std::vector<double> accs(static_cast<std::size_t>(trials), 0.0);
+  runtime::parallel_for(0, trials, 1, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      nn::Model trial_model = model.clone();
+      xbar::MappedNetwork net = xbar::map_model(trial_model, map_config);
+      FaultSpec trial_spec = spec;
+      trial_spec.seed = spec.seed + static_cast<std::uint64_t>(t) * 7919;
+      injector(net, trial_spec);
+      write_back(trial_model, net);
+      accs[static_cast<std::size_t>(t)] = accuracy(trial_model, test);
+    }
+  });
+
   double sum = 0.0;
   for (int t = 0; t < trials; ++t) {
-    xbar::MappedNetwork net = xbar::map_model(model, map_config);
-    FaultSpec trial_spec = spec;
-    trial_spec.seed = spec.seed + static_cast<std::uint64_t>(t) * 7919;
-    injector(net, trial_spec);
-    write_back(model, net);
-    const double acc = accuracy(model, test);
+    const double acc = accs[static_cast<std::size_t>(t)];
     sum += acc;
     result.min_accuracy = std::min(result.min_accuracy, acc);
-    restore_weights(model, snap);
   }
   result.mean_accuracy = sum / static_cast<double>(trials);
   return result;

@@ -12,15 +12,28 @@ Adc::Adc(int bits) : bits_(bits) {
 }
 
 std::int64_t Adc::convert(double analog_sum) const {
-  ++conversions_;
+  AdcCounters counters;
+  const std::int64_t code = convert(analog_sum, counters);
+  conversions_ += counters.conversions;
+  clip_events_ += counters.clip_events;
+  return code;
+}
+
+std::int64_t Adc::convert(double analog_sum, AdcCounters& counters) const {
+  ++counters.conversions;
   if (bits_ == 0) return 0;
   auto code = static_cast<std::int64_t>(std::llround(analog_sum));
   if (code < 0) code = 0;
   if (code > full_scale_) {
     code = full_scale_;
-    ++clip_events_;
+    ++counters.clip_events;
   }
   return code;
+}
+
+void Adc::absorb(const AdcCounters& counters) {
+  conversions_ += counters.conversions;
+  clip_events_ += counters.clip_events;
 }
 
 void Adc::reset_stats() {

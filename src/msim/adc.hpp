@@ -13,6 +13,15 @@
 
 namespace tinyadc::msim {
 
+/// Plain conversion counters for lock-free accumulation: parallel simulation
+/// code converts against worker-local counters and merges them into the
+/// owning Adc afterwards (see AnalogLayerSim::mvm), so the shared counters
+/// are only touched serially.
+struct AdcCounters {
+  std::int64_t conversions = 0;
+  std::int64_t clip_events = 0;
+};
+
 /// Behavioural ADC: rounds to the nearest integer code in [0, 2^bits − 1].
 class Adc {
  public:
@@ -22,6 +31,13 @@ class Adc {
 
   /// Converts an analog column sum expressed in LSB units.
   std::int64_t convert(double analog_sum) const;
+
+  /// Conversion against caller-owned counters: touches no Adc state, so
+  /// concurrent calls are safe. Merge the counters back with absorb().
+  std::int64_t convert(double analog_sum, AdcCounters& counters) const;
+
+  /// Adds externally accumulated counters into this ADC's statistics.
+  void absorb(const AdcCounters& counters);
 
   /// Resolution in bits.
   int bits() const { return bits_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::msim {
@@ -11,7 +12,8 @@ AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
     : layer_(layer),
       config_(config),
       adc_(config.adc_bits_override >= 0 ? config.adc_bits_override
-                                         : layer.required_adc_bits()) {
+                                         : layer.required_adc_bits()),
+      stats_mu_(std::make_unique<std::mutex>()) {
   if (config_.variation_sigma > 0.0) {
     Rng rng(config_.seed);
     const int slices = layer_.config.slices();
@@ -35,7 +37,6 @@ std::vector<std::int64_t> AnalogLayerSim::mvm(
   const auto& cfg = layer_.config;
   const int slices = cfg.slices();
   const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
-  stats_.dac_cycles += cycles;
 
   // Pre-split every activation into DAC chunks: chunk[t][row].
   std::vector<std::vector<std::int32_t>> chunk(
@@ -48,74 +49,106 @@ std::vector<std::int64_t> AnalogLayerSim::mvm(
           ch[static_cast<std::size_t>(t)];
   }
 
-  std::vector<std::int64_t> y(static_cast<std::size_t>(layer_.cols), 0);
-  for (std::size_t bi = 0; bi < layer_.blocks.size(); ++bi) {
-    const auto& b = layer_.blocks[bi];
-    const float* var =
-        variation_.empty() ? nullptr : variation_[bi].data();
-    for (std::int64_t c = 0; c < b.cols; ++c) {
-      // Decompose the column once: per-row slice values by polarity.
-      // sliced[r*slices + s] holds the s-th slice of |q(r,c)|; sign[r] its
-      // polarity.
-      std::vector<std::int32_t> sliced(
-          static_cast<std::size_t>(b.rows * slices), 0);
-      std::vector<int> sign(static_cast<std::size_t>(b.rows), 0);
-      for (std::int64_t r = 0; r < b.rows; ++r) {
-        const std::int32_t q = b.at(r, c);
-        if (q == 0) continue;
-        sign[static_cast<std::size_t>(r)] = q > 0 ? 1 : -1;
-        const auto sl = xbar::slice_magnitude(std::abs(q), cfg.cell_bits,
-                                              slices);
-        for (int s = 0; s < slices; ++s)
-          sliced[static_cast<std::size_t>(r * slices + s)] =
-              sl[static_cast<std::size_t>(s)];
-      }
-      // Column load for the IR-drop model: the fraction of this column's
-      // wordlines that actually inject current.
-      double column_load = 0.0;
-      if (config_.ir_drop_alpha > 0.0) {
-        std::int64_t active = 0;
-        for (std::int64_t r = 0; r < b.rows; ++r)
-          active += (sign[static_cast<std::size_t>(r)] != 0);
-        column_load = static_cast<double>(active) /
-                      static_cast<double>(b.rows);
-      }
-      std::int64_t acc = 0;
-      for (int polarity : {+1, -1}) {
-        for (int s = 0; s < slices; ++s) {
-          for (int t = 0; t < cycles; ++t) {
-            double analog = 0.0;
-            const auto& ch = chunk[static_cast<std::size_t>(t)];
-            for (std::int64_t r = 0; r < b.rows; ++r) {
-              if (sign[static_cast<std::size_t>(r)] != polarity) continue;
-              const std::int32_t level =
-                  sliced[static_cast<std::size_t>(r * slices + s)];
-              if (level == 0) continue;
-              const std::int64_t orig_r = layer_.kept_rows[
-                  static_cast<std::size_t>(b.row0 + r)];
-              double contrib = static_cast<double>(level) *
-                               ch[static_cast<std::size_t>(orig_r)];
-              if (var != nullptr)
-                contrib *= var[static_cast<std::size_t>(
-                    (r * b.cols + c) * slices + s)];
-              if (config_.ir_drop_alpha > 0.0) {
-                const double depth = static_cast<double>(r + 1) /
-                                     static_cast<double>(b.rows);
-                contrib /= 1.0 + config_.ir_drop_alpha * depth * column_load;
-              }
-              analog += contrib;
-            }
-            const std::int64_t code = adc_.convert(analog);
-            acc += polarity * (code << (s * cfg.cell_bits + t * cfg.dac_bits));
+  // Each (block, logical column) pair converts independently — in hardware
+  // all crossbar arrays fire in parallel. Accumulate every pair's digital
+  // sum and ADC counters separately, then merge serially in a fixed order
+  // so y and the statistics are bit-identical at any thread count.
+  std::vector<std::pair<std::size_t, std::int64_t>> pairs;  // (block, col)
+  for (std::size_t bi = 0; bi < layer_.blocks.size(); ++bi)
+    for (std::int64_t c = 0; c < layer_.blocks[bi].cols; ++c)
+      pairs.emplace_back(bi, c);
+  std::vector<std::int64_t> pair_acc(pairs.size(), 0);
+  std::vector<AdcCounters> pair_counters(pairs.size());
+
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(pairs.size()), 1,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t pi = p0; pi < p1; ++pi) {
+          const auto [bi, c] = pairs[static_cast<std::size_t>(pi)];
+          const auto& b = layer_.blocks[bi];
+          const float* var =
+              variation_.empty() ? nullptr : variation_[bi].data();
+          AdcCounters& counters = pair_counters[static_cast<std::size_t>(pi)];
+          // Decompose the column once: per-row slice values by polarity.
+          // sliced[r*slices + s] holds the s-th slice of |q(r,c)|; sign[r]
+          // its polarity.
+          std::vector<std::int32_t> sliced(
+              static_cast<std::size_t>(b.rows * slices), 0);
+          std::vector<int> sign(static_cast<std::size_t>(b.rows), 0);
+          for (std::int64_t r = 0; r < b.rows; ++r) {
+            const std::int32_t q = b.at(r, c);
+            if (q == 0) continue;
+            sign[static_cast<std::size_t>(r)] = q > 0 ? 1 : -1;
+            const auto sl = xbar::slice_magnitude(std::abs(q), cfg.cell_bits,
+                                                  slices);
+            for (int s = 0; s < slices; ++s)
+              sliced[static_cast<std::size_t>(r * slices + s)] =
+                  sl[static_cast<std::size_t>(s)];
           }
+          // Column load for the IR-drop model: the fraction of this
+          // column's wordlines that actually inject current.
+          double column_load = 0.0;
+          if (config_.ir_drop_alpha > 0.0) {
+            std::int64_t active = 0;
+            for (std::int64_t r = 0; r < b.rows; ++r)
+              active += (sign[static_cast<std::size_t>(r)] != 0);
+            column_load = static_cast<double>(active) /
+                          static_cast<double>(b.rows);
+          }
+          std::int64_t acc = 0;
+          for (int polarity : {+1, -1}) {
+            for (int s = 0; s < slices; ++s) {
+              for (int t = 0; t < cycles; ++t) {
+                double analog = 0.0;
+                const auto& ch = chunk[static_cast<std::size_t>(t)];
+                for (std::int64_t r = 0; r < b.rows; ++r) {
+                  if (sign[static_cast<std::size_t>(r)] != polarity) continue;
+                  const std::int32_t level =
+                      sliced[static_cast<std::size_t>(r * slices + s)];
+                  if (level == 0) continue;
+                  const std::int64_t orig_r = layer_.kept_rows[
+                      static_cast<std::size_t>(b.row0 + r)];
+                  double contrib = static_cast<double>(level) *
+                                   ch[static_cast<std::size_t>(orig_r)];
+                  if (var != nullptr)
+                    contrib *= var[static_cast<std::size_t>(
+                        (r * b.cols + c) * slices + s)];
+                  if (config_.ir_drop_alpha > 0.0) {
+                    const double depth = static_cast<double>(r + 1) /
+                                         static_cast<double>(b.rows);
+                    contrib /=
+                        1.0 + config_.ir_drop_alpha * depth * column_load;
+                  }
+                  analog += contrib;
+                }
+                const std::int64_t code = adc_.convert(analog, counters);
+                acc += polarity *
+                       (code << (s * cfg.cell_bits + t * cfg.dac_bits));
+              }
+            }
+          }
+          pair_acc[static_cast<std::size_t>(pi)] = acc;
         }
-      }
-      y[static_cast<std::size_t>(
-          layer_.kept_cols[static_cast<std::size_t>(b.col0 + c)])] += acc;
-    }
+      });
+
+  std::vector<std::int64_t> y(static_cast<std::size_t>(layer_.cols), 0);
+  AdcCounters call_counters;
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+    const auto [bi, c] = pairs[pi];
+    const auto& b = layer_.blocks[bi];
+    y[static_cast<std::size_t>(
+        layer_.kept_cols[static_cast<std::size_t>(b.col0 + c)])] +=
+        pair_acc[pi];
+    call_counters.conversions += pair_counters[pi].conversions;
+    call_counters.clip_events += pair_counters[pi].clip_events;
   }
-  stats_.adc_conversions = adc_.conversions();
-  stats_.adc_clip_events = adc_.clip_events();
+  {
+    std::lock_guard<std::mutex> lk(*stats_mu_);
+    adc_.absorb(call_counters);
+    stats_.dac_cycles += cycles;
+    stats_.adc_conversions = adc_.conversions();
+    stats_.adc_clip_events = adc_.clip_events();
+  }
   return y;
 }
 

@@ -18,6 +18,8 @@
 // column) or not — the basis of the robustness analyses.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "msim/adc.hpp"
@@ -54,7 +56,11 @@ class AnalogLayerSim {
   AnalogLayerSim(const xbar::MappedLayer& layer, MsimConfig config);
 
   /// Integer-domain MVM: unsigned activation codes in, signed column sums
-  /// out (same contract as xbar::reference_mvm).
+  /// out (same contract as xbar::reference_mvm). Crossbar blocks convert in
+  /// parallel ("all arrays in parallel", like the hardware) with a
+  /// fixed-order merge, so results and statistics are bit-identical at any
+  /// thread count; concurrent mvm() calls on one sim are also safe (the
+  /// statistics merge is the only shared mutation and is locked).
   std::vector<std::int64_t> mvm(const std::vector<std::int32_t>& x);
 
   /// Real-domain MVM: quantizes `x_real` with `x_quant`, runs the analog
@@ -85,6 +91,9 @@ class AnalogLayerSim {
   // slices, laid out [block][r * cols * slices + c * slices + s].
   std::vector<std::vector<float>> variation_;
   MsimStats stats_;
+  // Guards stats_/adc_ counter merges under concurrent mvm() calls (held in
+  // a unique_ptr so the sim stays movable for make_network_sims).
+  std::unique_ptr<std::mutex> stats_mu_;
 };
 
 /// Convenience: simulate every layer of a mapped network on one shared

@@ -4,6 +4,7 @@
 
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
+#include "runtime/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace tinyadc::msim {
@@ -49,21 +50,27 @@ void AnalogNetwork::install_hooks() {
           if (min_value(cols) < 0.0F) signed_input_[i] = true;
           return std::nullopt;  // float path computes the result
         }
-        // Analog: one column of the patch matrix per MVM.
+        // Analog: one column of the patch matrix per MVM. Pixels are
+        // independent MVMs (disjoint output columns; the sim's statistics
+        // merge is commutative), so they run on the worker pool.
         const std::int64_t rows = cols.dim(0);
         const std::int64_t pixels = cols.dim(1);
         const std::int64_t out_ch = net_.layers[i].cols;
         Tensor out({out_ch, pixels});
-        std::vector<float> x(static_cast<std::size_t>(rows));
-        for (std::int64_t p = 0; p < pixels; ++p) {
-          for (std::int64_t r = 0; r < rows; ++r)
-            x[static_cast<std::size_t>(r)] = cols.at(r, p);
-          const auto y = signed_input_[i]
-                             ? sims_[i]->mvm_real_signed(x, act_quant_[i])
-                             : sims_[i]->mvm_real(x, act_quant_[i]);
-          for (std::int64_t f = 0; f < out_ch; ++f)
-            out.at(f, p) = y[static_cast<std::size_t>(f)];
-        }
+        runtime::parallel_for(
+            0, pixels, 1, [&](std::int64_t p0, std::int64_t p1) {
+              std::vector<float> x(static_cast<std::size_t>(rows));
+              for (std::int64_t p = p0; p < p1; ++p) {
+                for (std::int64_t r = 0; r < rows; ++r)
+                  x[static_cast<std::size_t>(r)] = cols.at(r, p);
+                const auto y =
+                    signed_input_[i]
+                        ? sims_[i]->mvm_real_signed(x, act_quant_[i])
+                        : sims_[i]->mvm_real(x, act_quant_[i]);
+                for (std::int64_t f = 0; f < out_ch; ++f)
+                  out.at(f, p) = y[static_cast<std::size_t>(f)];
+              }
+            });
         return out;
       });
     } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
@@ -75,20 +82,26 @@ void AnalogNetwork::install_hooks() {
           if (min_value(input) < 0.0F) signed_input_[i] = true;
           return std::nullopt;
         }
+        // Batch samples are independent MVMs — same parallel contract as
+        // the conv pixel loop above.
         const std::int64_t batch = input.dim(0);
         const std::int64_t in_features = input.dim(1);
         const std::int64_t out_features = net_.layers[i].cols;
         Tensor out({batch, out_features});
-        std::vector<float> x(static_cast<std::size_t>(in_features));
-        for (std::int64_t n = 0; n < batch; ++n) {
-          for (std::int64_t k = 0; k < in_features; ++k)
-            x[static_cast<std::size_t>(k)] = input.at(n, k);
-          const auto y = signed_input_[i]
-                             ? sims_[i]->mvm_real_signed(x, act_quant_[i])
-                             : sims_[i]->mvm_real(x, act_quant_[i]);
-          for (std::int64_t o = 0; o < out_features; ++o)
-            out.at(n, o) = y[static_cast<std::size_t>(o)];
-        }
+        runtime::parallel_for(
+            0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+              std::vector<float> x(static_cast<std::size_t>(in_features));
+              for (std::int64_t n = n0; n < n1; ++n) {
+                for (std::int64_t k = 0; k < in_features; ++k)
+                  x[static_cast<std::size_t>(k)] = input.at(n, k);
+                const auto y =
+                    signed_input_[i]
+                        ? sims_[i]->mvm_real_signed(x, act_quant_[i])
+                        : sims_[i]->mvm_real(x, act_quant_[i]);
+                for (std::int64_t o = 0; o < out_features; ++o)
+                  out.at(n, o) = y[static_cast<std::size_t>(o)];
+              }
+            });
         return out;
       });
     }

@@ -65,4 +65,15 @@ Tensor Dropout::backward(const Tensor& grad_output) {
   return grad;
 }
 
+
+LayerPtr ReLU::clone() const { return std::make_unique<ReLU>(name()); }
+
+LayerPtr Flatten::clone() const { return std::make_unique<Flatten>(name()); }
+
+LayerPtr Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>(name(), p_, /*seed=*/0);
+  copy->rng_ = rng_;  // replicate the stream position, not just the seed
+  return copy;
+}
+
 }  // namespace tinyadc::nn

@@ -11,6 +11,7 @@ class ReLU final : public Layer {
   explicit ReLU(std::string name) : Layer(std::move(name)) {}
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override;
 
  private:
   Tensor mask_;  // 1 where input > 0
@@ -22,6 +23,7 @@ class Flatten final : public Layer {
   explicit Flatten(std::string name) : Layer(std::move(name)) {}
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override;
 
  private:
   Shape input_shape_;
@@ -34,6 +36,7 @@ class Dropout final : public Layer {
   Dropout(std::string name, float p, std::uint64_t seed);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override;
 
  private:
   float p_;

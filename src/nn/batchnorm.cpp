@@ -129,4 +129,14 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+
+LayerPtr BatchNorm2d::clone() const {
+  auto copy = std::make_unique<BatchNorm2d>(name(), channels_, eps_, momentum_);
+  copy->gamma_.value.copy_from(gamma_.value);
+  copy->beta_.value.copy_from(beta_.value);
+  copy->running_mean_.copy_from(running_mean_);
+  copy->running_var_.copy_from(running_var_);
+  return copy;
+}
+
 }  // namespace tinyadc::nn

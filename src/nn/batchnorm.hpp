@@ -15,6 +15,7 @@ class BatchNorm2d final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
+  LayerPtr clone() const override;
 
   /// Per-channel scale γ.
   Param& gamma() { return gamma_; }

@@ -1,6 +1,7 @@
 #include "nn/conv.hpp"
 
 #include "nn/init.hpp"
+#include "runtime/parallel.hpp"
 #include "tensor/gemm.hpp"
 
 namespace tinyadc::nn {
@@ -52,9 +53,15 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
 
   const Tensor w2d = weight_.value.reshape({out_channels_, geom_.patch_rows()});
   Tensor output({batch, out_channels_, oh, ow});
-  cols_.clear();
   const std::int64_t per_image = in_channels_ * geom_.in_h * geom_.in_w;
-  for (std::int64_t n = 0; n < batch; ++n) {
+  const bool use_hook = !training && mvm_hook_ != nullptr;
+  if (training) {
+    cols_.assign(static_cast<std::size_t>(batch), Tensor());
+  } else {
+    cols_.clear();
+  }
+
+  const auto run_sample = [&](std::int64_t n) {
     // View one sample as a 3-D image (copy: slices are not views here).
     Tensor image({in_channels_, geom_.in_h, geom_.in_w});
     std::copy(input.data() + n * per_image, input.data() + (n + 1) * per_image,
@@ -62,7 +69,7 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
     Tensor cols = im2col(image, geom_);
     Tensor out2d({out_channels_, p});
     std::optional<Tensor> hooked;
-    if (!training && mvm_hook_) hooked = mvm_hook_(cols);
+    if (use_hook) hooked = mvm_hook_(cols);
     if (hooked.has_value()) {
       TINYADC_CHECK(hooked->numel() == out2d.numel(),
                     "Conv2d " << name() << ": MVM hook returned "
@@ -83,7 +90,21 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
     } else {
       std::copy(src, src + out_channels_ * p, dst);
     }
-    if (training) cols_.push_back(std::move(cols));
+    if (training) cols_[static_cast<std::size_t>(n)] = std::move(cols);
+  };
+
+  if (use_hook) {
+    // Hooked inference stays serial here; the analog backend parallelizes
+    // inside the hook (per pixel / per sample — see msim::AnalogNetwork).
+    for (std::int64_t n = 0; n < batch; ++n) run_sample(n);
+  } else {
+    // Samples are independent (disjoint output and cache slots), so the
+    // batch fans out; the per-sample gemm then runs inline on its worker.
+    runtime::parallel_for(0, batch, 1,
+                          [&](std::int64_t n0, std::int64_t n1) {
+                            for (std::int64_t n = n0; n < n1; ++n)
+                              run_sample(n);
+                          });
   }
   return output;
 }
@@ -136,6 +157,17 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
   cols_.clear();
   return grad_input;
+}
+
+
+LayerPtr Conv2d::clone() const {
+  Rng init_rng(0);  // constructor-drawn values are overwritten below
+  auto copy = std::make_unique<Conv2d>(name(), in_channels_, out_channels_,
+                                       kernel_, stride_, padding_, has_bias_,
+                                       init_rng);
+  copy->weight_.value.copy_from(weight_.value);
+  if (has_bias_) copy->bias_.value.copy_from(bias_.value);
+  return copy;
 }
 
 }  // namespace tinyadc::nn

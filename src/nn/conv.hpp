@@ -22,6 +22,7 @@ class Conv2d final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
+  LayerPtr clone() const override;
 
   /// Weight parameter, shape (F, C, Kh, Kw). Exposed mutably so the pruning
   /// framework can project/mask it.

@@ -31,12 +31,22 @@ namespace tinyadc::nn {
 /// through the mixed-signal crossbar simulator.
 using MvmHook = std::function<std::optional<Tensor>(const Tensor& input)>;
 
+class Layer;
+using LayerPtr = std::unique_ptr<Layer>;
+
 /// Abstract base for all layers.
 class Layer {
  public:
   virtual ~Layer() = default;
   Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
+
+  /// Deep copy of this layer (and descendants): configuration, parameter
+  /// values and inference buffers (BN running stats) are copied; gradient
+  /// accumulators, forward caches and MVM hooks are not. Replicas share no
+  /// storage with the original, so they can run on other threads — the
+  /// basis of the concurrent fault Monte-Carlo (fault::evaluate).
+  virtual LayerPtr clone() const = 0;
 
   /// Computes the layer output for a batch input. When `training` is true
   /// the layer caches activations needed by backward() and batch-dependent
@@ -64,7 +74,5 @@ class Layer {
  private:
   std::string name_;
 };
-
-using LayerPtr = std::unique_ptr<Layer>;
 
 }  // namespace tinyadc::nn

@@ -86,4 +86,14 @@ Tensor Linear::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+
+LayerPtr Linear::clone() const {
+  Rng init_rng(0);  // constructor-drawn values are overwritten below
+  auto copy = std::make_unique<Linear>(name(), in_features_, out_features_,
+                                       has_bias_, init_rng);
+  copy->weight_.value.copy_from(weight_.value);
+  if (has_bias_) copy->bias_.value.copy_from(bias_.value);
+  return copy;
+}
+
 }  // namespace tinyadc::nn

@@ -18,6 +18,7 @@ class Linear final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
+  LayerPtr clone() const override;
 
   /// Weight parameter, shape (out_features, in_features).
   Param& weight() { return weight_; }

@@ -110,6 +110,14 @@ std::int64_t Model::param_count() {
   return n;
 }
 
+Model Model::clone() const {
+  LayerPtr root = root_->clone();
+  auto* seq = dynamic_cast<Sequential*>(root.get());
+  TINYADC_CHECK(seq != nullptr, "model root must clone to a Sequential");
+  root.release();
+  return Model(name_, std::unique_ptr<Sequential>(seq));
+}
+
 std::vector<TensorRecord> Model::state_records() {
   std::vector<TensorRecord> records;
   for (Param* p : params()) records.push_back({p->name, p->value});

@@ -68,6 +68,12 @@ class Model {
   /// Total parameter count.
   std::int64_t param_count();
 
+  /// Deep copy of the whole network (see Layer::clone): same topology and
+  /// parameter/BN-statistic values, no shared storage, no hooks. Reads only,
+  /// so concurrent clones of one model are safe — used by the fault
+  /// Monte-Carlo to give every trial its own replica.
+  Model clone() const;
+
   /// Model name (e.g. "resnet18").
   const std::string& name() const { return name_; }
   /// Root layer (for custom traversal).

@@ -164,4 +164,17 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+
+LayerPtr MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>(name(), kernel_, stride_);
+}
+
+LayerPtr AvgPool2d::clone() const {
+  return std::make_unique<AvgPool2d>(name(), kernel_, stride_);
+}
+
+LayerPtr GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>(name());
+}
+
 }  // namespace tinyadc::nn

@@ -11,6 +11,7 @@ class MaxPool2d final : public Layer {
   MaxPool2d(std::string name, std::int64_t kernel, std::int64_t stride);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override;
 
  private:
   std::int64_t kernel_, stride_;
@@ -24,6 +25,7 @@ class AvgPool2d final : public Layer {
   AvgPool2d(std::string name, std::int64_t kernel, std::int64_t stride);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override;
 
  private:
   std::int64_t kernel_, stride_;
@@ -36,6 +38,7 @@ class GlobalAvgPool final : public Layer {
   explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  LayerPtr clone() const override;
 
  private:
   Shape input_shape_;

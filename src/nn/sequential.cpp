@@ -73,4 +73,16 @@ void Residual::visit(const std::function<void(Layer&)>& fn) {
   if (shortcut_) shortcut_->visit(fn);
 }
 
+
+LayerPtr Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>(name());
+  for (const auto& child : children_) copy->add(child->clone());
+  return copy;
+}
+
+LayerPtr Residual::clone() const {
+  return std::make_unique<Residual>(name(), main_->clone(),
+                                    shortcut_ ? shortcut_->clone() : nullptr);
+}
+
 }  // namespace tinyadc::nn

@@ -31,6 +31,7 @@ class Sequential : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void visit(const std::function<void(Layer&)>& fn) override;
+  LayerPtr clone() const override;
 
   /// Number of direct children.
   std::size_t size() const { return children_.size(); }
@@ -50,6 +51,7 @@ class Residual final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   void visit(const std::function<void(Layer&)>& fn) override;
+  LayerPtr clone() const override;
 
  private:
   LayerPtr main_;

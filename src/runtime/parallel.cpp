@@ -1,0 +1,191 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tinyadc::runtime {
+
+namespace {
+
+/// Set while a thread (worker or caller) executes parallel_for lanes; makes
+/// nested parallel_for calls run inline instead of deadlocking on the pool.
+thread_local bool tl_in_lane = false;
+
+/// One outstanding parallel_for invocation.
+struct Job {
+  const ChunkFn* body = nullptr;
+  std::int64_t begin = 0;
+  std::int64_t grain = 1;
+  std::int64_t end = 0;
+  std::int64_t num_chunks = 0;
+  int width = 0;      ///< lanes in this job, caller included
+  int remaining = 0;  ///< pool lanes still running (guarded by Pool::mu_)
+  std::exception_ptr error;  ///< first failure (guarded by Pool::mu_)
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  ~Pool() { shutdown(); }
+
+  int configured_threads() {
+    const int o = override_.load(std::memory_order_relaxed);
+    if (o > 0) return o;
+    static const int env_threads = [] {
+      if (const char* v = std::getenv("TINYADC_THREADS")) {
+        const long n = std::strtol(v, nullptr, 10);
+        if (n >= 1) return static_cast<int>(n);
+      }
+      const unsigned hc = std::thread::hardware_concurrency();
+      return hc == 0 ? 1 : static_cast<int>(hc);
+    }();
+    return env_threads;
+  }
+
+  void set_override(int n) {
+    override_.store(n > 0 ? n : 0, std::memory_order_relaxed);
+  }
+
+  int spawned() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<int>(workers_.size());
+  }
+
+  void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+           const ChunkFn& body) {
+    if (end <= begin) return;
+    if (grain < 1) grain = 1;
+    const std::int64_t num_chunks = (end - begin + grain - 1) / grain;
+    int width = configured_threads();
+    width = static_cast<int>(
+        std::min<std::int64_t>(width, num_chunks));
+    if (width <= 1 || tl_in_lane) {
+      body(begin, end);
+      return;
+    }
+
+    // One fan-out at a time: nested calls were peeled off above, and
+    // concurrent top-level callers simply take turns.
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    Job job;
+    job.body = &body;
+    job.begin = begin;
+    job.grain = grain;
+    job.end = end;
+    job.num_chunks = num_chunks;
+    job.width = width;
+    job.remaining = width - 1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ensure_workers_locked(width - 1);
+      job_ = &job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    run_lane(job, /*lane=*/0);  // the caller is lane 0
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&job] { return job.remaining == 0; });
+      job_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+  void shutdown() {
+    std::vector<std::thread> doomed;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      doomed.swap(workers_);
+    }
+    cv_.notify_all();
+    for (std::thread& t : doomed) t.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;  // allow a later parallel_for to restart the pool
+  }
+
+ private:
+  void ensure_workers_locked(int needed) {
+    while (static_cast<int>(workers_.size()) < needed) {
+      const int slot = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, slot] { worker_main(slot); });
+    }
+  }
+
+  /// Executes every chunk assigned to `lane`: chunks lane, lane + width, …
+  /// The assignment depends only on (range, grain, width), and each chunk's
+  /// computation is independent of which lane runs it — the static
+  /// deterministic partitioning contract.
+  void run_lane(Job& job, int lane) {
+    const bool was_in_lane = tl_in_lane;
+    tl_in_lane = true;
+    try {
+      for (std::int64_t c = lane; c < job.num_chunks; c += job.width) {
+        const std::int64_t b = job.begin + c * job.grain;
+        const std::int64_t e = std::min(job.end, b + job.grain);
+        (*job.body)(b, e);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    tl_in_lane = was_in_lane;
+  }
+
+  void worker_main(int slot) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [this, seen] {
+        return stop_ || (generation_ != seen && job_ != nullptr);
+      });
+      if (stop_) return;
+      seen = generation_;
+      Job* job = job_;
+      if (slot + 1 >= job->width) continue;  // no lane for this worker
+      lk.unlock();
+      run_lane(*job, slot + 1);
+      lk.lock();
+      if (--job->remaining == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex run_mu_;  ///< serializes top-level parallel_for fan-outs
+  std::mutex mu_;      ///< guards everything below
+  std::condition_variable cv_;       ///< job posted / stop requested
+  std::condition_variable done_cv_;  ///< job finished
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::atomic<int> override_{0};
+};
+
+}  // namespace
+
+int thread_count() { return Pool::instance().configured_threads(); }
+
+void set_thread_count(int n) { Pool::instance().set_override(n); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ChunkFn& body) {
+  Pool::instance().run(begin, end, grain, body);
+}
+
+bool in_parallel_region() { return tl_in_lane; }
+
+int spawned_workers() { return Pool::instance().spawned(); }
+
+void shutdown() { Pool::instance().shutdown(); }
+
+}  // namespace tinyadc::runtime

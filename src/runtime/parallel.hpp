@@ -1,0 +1,64 @@
+// Dependency-free parallel runtime shared by every TinyADC substrate.
+//
+// A lazily-started persistent worker pool executes `parallel_for` with
+// *static deterministic partitioning*: the index range is cut into
+// fixed-size chunks (`grain` indices each) and chunk c is always executed
+// by lane `c % width`. Partitioning therefore only decides *which thread*
+// runs a chunk, never what the chunk computes — so any loop whose
+// iterations are independent produces bit-identical results at every
+// thread count, including the serial fallback. All kernels wired to this
+// runtime (GEMM, CP projection, analog MVM, fault Monte-Carlo) preserve
+// that contract by keeping per-index work partition-independent and by
+// merging any reductions serially in a fixed order afterwards.
+//
+// Thread count resolution (first match wins):
+//   1. set_thread_count(n) with n >= 1 (programmatic override, e.g. bench
+//      sweeps and the determinism tests);
+//   2. the TINYADC_THREADS environment variable;
+//   3. std::thread::hardware_concurrency().
+// A count of 1 bypasses the pool entirely and runs the loop inline on the
+// caller — the exact serial execution path, not a one-worker simulation.
+//
+// Nested parallel_for calls (e.g. gemm invoked from a parallelized batch
+// loop) run inline on the worker that issued them; only the outermost loop
+// fans out. This keeps the pool deadlock-free without oversubscription.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace tinyadc::runtime {
+
+/// Loop body operating on the half-open index chunk [begin, end).
+using ChunkFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+
+/// The thread count parallel_for will use (override > env > hardware).
+int thread_count();
+
+/// Overrides the thread count for subsequent parallel_for calls; `n <= 0`
+/// restores the default (TINYADC_THREADS / hardware_concurrency). Must not
+/// be called while a parallel_for is in flight.
+void set_thread_count(int n);
+
+/// Runs `body` over [begin, end) in chunks of at most `grain` indices
+/// (grain < 1 is treated as 1). Blocks until every chunk has finished.
+/// The first exception thrown by any chunk is rethrown on the caller after
+/// all lanes have stopped. Safe to call from inside a worker (runs inline).
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ChunkFn& body);
+
+/// True while the calling thread is executing inside a parallel_for lane
+/// (nested parallel_for calls will run inline).
+bool in_parallel_region();
+
+/// Number of worker threads the pool has actually spawned (0 until the
+/// first pooled parallel_for). The caller also acts as a lane, so a
+/// thread_count of N spawns at most N - 1 workers.
+int spawned_workers();
+
+/// Joins and discards all pool workers. The next pooled parallel_for
+/// restarts the pool; intended for tests and orderly teardown, not for the
+/// hot path. Must not be called while a parallel_for is in flight.
+void shutdown();
+
+}  // namespace tinyadc::runtime

@@ -1,5 +1,7 @@
 #include "gemm.hpp"
 
+#include "runtime/parallel.hpp"
+
 namespace tinyadc {
 
 namespace {
@@ -20,6 +22,13 @@ void materialize_op(const Tensor& a, bool transpose, std::int64_t rows,
   }
 }
 
+// Rows per parallel chunk: ~64k flops each so small GEMMs stay on the
+// caller and large ones split into enough chunks to balance the lanes.
+std::int64_t row_grain(std::int64_t k, std::int64_t n) {
+  const std::int64_t flops_per_row = std::max<std::int64_t>(1, 2 * k * n);
+  return std::max<std::int64_t>(1, 65536 / flops_per_row);
+}
+
 }  // namespace
 
 void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
@@ -36,9 +45,11 @@ void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
                 "gemm output shape " << shape_to_string(c.shape())
                                      << " != [" << m << ", " << n << "]");
 
-  // Materializing transposed operands keeps one hot inner loop.
-  static thread_local std::vector<float> abuf;
-  static thread_local std::vector<float> bbuf;
+  // Materializing transposed operands keeps one hot inner loop. The scratch
+  // is per-call: the former `static thread_local` buffers aliased whenever
+  // gemm re-entered on the same thread (nested calls, pooled workers).
+  std::vector<float> abuf;
+  std::vector<float> bbuf;
   const float* pa = a.data();
   const float* pb = b.data();
   if (transpose_a) {
@@ -50,27 +61,33 @@ void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
     pb = bbuf.data();
   }
 
+  // Row blocks are independent (each writes its own C rows) and every row's
+  // update sequence is the same at any partitioning, so the parallel result
+  // is bit-identical to the serial one.
   float* pc = c.data();
-  if (beta == 0.0F) {
-    std::fill(pc, pc + m * n, 0.0F);
-  } else if (beta != 1.0F) {
-    for (std::int64_t i = 0; i < m * n; ++i) pc[i] *= beta;
-  }
-
-  // i-k-j ordering: the innermost loop runs over contiguous rows of B and C.
   constexpr std::int64_t kBlock = 64;
-  for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-    const std::int64_t k1 = std::min(k, k0 + kBlock);
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* crow = pc + i * n;
-      for (std::int64_t kk = k0; kk < k1; ++kk) {
-        const float av = alpha * pa[i * k + kk];
-        if (av == 0.0F) continue;
-        const float* brow = pb + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
+  runtime::parallel_for(
+      0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
+        if (beta == 0.0F) {
+          std::fill(pc + i0 * n, pc + i1 * n, 0.0F);
+        } else if (beta != 1.0F) {
+          for (std::int64_t i = i0 * n; i < i1 * n; ++i) pc[i] *= beta;
+        }
+        // i-k-j ordering: the innermost loop runs over contiguous rows of B
+        // and C.
+        for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+          const std::int64_t k1 = std::min(k, k0 + kBlock);
+          for (std::int64_t i = i0; i < i1; ++i) {
+            float* crow = pc + i * n;
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+              const float av = alpha * pa[i * k + kk];
+              if (av == 0.0F) continue;
+              const float* brow = pb + kk * n;
+              for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          }
+        }
+      });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a,
@@ -95,12 +112,16 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
   const float* pa = a.data();
   const float* px = x.data();
   float* py = y.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    const float* row = pa + i * n;
-    for (std::int64_t j = 0; j < n; ++j) acc += static_cast<double>(row[j]) * px[j];
-    py[i] = static_cast<float>(acc);
-  }
+  runtime::parallel_for(
+      0, m, row_grain(n, 1), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          double acc = 0.0;
+          const float* row = pa + i * n;
+          for (std::int64_t j = 0; j < n; ++j)
+            acc += static_cast<double>(row[j]) * px[j];
+          py[i] = static_cast<float>(acc);
+        }
+      });
   return y;
 }
 

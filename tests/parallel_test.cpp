@@ -1,0 +1,234 @@
+// Parallel runtime (src/runtime): pool lifecycle, exception propagation,
+// range coverage, and the determinism contract — every kernel wired to
+// parallel_for must produce bit-identical results at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/projection.hpp"
+#include "data/synthetic.hpp"
+#include "fault/evaluate.hpp"
+#include "nn/models.hpp"
+#include "runtime/parallel.hpp"
+#include "tensor/gemm.hpp"
+
+namespace tinyadc {
+namespace {
+
+/// Restores the default thread-count resolution when a test exits.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) { runtime::set_thread_count(n); }
+  ~ThreadCountGuard() { runtime::set_thread_count(0); }
+};
+
+TEST(ParallelRuntime, ThreadCountResolution) {
+  ThreadCountGuard guard(3);
+  EXPECT_EQ(runtime::thread_count(), 3);
+  runtime::set_thread_count(0);
+  EXPECT_GE(runtime::thread_count(), 1);
+}
+
+TEST(ParallelRuntime, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard(4);
+  // 1000 indices at grain 7 → 143 chunks, the last one short: the awkward
+  // case for the chunk arithmetic.
+  std::vector<std::atomic<int>> hits(1000);
+  runtime::parallel_for(0, 1000, 7, [&](std::int64_t b, std::int64_t e) {
+    ASSERT_LT(b, e);
+    ASSERT_LE(e - b, 7);
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRuntime, CoversOffsetRange) {
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> hits(250);
+  runtime::parallel_for(100, 350, 3, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i)
+      hits[static_cast<std::size_t>(i - 100)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRuntime, EmptyRangeNeverInvokesBody) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> calls{0};
+  runtime::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { calls++; });
+  runtime::parallel_for(5, 3, 1, [&](std::int64_t, std::int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelRuntime, SingleChunkRunsInlineOnCaller) {
+  ThreadCountGuard guard(4);
+  // grain ≥ range → one chunk → width clamps to 1 → the exact serial path.
+  std::atomic<int> calls{0};
+  runtime::parallel_for(0, 10, 100, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 10);
+    EXPECT_FALSE(runtime::in_parallel_region());
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelRuntime, SerialFallbackAtOneThread) {
+  ThreadCountGuard guard(1);
+  const int before = runtime::spawned_workers();
+  std::vector<int> order;  // no synchronization: must stay single-threaded
+  runtime::parallel_for(0, 64, 4, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) order.push_back(static_cast<int>(i));
+  });
+  ASSERT_EQ(order.size(), 64U);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(runtime::spawned_workers(), before);  // pool never engaged
+}
+
+TEST(ParallelRuntime, NestedCallsRunInline) {
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> hits(32 * 8);
+  runtime::parallel_for(0, 32, 1, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_TRUE(runtime::in_parallel_region());
+    for (std::int64_t i = b; i < e; ++i) {
+      runtime::parallel_for(0, 8, 1, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t j = ib; j < ie; ++j)
+          hits[static_cast<std::size_t>(i * 8 + j)]++;
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRuntime, PropagatesFirstException) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(
+      runtime::parallel_for(0, 100, 1,
+                            [&](std::int64_t b, std::int64_t) {
+                              if (b == 37) throw std::runtime_error("lane 37");
+                            }),
+      std::runtime_error);
+  // The pool must still be usable after a failed job.
+  std::atomic<int> count{0};
+  runtime::parallel_for(0, 16, 1,
+                        [&](std::int64_t b, std::int64_t e) {
+                          count += static_cast<int>(e - b);
+                        });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ParallelRuntime, ShutdownAndRestart) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> count{0};
+  runtime::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_GE(runtime::spawned_workers(), 1);
+  runtime::shutdown();
+  EXPECT_EQ(runtime::spawned_workers(), 0);
+  runtime::parallel_for(0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 128);
+  EXPECT_GE(runtime::spawned_workers(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: the wired kernels are bit-identical at 1 vs 4 threads.
+// ---------------------------------------------------------------------------
+
+bool bytes_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+TEST(ParallelDeterminism, GemmBitIdentical) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn({37, 53}, rng);
+  const Tensor b = Tensor::randn({53, 29}, rng);
+  Tensor c1({37, 29});
+  Tensor c4({37, 29});
+  {
+    ThreadCountGuard guard(1);
+    gemm(a, false, b, false, c1);
+  }
+  {
+    ThreadCountGuard guard(4);
+    gemm(a, false, b, false, c4);
+  }
+  EXPECT_TRUE(bytes_equal(c1, c4));
+}
+
+TEST(ParallelDeterminism, ProjectionBitIdentical) {
+  Rng rng(12);
+  std::vector<float> base(64 * 48);
+  for (auto& v : base) v = rng.normal(0.0F, 1.0F);
+  auto d1 = base;
+  auto d4 = base;
+  {
+    ThreadCountGuard guard(1);
+    core::project_column_proportional({d1.data(), 64, 48}, {16, 16}, 3);
+  }
+  {
+    ThreadCountGuard guard(4);
+    core::project_column_proportional({d4.data(), 64, 48}, {16, 16}, 3);
+  }
+  EXPECT_EQ(d1, d4);  // exact float equality, not approximate
+}
+
+TEST(ParallelDeterminism, FaultTrialsBitIdentical) {
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_size = 8;
+  dspec.train_per_class = 2;
+  dspec.test_per_class = 4;
+  const auto data = data::make_synthetic(dspec);
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  auto model = nn::resnet18(mc);
+  xbar::MappingConfig map_config;
+  map_config.dims = {4, 4};
+  fault::FaultSpec fspec;
+  fspec.rate = 0.15;
+
+  fault::FaultTrialResult r1;
+  fault::FaultTrialResult r4;
+  {
+    ThreadCountGuard guard(1);
+    r1 = fault::evaluate_under_faults(*model, data.test, map_config, fspec, 3);
+  }
+  {
+    ThreadCountGuard guard(4);
+    r4 = fault::evaluate_under_faults(*model, data.test, map_config, fspec, 3);
+  }
+  EXPECT_EQ(r1.clean_accuracy, r4.clean_accuracy);
+  EXPECT_EQ(r1.mean_accuracy, r4.mean_accuracy);
+  EXPECT_EQ(r1.min_accuracy, r4.min_accuracy);
+}
+
+TEST(ParallelDeterminism, ModelCloneIsDeepAndIndependent) {
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  auto model = nn::resnet18(mc);
+  Rng rng(13);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor before = model->forward(x, /*training=*/false);
+
+  nn::Model copy = model->clone();
+  // Corrupt the original; the clone must be unaffected (no shared storage).
+  model->prunable_views()[0].weight->value.data()[0] += 100.0F;
+  const Tensor from_copy = copy.forward(x, /*training=*/false);
+  EXPECT_TRUE(bytes_equal(before, from_copy));
+  const Tensor from_original = model->forward(x, /*training=*/false);
+  EXPECT_FALSE(bytes_equal(before, from_original));
+}
+
+}  // namespace
+}  // namespace tinyadc
