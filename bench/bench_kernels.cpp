@@ -96,6 +96,47 @@ void BM_AnalogMvm(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalogMvm)->Arg(128)->Arg(512);
 
+/// A 512×64 matrix CP-projected to `keep` active rows per 128-row crossbar
+/// column — the sparsity structure the TinyADC framework itself creates.
+Tensor cp_bench_matrix(std::int64_t keep) {
+  constexpr std::int64_t rows = 512, cols = 64;
+  Rng rng(6);
+  std::vector<float> store(static_cast<std::size_t>(rows * cols));
+  for (auto& v : store) v = rng.normal(0.0F, 1.0F);
+  core::project_column_proportional({store.data(), rows, cols}, {128, 128},
+                                    keep);
+  Tensor m({rows, cols});
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      m.at(r, c) = store[static_cast<std::size_t>(c * rows + r)];
+  return m;
+}
+
+/// Analog MVM at CP sparsity l = range(0) of r = 128 crossbar rows:
+/// packed execution plan (range(1) = 1) vs legacy dense row scan (0).
+void BM_AnalogMvmCp(benchmark::State& state) {
+  const Tensor m = cp_bench_matrix(state.range(0));
+  xbar::MappingConfig cfg;
+  cfg.dims = {128, 128};
+  const auto layer = xbar::map_matrix(m, "bench", cfg);
+  msim::MsimConfig sim_cfg;
+  sim_cfg.use_plan = state.range(1) != 0;
+  msim::AnalogLayerSim sim(layer, sim_cfg);
+  Rng rng(7);
+  std::vector<std::int32_t> x(512);
+  for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform_int(256));
+  for (auto _ : state) {
+    auto y = sim.mvm(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AnalogMvmCp)
+    ->ArgNames({"l", "plan"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({4, 1})
+    ->Args({128, 1});
+
 // ---------------------------------------------------------------------------
 // Thread sweep with bit-identity verification (--json / TINYADC_BENCH_JSON).
 // ---------------------------------------------------------------------------
@@ -155,6 +196,33 @@ std::vector<SweepKernel> make_sweep_kernels() {
     }
     return h;
   }});
+
+  // The ISSUE-3 acceptance case, before/after in one JSON: analog MVM at CP
+  // sparsity l = 16 of r = 128 through the legacy dense row scan vs the
+  // packed execution plan. Identical work, identical digests.
+  for (const bool use_plan : {false, true}) {
+    kernels.push_back(
+        {use_plan ? "analog_mvm_cp16_plan" : "analog_mvm_cp16_dense",
+         [use_plan] {
+           const Tensor m = cp_bench_matrix(16);
+           xbar::MappingConfig cfg;
+           cfg.dims = {128, 128};
+           const auto layer = xbar::map_matrix(m, "bench", cfg);
+           msim::MsimConfig sim_cfg;
+           sim_cfg.use_plan = use_plan;
+           msim::AnalogLayerSim sim(layer, sim_cfg);
+           Rng rng(7);
+           std::vector<std::int32_t> x(512);
+           for (auto& v : x)
+             v = static_cast<std::int32_t>(rng.uniform_int(256));
+           std::uint64_t h = 0;
+           for (int rep = 0; rep < 16; ++rep) {
+             const auto y = sim.mvm(x);
+             h ^= fnv1a(y.data(), sizeof(y[0]) * y.size());
+           }
+           return h;
+         }});
+  }
 
   return kernels;
 }

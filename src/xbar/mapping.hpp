@@ -43,11 +43,20 @@ struct CrossbarBlock {
   std::int64_t row0 = 0, col0 = 0;  ///< block origin in the 2-D matrix
   std::int64_t rows = 0, cols = 0;  ///< actual extent (≤ dims at edges)
   std::vector<std::int32_t> q;      ///< signed codes, row-major (rows × cols)
+  /// Per-column occupancy census from map time: col_nonzeros[c] is the
+  /// number of rows with a non-zero code in block-local column c (the `l`
+  /// of the paper's CP constraint). Consumers that mutate `q` afterwards
+  /// (fault injection) must treat it as stale.
+  std::vector<std::int64_t> col_nonzeros;
   std::int64_t max_col_nonzeros = 0;  ///< census: worst column occupancy
 
   /// Signed code at (r, c), block-local coordinates.
   std::int32_t at(std::int64_t r, std::int64_t c) const {
     return q[static_cast<std::size_t>(r * cols + c)];
+  }
+  /// Active rows in block-local column c (map-time census).
+  std::int64_t column_nonzeros(std::int64_t c) const {
+    return col_nonzeros[static_cast<std::size_t>(c)];
   }
   /// True if every weight in the block is zero (block can be dropped).
   bool all_zero() const;

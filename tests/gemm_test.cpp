@@ -66,6 +66,46 @@ TEST(Gemm, AlphaScales) {
   EXPECT_FLOAT_EQ(c.at(0, 0), 6.0F);
 }
 
+TEST(Gemm, BetaWithTransposedOperands) {
+  // beta != 0 combined with transposed A and B: C = 0.5·AᵀᵀBᵀᵀ… i.e. the
+  // full C = alpha·op(A)·op(B) + beta·C contract through the materialized
+  // operand path and the microkernel edge cases at once.
+  Rng rng(7);
+  Tensor a_plain = Tensor::randn({5, 7}, rng);
+  Tensor b_plain = Tensor::randn({7, 6}, rng);
+  Tensor c0 = Tensor::randn({5, 6}, rng);
+  const float alpha = 0.5F, beta = 2.0F;
+  Tensor expected = naive_matmul(a_plain, b_plain);
+  for (std::int64_t i = 0; i < 5; ++i)
+    for (std::int64_t j = 0; j < 6; ++j)
+      expected.at(i, j) = alpha * expected.at(i, j) + beta * c0.at(i, j);
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const Tensor a = ta ? transpose(a_plain) : a_plain;
+      const Tensor b = tb ? transpose(b_plain) : b_plain;
+      Tensor c = c0.clone();
+      gemm(a, ta, b, tb, c, alpha, beta);
+      EXPECT_LT(max_abs_diff(c, expected), 1e-4F)
+          << "ta=" << ta << " tb=" << tb;
+    }
+  }
+}
+
+TEST(Gemm, BetaOneAccumulatesAcrossTileEdges) {
+  // Sizes straddling the 4×32 microkernel tile: rows 4+remainder, columns
+  // 32+remainder. Two beta=1 accumulations must equal twice one product.
+  Rng rng(8);
+  Tensor a = Tensor::randn({6, 33}, rng);
+  Tensor b = Tensor::randn({33, 37}, rng);
+  const Tensor once = matmul(a, b);
+  Tensor twice = Tensor::zeros({6, 37});
+  gemm(a, false, b, false, twice, 1.0F, 1.0F);
+  gemm(a, false, b, false, twice, 1.0F, 1.0F);
+  for (std::int64_t i = 0; i < 6; ++i)
+    for (std::int64_t j = 0; j < 37; ++j)
+      EXPECT_NEAR(twice.at(i, j), 2.0F * once.at(i, j), 1e-4F);
+}
+
 TEST(Gemm, DimensionMismatchThrows) {
   Tensor a({2, 3});
   Tensor b({4, 2});
@@ -86,8 +126,22 @@ TEST(Matvec, MatchesGemm) {
   Tensor x = Tensor::randn({7}, rng);
   Tensor y = matvec(a, x);
   Tensor ym = matmul(a, x.reshape({7, 1}));
+  // matvec routes through the blocked GEMM path, so the match is bit-exact.
   for (std::int64_t i = 0; i < 5; ++i)
-    EXPECT_NEAR(y.at(i), ym.at(i, 0), 1e-4F);
+    EXPECT_FLOAT_EQ(y.at(i), ym.at(i, 0));
+}
+
+TEST(Matvec, LargeShapesMatchNaive) {
+  Rng rng(9);
+  Tensor a = Tensor::randn({67, 129}, rng);
+  Tensor x = Tensor::randn({129}, rng);
+  const Tensor y = matvec(a, x);
+  for (std::int64_t i = 0; i < 67; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < 129; ++j)
+      acc += static_cast<double>(a.at(i, j)) * x.at(j);
+    EXPECT_NEAR(y.at(i), static_cast<float>(acc), 1e-3F) << "row " << i;
+  }
 }
 
 TEST(Matvec, ValidatesShapes) {

@@ -79,6 +79,15 @@ TEST(Mapping, CensusCountsPerBlockColumn) {
   EXPECT_EQ(layer.blocks[0].max_col_nonzeros, 3);  // block (0,0)
   EXPECT_EQ(layer.blocks[1].max_col_nonzeros, 1);  // block (1,0)
   EXPECT_EQ(layer.max_active_rows(), 3);
+  // Per-column occupancy (consumed by the msim execution plan): column 1
+  // carries the census, every other column is empty.
+  ASSERT_EQ(layer.blocks[0].col_nonzeros.size(), 4U);
+  EXPECT_EQ(layer.blocks[0].column_nonzeros(1), 3);
+  EXPECT_EQ(layer.blocks[1].column_nonzeros(1), 1);
+  for (std::int64_t c : {0, 2, 3}) {
+    EXPECT_EQ(layer.blocks[0].column_nonzeros(c), 0);
+    EXPECT_EQ(layer.blocks[1].column_nonzeros(c), 0);
+  }
 }
 
 TEST(Mapping, RequiredAdcBitsFollowsCensus) {

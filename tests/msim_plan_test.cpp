@@ -1,0 +1,147 @@
+// Sparsity-packed execution plans: the packed O(l)-per-column mvm path must
+// reproduce the legacy dense O(r) row scan bit for bit — outputs AND ADC
+// statistics — for every non-ideality combination, CP rate and thread
+// count. Plus the shift-and-add int64 overflow guard.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/projection.hpp"
+#include "msim/analog_mvm.hpp"
+#include "runtime/parallel.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::msim {
+namespace {
+
+/// A 256×32 matrix CP-projected to `keep` active rows per 128-row crossbar
+/// column (keep == 128 leaves the matrix dense). One column is zeroed
+/// entirely so empty conversion pairs are always exercised.
+Tensor cp_matrix(std::int64_t keep, std::uint64_t seed) {
+  constexpr std::int64_t rows = 256, cols = 32;
+  tinyadc::Rng rng(seed);
+  // Generate in weight-storage (column-major) layout, CP-project there,
+  // then transpose into the row-major matrix the mapper consumes.
+  std::vector<float> store(static_cast<std::size_t>(rows * cols));
+  for (auto& v : store) v = rng.normal(0.0F, 1.0F);
+  core::project_column_proportional({store.data(), rows, cols}, {128, 128},
+                                    keep);
+  Tensor m({rows, cols});
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      m.at(r, c) = store[static_cast<std::size_t>(c * rows + r)];
+  for (std::int64_t r = 0; r < rows; ++r) m.at(r, 5) = 0.0F;
+  return m;
+}
+
+std::vector<std::int32_t> random_codes(std::int64_t n, int bits,
+                                       std::uint64_t seed) {
+  tinyadc::Rng rng(seed);
+  std::vector<std::int32_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x)
+    v = static_cast<std::int32_t>(rng.uniform_int(1ULL << bits));
+  return x;
+}
+
+/// Golden bit-exactness sweep: CP sparsity l ∈ {4, 16, 128} × thread count
+/// ∈ {1, 4}, each under four non-ideality settings (ideal, variation,
+/// IR drop, both).
+class PlanExactness
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {
+ protected:
+  void TearDown() override { runtime::set_thread_count(0); }
+};
+
+TEST_P(PlanExactness, PackedMatchesDenseBitForBit) {
+  const auto [keep, threads] = GetParam();
+  runtime::set_thread_count(threads);
+  const Tensor m = cp_matrix(keep, static_cast<std::uint64_t>(keep));
+  xbar::MappingConfig map_cfg;  // paper config: 128×128, 8/8-bit, 1-bit DAC
+  const auto layer = xbar::map_matrix(m, "l", map_cfg);
+  ASSERT_LE(layer.max_active_rows(), keep);
+
+  MsimConfig variants[4];
+  variants[1].variation_sigma = 0.1;
+  variants[2].ir_drop_alpha = 0.3;
+  variants[3].variation_sigma = 0.1;
+  variants[3].ir_drop_alpha = 0.3;
+  for (MsimConfig cfg : variants) {
+    MsimConfig dense_cfg = cfg;
+    dense_cfg.use_plan = false;
+    AnalogLayerSim packed(layer, cfg);
+    AnalogLayerSim dense(layer, dense_cfg);
+    for (std::uint64_t seed : {7ULL, 8ULL}) {
+      const auto x = random_codes(layer.rows, map_cfg.input_bits, seed);
+      EXPECT_EQ(packed.mvm(x), dense.mvm(x))
+          << "keep=" << keep << " threads=" << threads
+          << " sigma=" << cfg.variation_sigma
+          << " alpha=" << cfg.ir_drop_alpha;
+    }
+    EXPECT_EQ(packed.stats().adc_conversions, dense.stats().adc_conversions);
+    EXPECT_EQ(packed.stats().adc_clip_events, dense.stats().adc_clip_events);
+    EXPECT_EQ(packed.stats().dac_cycles, dense.stats().dac_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndThreads, PlanExactness,
+    ::testing::Combine(::testing::Values<std::int64_t>(4, 16, 128),
+                       ::testing::Values(1, 4)));
+
+TEST(PlanExactness, MultiBitDacMatchesDense) {
+  const Tensor m = cp_matrix(16, 99);
+  xbar::MappingConfig map_cfg;
+  map_cfg.dac_bits = 2;
+  const auto layer = xbar::map_matrix(m, "l", map_cfg);
+  MsimConfig dense_cfg;
+  dense_cfg.use_plan = false;
+  AnalogLayerSim packed(layer, {});
+  AnalogLayerSim dense(layer, dense_cfg);
+  const auto x = random_codes(layer.rows, map_cfg.input_bits, 11);
+  EXPECT_EQ(packed.mvm(x), dense.mvm(x));
+  EXPECT_EQ(packed.stats().adc_conversions, dense.stats().adc_conversions);
+}
+
+TEST(PlanExactness, UnderProvisionedAdcClipsIdentically) {
+  // Clipping paths must agree too: force saturation with a 2-bit ADC.
+  const Tensor m = cp_matrix(128, 42);
+  const auto layer = xbar::map_matrix(m, "l", xbar::MappingConfig{});
+  MsimConfig cfg;
+  cfg.adc_bits_override = 2;
+  MsimConfig dense_cfg = cfg;
+  dense_cfg.use_plan = false;
+  AnalogLayerSim packed(layer, cfg);
+  AnalogLayerSim dense(layer, dense_cfg);
+  std::vector<std::int32_t> x(static_cast<std::size_t>(layer.rows), 255);
+  EXPECT_EQ(packed.mvm(x), dense.mvm(x));
+  EXPECT_GT(packed.stats().adc_clip_events, 0);
+  EXPECT_EQ(packed.stats().adc_clip_events, dense.stats().adc_clip_events);
+}
+
+TEST(OverflowGuard, RejectsAccumulatorOverflow) {
+  // 15 one-bit slices × 32 one-bit DAC cycles × a 24-bit ADC cannot fit the
+  // int64 shift-and-add accumulator — construction must refuse instead of
+  // silently wrapping `acc += code << shift`.
+  tinyadc::Rng rng(1);
+  Tensor m = Tensor::randn({4, 4}, rng);
+  xbar::MappingConfig map_cfg;
+  map_cfg.dims = {8, 8};
+  map_cfg.weight_bits = 16;
+  map_cfg.cell_bits = 1;
+  map_cfg.input_bits = 32;
+  map_cfg.dac_bits = 1;
+  const auto layer = xbar::map_matrix(m, "l", map_cfg);
+  MsimConfig cfg;
+  cfg.adc_bits_override = 24;
+  EXPECT_THROW(AnalogLayerSim(layer, cfg), tinyadc::CheckError);
+}
+
+TEST(OverflowGuard, AcceptsPaperConfiguration) {
+  tinyadc::Rng rng(2);
+  Tensor m = Tensor::randn({128, 16}, rng);
+  const auto layer = xbar::map_matrix(m, "l", xbar::MappingConfig{});
+  EXPECT_NO_THROW(AnalogLayerSim(layer, MsimConfig{}));
+}
+
+}  // namespace
+}  // namespace tinyadc::msim
