@@ -7,6 +7,7 @@
 // against the paper in EXPERIMENTS.md.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -104,6 +105,15 @@ inline void project_cp_inplace(nn::Model& model, std::int64_t cp_rate,
 inline void hr(int width = 86) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// FNV-1a digest of raw output bytes — the bit-identity check of the thread
+/// sweeps (same kernel, different thread counts, digests must match).
+inline std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * 1099511628211ULL;
+  return h;
 }
 
 /// One row of a kernel thread-sweep: wall time of a fixed amount of work at

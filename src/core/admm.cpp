@@ -1,10 +1,22 @@
 #include "core/admm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::core {
+
+namespace {
+
+// Elements per parallel chunk of the elementwise ADMM sweeps. Chunk
+// boundaries depend only on this constant, so per-chunk partial sums merged
+// in ascending chunk order are bit-identical at any thread count (the same
+// contract as the PR 2 fault-trial reduction).
+constexpr std::int64_t kAdmmGrain = 16384;
+
+}  // namespace
 
 AdmmPruner::AdmmPruner(nn::Model& model, std::vector<LayerPruneSpec> specs,
                        CrossbarDims dims, AdmmConfig config)
@@ -56,9 +68,13 @@ void AdmmPruner::add_proximal_gradient() {
     const float* w = views_[i].weight->value.data();
     const float* z = z_[i].data();
     const float* u = u_[i].data();
-    const auto n = static_cast<std::size_t>(views_[i].rows * views_[i].cols);
-    for (std::size_t k = 0; k < n; ++k)
-      g[k] += config_.rho * (w[k] - z[k] + u[k]);
+    const std::int64_t n = views_[i].rows * views_[i].cols;
+    const float rho = config_.rho;
+    runtime::parallel_for(0, n, kAdmmGrain,
+                          [&](std::int64_t k0, std::int64_t k1) {
+                            for (std::int64_t k = k0; k < k1; ++k)
+                              g[k] += rho * (w[k] - z[k] + u[k]);
+                          });
   }
 }
 
@@ -70,21 +86,57 @@ AdmmResiduals AdmmPruner::update_duals() {
   for (std::size_t i = 0; i < views_.size(); ++i) {
     if (!specs_[i].active()) continue;
     const float* w = views_[i].weight->value.data();
-    const auto n = static_cast<std::size_t>(views_[i].rows * views_[i].cols);
+    const std::int64_t n = views_[i].rows * views_[i].cols;
     std::vector<float>& z = z_[i];
     std::vector<float>& u = u_[i];
-    std::vector<float> z_prev = z;
+    // Snapshot Zᵗ and form the pre-projection candidate W + U in one fused
+    // parallel pass. The snapshot lives in a persistent grow-only scratch —
+    // no per-call full-tensor allocation.
+    if (zprev_scratch_.size() < static_cast<std::size_t>(n))
+      zprev_scratch_.resize(static_cast<std::size_t>(n));
+    float* zp = zprev_scratch_.data();
+    float* zd = z.data();
+    float* ud = u.data();
+    runtime::parallel_for(0, n, kAdmmGrain,
+                          [&](std::int64_t k0, std::int64_t k1) {
+                            for (std::int64_t k = k0; k < k1; ++k) {
+                              zp[k] = zd[k];
+                              zd[k] = w[k] + ud[k];
+                            }
+                          });
     // Z ← Π(W + U)
-    for (std::size_t k = 0; k < n; ++k) z[k] = w[k] + u[k];
-    project_combined({z.data(), views_[i].rows, views_[i].cols}, specs_[i],
-                     dims_);
-    // U ← U + W − Z, residual accumulation.
-    for (std::size_t k = 0; k < n; ++k) {
-      u[k] += w[k] - z[k];
-      const double p = static_cast<double>(w[k]) - z[k];
-      const double d = static_cast<double>(z[k]) - z_prev[k];
-      primal_sq += p * p;
-      dual_sq += d * d;
+    project_combined({zd, views_[i].rows, views_[i].cols}, specs_[i], dims_);
+    // U ← U + W − Z fused with the residual accumulation: per-chunk partial
+    // sums, merged serially in ascending chunk order below. The loop runs
+    // over *chunk indices* so the grouping of the floating-point sums is
+    // fixed by kAdmmGrain alone — the runtime's serial fallback hands the
+    // body one whole-range span, which would otherwise collapse all chunks
+    // into a single differently-rounded accumulation.
+    const std::int64_t num_chunks = (n + kAdmmGrain - 1) / kAdmmGrain;
+    if (partials_.size() < static_cast<std::size_t>(2 * num_chunks))
+      partials_.resize(static_cast<std::size_t>(2 * num_chunks));
+    double* parts = partials_.data();
+    runtime::parallel_for(
+        0, num_chunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+          for (std::int64_t c = c0; c < c1; ++c) {
+            const std::int64_t k0 = c * kAdmmGrain;
+            const std::int64_t k1 = std::min(n, k0 + kAdmmGrain);
+            double p_sq = 0.0;
+            double d_sq = 0.0;
+            for (std::int64_t k = k0; k < k1; ++k) {
+              ud[k] += w[k] - zd[k];
+              const double p = static_cast<double>(w[k]) - zd[k];
+              const double d = static_cast<double>(zd[k]) - zp[k];
+              p_sq += p * p;
+              d_sq += d * d;
+            }
+            parts[2 * c] = p_sq;
+            parts[2 * c + 1] = d_sq;
+          }
+        });
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      primal_sq += parts[2 * c];
+      dual_sq += parts[2 * c + 1];
     }
   }
   res.primal = std::sqrt(primal_sq);

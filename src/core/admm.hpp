@@ -79,6 +79,12 @@ class AdmmPruner {
   /// Most recent residuals from update_duals().
   const AdmmResiduals& residuals() const { return last_residuals_; }
 
+  /// Auxiliary variable Z for layer `i` (storage layout; empty when the
+  /// layer's spec is inactive). Exposed for the determinism tests.
+  const std::vector<float>& z(std::size_t i) const { return z_[i]; }
+  /// Scaled dual U for layer `i` (same caveats as z()).
+  const std::vector<float>& u(std::size_t i) const { return u_[i]; }
+
  private:
   MatrixRef view_ref(std::size_t i);
 
@@ -92,6 +98,10 @@ class AdmmPruner {
   std::vector<std::vector<float>> masks_;  // support masks after hard_prune
   std::vector<StructuralSelection> selections_;  // reform geometry
   AdmmResiduals last_residuals_;
+  // Persistent update_duals() scratch (grow-only; sized to the largest
+  // layer): Zᵗ snapshot and per-chunk residual partial sums.
+  std::vector<float> zprev_scratch_;
+  std::vector<double> partials_;
 };
 
 }  // namespace tinyadc::core

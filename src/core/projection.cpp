@@ -22,9 +22,70 @@ void check_dims(const CrossbarDims& dims) {
 }
 
 // Columns per parallel chunk: selection work scales with the column height,
-// so aim for a few thousand elements per chunk.
+// so aim for ~2k elements per chunk. Finer chunks than the old 4k target
+// let tall matrices (4608 rows → grain 1) split across many lanes; the
+// per-chunk overhead is only a scratch lookup now that selection is
+// allocation-free.
 std::int64_t column_grain(std::int64_t rows) {
-  return std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, rows));
+  return std::max<std::int64_t>(1, 2048 / std::max<std::int64_t>(1, rows));
+}
+
+/// Flat selection scratch: |w| keys plus an index permutation, reused
+/// across calls (grow-only, one per thread). Thread-safe under the runtime:
+/// a nested parallel_for runs inline, and each selection finishes before
+/// the next starts on the same thread.
+struct SelectScratch {
+  std::vector<float> keys;
+  std::vector<std::int32_t> order;
+};
+thread_local SelectScratch tl_select;
+
+/// Zeroes all but the `keep` largest-|w| entries of the `len` values
+/// `values[0..len)`; ties keep the lower position (positions map to
+/// ascending rows at both call sites, preserving the deterministic
+/// lower-row tie-break). nth_element runs on the index permutation only —
+/// no per-call pair vector.
+void zero_all_but_top_k(float* values, std::int64_t len, std::int64_t keep) {
+  SelectScratch& s = tl_select;
+  if (s.keys.size() < static_cast<std::size_t>(len)) {
+    s.keys.resize(static_cast<std::size_t>(len));
+    s.order.resize(static_cast<std::size_t>(len));
+  }
+  float* keys = s.keys.data();
+  std::int32_t* order = s.order.data();
+  for (std::int64_t j = 0; j < len; ++j) {
+    keys[j] = std::fabs(values[j]);
+    order[j] = static_cast<std::int32_t>(j);
+  }
+  std::nth_element(order, order + keep, order + len,
+                   [keys](std::int32_t a, std::int32_t b) {
+                     if (keys[a] != keys[b]) return keys[a] > keys[b];
+                     return a < b;
+                   });
+  for (std::int64_t j = keep; j < len; ++j) values[order[j]] = 0.0F;
+}
+
+/// Indirect variant for the reformed geometry: the block's values live at
+/// `col[rows[j]]` for j in [0, len).
+void zero_all_but_top_k_indexed(float* col, const std::int64_t* rows,
+                                std::int64_t len, std::int64_t keep) {
+  SelectScratch& s = tl_select;
+  if (s.keys.size() < static_cast<std::size_t>(len)) {
+    s.keys.resize(static_cast<std::size_t>(len));
+    s.order.resize(static_cast<std::size_t>(len));
+  }
+  float* keys = s.keys.data();
+  std::int32_t* order = s.order.data();
+  for (std::int64_t j = 0; j < len; ++j) {
+    keys[j] = std::fabs(col[rows[j]]);
+    order[j] = static_cast<std::int32_t>(j);
+  }
+  std::nth_element(order, order + keep, order + len,
+                   [keys](std::int32_t a, std::int32_t b) {
+                     if (keys[a] != keys[b]) return keys[a] > keys[b];
+                     return a < b;
+                   });
+  for (std::int64_t j = keep; j < len; ++j) col[rows[order[j]]] = 0.0F;
 }
 
 }  // namespace
@@ -38,27 +99,15 @@ void project_column_proportional(MatrixRef m, CrossbarDims dims,
   // the serial one at any thread count.
   runtime::parallel_for(
       0, m.cols, column_grain(m.rows), [&](std::int64_t c0, std::int64_t c1) {
-        std::vector<std::pair<float, std::int64_t>> mags;  // (|w|, row)
         for (std::int64_t c = c0; c < c1; ++c) {
           float* col = m.data + c * m.rows;  // contiguous: column-major
           for (std::int64_t r0 = 0; r0 < m.rows; r0 += dims.rows) {
             const std::int64_t r1 = std::min(m.rows, r0 + dims.rows);
             const std::int64_t len = r1 - r0;
             if (keep >= len) continue;  // constraint trivially satisfied
-            mags.clear();
-            for (std::int64_t r = r0; r < r1; ++r)
-              mags.emplace_back(std::fabs(col[r]), r);
             // Keep the `keep` largest magnitudes; ties broken by lower row
             // index for determinism.
-            std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
-                             [](const auto& a, const auto& b) {
-                               if (a.first != b.first)
-                                 return a.first > b.first;
-                               return a.second < b.second;
-                             });
-            for (std::size_t i = static_cast<std::size_t>(keep);
-                 i < mags.size(); ++i)
-              col[mags[i].second] = 0.0F;
+            zero_all_but_top_k(col + r0, len, keep);
           }
         }
       });
@@ -128,26 +177,17 @@ void project_column_proportional_reformed(
   const auto kept = kept_rows_after(m.rows, removed_rows);
   runtime::parallel_for(
       0, m.cols, column_grain(m.rows), [&](std::int64_t c0, std::int64_t c1) {
-        std::vector<std::pair<float, std::int64_t>> mags;
         for (std::int64_t c = c0; c < c1; ++c) {
           float* col = m.data + c * m.rows;
           for (std::size_t k0 = 0; k0 < kept.size();
                k0 += static_cast<std::size_t>(dims.rows)) {
             const std::size_t k1 = std::min(
                 kept.size(), k0 + static_cast<std::size_t>(dims.rows));
-            if (keep >= static_cast<std::int64_t>(k1 - k0)) continue;
-            mags.clear();
-            for (std::size_t k = k0; k < k1; ++k)
-              mags.emplace_back(std::fabs(col[kept[k]]), kept[k]);
-            std::nth_element(mags.begin(), mags.begin() + keep, mags.end(),
-                             [](const auto& a, const auto& b) {
-                               if (a.first != b.first)
-                                 return a.first > b.first;
-                               return a.second < b.second;
-                             });
-            for (std::size_t i = static_cast<std::size_t>(keep);
-                 i < mags.size(); ++i)
-              col[mags[i].second] = 0.0F;
+            const auto len = static_cast<std::int64_t>(k1 - k0);
+            if (keep >= len) continue;
+            // `kept` is ascending, so position ties resolve to the lower
+            // row index, exactly as the contiguous kernel.
+            zero_all_but_top_k_indexed(col, kept.data() + k0, len, keep);
           }
         }
       });
@@ -178,14 +218,24 @@ std::int64_t max_column_nonzeros_reformed(
 std::vector<std::int64_t> zero_row_indices(ConstMatrixRef m,
                                            std::int64_t max_count) {
   check_matrix(m.data, m.rows, m.cols);
+  // Storage is column-major, so the rows-outer/columns-inner scan strided by
+  // `rows` floats per access; instead make one sequential pass over the
+  // storage, demoting rows from a row-alive scratch as non-zeros appear.
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(m.rows), 1);
+  std::int64_t alive_count = m.rows;
+  for (std::int64_t c = 0; c < m.cols && alive_count > 0; ++c) {
+    const float* col = m.data + c * m.rows;
+    for (std::int64_t r = 0; r < m.rows; ++r) {
+      if (alive[static_cast<std::size_t>(r)] != 0 && col[r] != 0.0F) {
+        alive[static_cast<std::size_t>(r)] = 0;
+        --alive_count;
+      }
+    }
+  }
   std::vector<std::int64_t> out;
   for (std::int64_t r = 0;
-       r < m.rows && static_cast<std::int64_t>(out.size()) < max_count; ++r) {
-    bool all_zero = true;
-    for (std::int64_t c = 0; c < m.cols && all_zero; ++c)
-      all_zero = (m.at(r, c) == 0.0F);
-    if (all_zero) out.push_back(r);
-  }
+       r < m.rows && static_cast<std::int64_t>(out.size()) < max_count; ++r)
+    if (alive[static_cast<std::size_t>(r)] != 0) out.push_back(r);
   return out;
 }
 

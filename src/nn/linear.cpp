@@ -1,19 +1,25 @@
 #include "nn/linear.hpp"
 
 #include "nn/init.hpp"
+#include "runtime/parallel.hpp"
 #include "tensor/gemm.hpp"
 
 namespace tinyadc::nn {
 
 Linear::Linear(std::string name, std::int64_t in_features,
                std::int64_t out_features, bool bias, Rng& rng)
+    : Linear(Uninit{}, std::move(name), in_features, out_features, bias) {
+  kaiming_normal_(weight_.value, in_features_, rng);
+}
+
+Linear::Linear(Uninit, std::string name, std::int64_t in_features,
+               std::int64_t out_features, bool bias)
     : Layer(std::move(name)),
       in_features_(in_features),
       out_features_(out_features),
       has_bias_(bias) {
   TINYADC_CHECK(in_features > 0 && out_features > 0, "invalid Linear dims");
   Tensor w({out_features_, in_features_});
-  kaiming_normal_(w, in_features_, rng);
   weight_ = Param(Layer::name() + ".weight", std::move(w));
   if (has_bias_) {
     bias_ = Param(Layer::name() + ".bias", Tensor::zeros({out_features_}),
@@ -32,6 +38,14 @@ std::vector<Param*> Linear::params() {
   return ps;
 }
 
+void Linear::release_workspace() {
+  cached_input_ = Tensor();
+  ws_gemm_.a.clear();
+  ws_gemm_.a.shrink_to_fit();
+  ws_gemm_.b.clear();
+  ws_gemm_.b.shrink_to_fit();
+}
+
 Tensor Linear::forward(const Tensor& input, bool training) {
   TINYADC_CHECK(input.ndim() == 2 && input.dim(1) == in_features_,
                 "Linear " << name() << ": bad input "
@@ -48,7 +62,7 @@ Tensor Linear::forward(const Tensor& input, bool training) {
                             << shape_to_string(output.shape()));
     output.copy_from(*hooked);
   } else {
-    gemm(input, false, weight_.value, true, output);
+    gemm(input, false, weight_.value, true, output, 1.0F, 0.0F, &ws_gemm_);
   }
   if (has_bias_) {
     float* o = output.data();
@@ -71,13 +85,22 @@ Tensor Linear::backward(const Tensor& grad_output) {
                 "Linear " << name() << ": bad grad_output "
                           << shape_to_string(grad_output.shape()));
   // dL/dW += goutᵀ · x
-  gemm(grad_output, true, cached_input_, false, weight_.grad, 1.0F, 1.0F);
+  gemm(grad_output, true, cached_input_, false, weight_.grad, 1.0F, 1.0F,
+       &ws_gemm_);
   if (has_bias_) {
+    // Output features own disjoint bias slots; each sums the batch in a
+    // fixed order, so the result is bit-identical at any thread count.
     float* gb = bias_.grad.data();
     const float* g = grad_output.data();
-    for (std::int64_t n = 0; n < batch; ++n)
-      for (std::int64_t f = 0; f < out_features_; ++f)
-        gb[f] += g[n * out_features_ + f];
+    runtime::parallel_for(
+        0, out_features_, 64, [&](std::int64_t f0, std::int64_t f1) {
+          for (std::int64_t f = f0; f < f1; ++f) {
+            double acc = 0.0;
+            for (std::int64_t n = 0; n < batch; ++n)
+              acc += g[n * out_features_ + f];
+            gb[f] += static_cast<float>(acc);
+          }
+        });
   }
   // dL/dx = gout · W
   Tensor grad_input({batch, in_features_});
@@ -86,11 +109,9 @@ Tensor Linear::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
-
 LayerPtr Linear::clone() const {
-  Rng init_rng(0);  // constructor-drawn values are overwritten below
-  auto copy = std::make_unique<Linear>(name(), in_features_, out_features_,
-                                       has_bias_, init_rng);
+  auto copy = std::unique_ptr<Linear>(
+      new Linear(Uninit{}, name(), in_features_, out_features_, has_bias_));
   copy->weight_.value.copy_from(weight_.value);
   if (has_bias_) copy->bias_.value.copy_from(bias_.value);
   return copy;

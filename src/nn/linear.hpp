@@ -2,6 +2,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 
 namespace tinyadc::nn {
@@ -31,16 +32,25 @@ class Linear final : public Layer {
   /// Installs (or clears, with nullptr) the inference MVM backend.
   void set_mvm_hook(MvmHook hook) { mvm_hook_ = std::move(hook); }
 
+  /// Frees the persistent GEMM transpose scratch (regrown on next use).
+  void release_workspace();
+
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
 
  private:
+  /// Uninitialized-weights constructor for clone() (weights overwritten).
+  struct Uninit {};
+  Linear(Uninit, std::string name, std::int64_t in_features,
+         std::int64_t out_features, bool bias);
+
   std::int64_t in_features_, out_features_;
   bool has_bias_;
   Param weight_;
   Param bias_;
   MvmHook mvm_hook_;
   Tensor cached_input_;  // (N, in) from training forward
+  GemmScratch ws_gemm_;  // persistent transpose staging (Wᵀ fwd, goutᵀ bwd)
 };
 
 }  // namespace tinyadc::nn

@@ -3,9 +3,20 @@
 #include <cmath>
 #include <numbers>
 
+#include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::nn {
+
+namespace {
+
+// Elements per parallel chunk for the elementwise update sweeps: big enough
+// that small params stay on the caller, small enough that conv weights
+// split across lanes. Every element's update reads/writes only its own
+// slots, so the fan-out is bit-identical at any thread count.
+constexpr std::int64_t kStepGrain = 8192;
+
+}  // namespace
 
 float Sgd::lr_at(int epoch) const {
   switch (config_.schedule) {
@@ -39,10 +50,13 @@ void Sgd::step(const std::vector<Param*>& params, int epoch) {
     const float* pg = p->grad.data();
     const float mu = config_.momentum;
     const float wd = p->decay ? config_.weight_decay : 0.0F;
-    for (std::int64_t i = 0; i < v.numel(); ++i) {
-      pv[i] = mu * pv[i] + pg[i] + wd * pw[i];
-      pw[i] -= lr * pv[i];
-    }
+    runtime::parallel_for(
+        0, v.numel(), kStepGrain, [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            pv[i] = mu * pv[i] + pg[i] + wd * pw[i];
+            pw[i] -= lr * pv[i];
+          }
+        });
   }
 }
 
@@ -69,15 +83,20 @@ void Adam::step(const std::vector<Param*>& params, int epoch) {
     float* w = p->value.data();
     const float* g = p->grad.data();
     const float wd = p->decay ? config_.weight_decay : 0.0F;
-    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
-      m[i] = config_.beta1 * m[i] + (1.0F - config_.beta1) * g[i];
-      v[i] = config_.beta2 * v[i] + (1.0F - config_.beta2) * g[i] * g[i];
-      const double m_hat = m[i] / bc1;
-      const double v_hat = v[i] / bc2;
-      w[i] -= config_.lr *
-              (static_cast<float>(m_hat / (std::sqrt(v_hat) + config_.eps)) +
-               wd * w[i]);
-    }
+    runtime::parallel_for(
+        0, p->value.numel(), kStepGrain,
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            m[i] = config_.beta1 * m[i] + (1.0F - config_.beta1) * g[i];
+            v[i] = config_.beta2 * v[i] + (1.0F - config_.beta2) * g[i] * g[i];
+            const double m_hat = m[i] / bc1;
+            const double v_hat = v[i] / bc2;
+            w[i] -=
+                config_.lr *
+                (static_cast<float>(m_hat / (std::sqrt(v_hat) + config_.eps)) +
+                 wd * w[i]);
+          }
+        });
   }
 }
 

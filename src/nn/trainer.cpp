@@ -18,8 +18,19 @@ Trainer::Trainer(Model& model, TrainConfig config)
   }
 }
 
-EpochStats Trainer::train_epoch(const data::Dataset& train, int epoch) {
+LossResult Trainer::train_step(const data::Batch& batch, int epoch) {
   auto params = model_.params();
+  Sgd::zero_grad(params);
+  Tensor logits = model_.forward(batch.images, /*training=*/true);
+  LossResult loss = softmax_cross_entropy(logits, batch.labels);
+  model_.backward(loss.grad_logits);
+  if (grad_hook_) grad_hook_();
+  optimizer_->step(params, epoch);
+  if (step_hook_) step_hook_();
+  return loss;
+}
+
+EpochStats Trainer::train_epoch(const data::Dataset& train, int epoch) {
   data::BatchIterator it(train, config_.batch_size, &rng_);
   data::Batch batch;
   double total_loss = 0.0;
@@ -28,13 +39,7 @@ EpochStats Trainer::train_epoch(const data::Dataset& train, int epoch) {
   while (it.next(batch)) {
     if (config_.augment.active())
       data::augment_batch(batch, config_.augment, rng_);
-    Sgd::zero_grad(params);
-    Tensor logits = model_.forward(batch.images, /*training=*/true);
-    LossResult loss = softmax_cross_entropy(logits, batch.labels);
-    model_.backward(loss.grad_logits);
-    if (grad_hook_) grad_hook_();
-    optimizer_->step(params, epoch);
-    if (step_hook_) step_hook_();
+    const LossResult loss = train_step(batch, epoch);
     total_loss += loss.loss * static_cast<double>(batch.labels.size());
     total_correct += loss.correct;
     total_seen += static_cast<std::int64_t>(batch.labels.size());

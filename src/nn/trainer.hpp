@@ -62,6 +62,12 @@ class Trainer {
   /// Installs the epoch-end hook.
   void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
 
+  /// Runs exactly one optimizer step on `batch` (zero grads, forward, loss,
+  /// backward, grad hook, optimizer step, step hook) and returns the batch
+  /// loss result. train_epoch is a loop over this; exposed so the train-step
+  /// benchmark and the determinism tests can drive single steps.
+  LossResult train_step(const data::Batch& batch, int epoch);
+
   /// Runs one epoch over `train`; returns loss and train accuracy.
   EpochStats train_epoch(const data::Dataset& train, int epoch);
 

@@ -7,18 +7,26 @@ namespace tinyadc {
 namespace {
 
 // Copies op(A)'s (M×K) contents into `buf` row-major so the inner kernel
-// always streams contiguously.
+// always streams contiguously. Rows of the result are disjoint, so the
+// transpose copy fans out over the runtime (bit-identical: pure data moves).
 void materialize_op(const Tensor& a, bool transpose, std::int64_t rows,
                     std::int64_t cols, std::vector<float>& buf) {
-  buf.resize(static_cast<std::size_t>(rows * cols));
+  if (buf.size() < static_cast<std::size_t>(rows * cols))
+    buf.resize(static_cast<std::size_t>(rows * cols));
   const float* p = a.data();
   if (!transpose) {
     std::copy(p, p + rows * cols, buf.begin());
   } else {
     // a is (cols × rows) stored row-major; we want its transpose.
-    for (std::int64_t i = 0; i < rows; ++i)
-      for (std::int64_t j = 0; j < cols; ++j)
-        buf[static_cast<std::size_t>(i * cols + j)] = p[j * rows + i];
+    float* out = buf.data();
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, cols));
+    runtime::parallel_for(
+        0, rows, grain, [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i)
+            for (std::int64_t j = 0; j < cols; ++j)
+              out[i * cols + j] = p[j * rows + i];
+        });
   }
 }
 
@@ -83,7 +91,7 @@ void edge_rows(const float* a, std::int64_t lda, const float* b,
 }  // namespace
 
 void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
-          Tensor& c, float alpha, float beta) {
+          Tensor& c, float alpha, float beta, GemmScratch* scratch) {
   TINYADC_CHECK(a.ndim() == 2 && b.ndim() == 2 && c.ndim() == 2,
                 "gemm requires 2-D tensors, got " << a.ndim() << "/" << b.ndim()
                                                   << "/" << c.ndim());
@@ -97,19 +105,23 @@ void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
                                      << " != [" << m << ", " << n << "]");
 
   // Materializing transposed operands keeps one hot inner loop. The scratch
-  // is per-call: the former `static thread_local` buffers aliased whenever
-  // gemm re-entered on the same thread (nested calls, pooled workers).
+  // is per-call by default (the former `static thread_local` buffers aliased
+  // whenever gemm re-entered on the same thread — nested calls, pooled
+  // workers); hot call sites pass a persistent GemmScratch instead so the
+  // copy is allocation-free after warmup.
   std::vector<float> abuf;
   std::vector<float> bbuf;
+  std::vector<float>& amat = scratch != nullptr ? scratch->a : abuf;
+  std::vector<float>& bmat = scratch != nullptr ? scratch->b : bbuf;
   const float* pa = a.data();
   const float* pb = b.data();
   if (transpose_a) {
-    materialize_op(a, true, m, k, abuf);
-    pa = abuf.data();
+    materialize_op(a, true, m, k, amat);
+    pa = amat.data();
   }
   if (transpose_b) {
-    materialize_op(b, true, k, n, bbuf);
-    pb = bbuf.data();
+    materialize_op(b, true, k, n, bmat);
+    pb = bmat.data();
   }
 
   // Parallelize over kMR-row register tiles, aligned to row 0 globally:

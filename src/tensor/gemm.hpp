@@ -9,18 +9,31 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "tensor.hpp"
 
 namespace tinyadc {
 
+/// Reusable operand scratch for gemm's transpose materialization. Transposed
+/// operands are copied row-major before the blocked loops; passing the same
+/// scratch across calls makes that copy allocation-free after warmup
+/// (grow-only buffers). One scratch must not be shared by concurrent gemm
+/// calls — give each persistent call site (layer workspace) its own.
+struct GemmScratch {
+  std::vector<float> a;  ///< op(A) buffer when transpose_a
+  std::vector<float> b;  ///< op(B) buffer when transpose_b
+};
+
 /// C = alpha * op(A) · op(B) + beta * C.
 ///
 /// A is (M×K) after optional transpose, B is (K×N) after optional transpose,
 /// C is (M×N). All matrices are dense row-major 2-D tensors; C must be
-/// pre-allocated with the right shape.
+/// pre-allocated with the right shape. `scratch` (optional) backs the
+/// transpose materialization; nullptr falls back to per-call buffers.
 void gemm(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b,
-          Tensor& c, float alpha = 1.0F, float beta = 0.0F);
+          Tensor& c, float alpha = 1.0F, float beta = 0.0F,
+          GemmScratch* scratch = nullptr);
 
 /// Convenience: returns op(A) · op(B) as a fresh tensor.
 Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a = false,

@@ -1,5 +1,7 @@
 #include "im2col.hpp"
 
+#include "runtime/parallel.hpp"
+
 namespace tinyadc {
 
 namespace {
@@ -80,6 +82,83 @@ Tensor col2im(const Tensor& cols, const ConvGeometry& g) {
     }
   }
   return image;
+}
+
+void im2col_batch(const float* input, std::int64_t batch,
+                  const ConvGeometry& g, float* out) {
+  check_geometry(g);
+  TINYADC_CHECK(input != nullptr && out != nullptr, "im2col_batch null data");
+  TINYADC_CHECK(batch > 0, "im2col_batch batch must be positive");
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t p = oh * ow;
+  const std::int64_t bp = batch * p;
+  const std::int64_t per_image = g.in_channels * g.in_h * g.in_w;
+  // Each patch row (c, kh, kw) owns one disjoint output row across all
+  // samples; the fill order within a row never depends on the partition.
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 16384 / std::max<std::int64_t>(1, bp));
+  runtime::parallel_for(
+      0, g.patch_rows(), grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t row = r0; row < r1; ++row) {
+          const std::int64_t kw = row % g.kernel_w;
+          const std::int64_t kh = (row / g.kernel_w) % g.kernel_h;
+          const std::int64_t c = row / (g.kernel_w * g.kernel_h);
+          float* orow = out + row * bp;
+          for (std::int64_t n = 0; n < batch; ++n) {
+            const float* in = input + n * per_image;
+            float* odst = orow + n * p;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const std::int64_t iy = y * g.stride - g.padding + kh;
+              if (iy < 0 || iy >= g.in_h) {
+                for (std::int64_t x = 0; x < ow; ++x) odst[y * ow + x] = 0.0F;
+                continue;
+              }
+              const float* irow = in + (c * g.in_h + iy) * g.in_w;
+              for (std::int64_t x = 0; x < ow; ++x) {
+                const std::int64_t ix = x * g.stride - g.padding + kw;
+                odst[y * ow + x] = (ix >= 0 && ix < g.in_w) ? irow[ix] : 0.0F;
+              }
+            }
+          }
+        }
+      });
+}
+
+void col2im_batch(const float* cols, std::int64_t batch, const ConvGeometry& g,
+                  float* images) {
+  check_geometry(g);
+  TINYADC_CHECK(cols != nullptr && images != nullptr, "col2im_batch null data");
+  TINYADC_CHECK(batch > 0, "col2im_batch batch must be positive");
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t p = oh * ow;
+  const std::int64_t bp = batch * p;
+  const std::int64_t per_image = g.in_channels * g.in_h * g.in_w;
+  // Samples write disjoint images; the scatter within a sample is serial.
+  runtime::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t n = n0; n < n1; ++n) {
+      float* out = images + n * per_image;
+      std::fill(out, out + per_image, 0.0F);
+      std::int64_t row = 0;
+      for (std::int64_t c = 0; c < g.in_channels; ++c) {
+        for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+          for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+            const float* irow = cols + row * bp + n * p;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const std::int64_t iy = y * g.stride - g.padding + kh;
+              if (iy < 0 || iy >= g.in_h) continue;
+              float* orow = out + (c * g.in_h + iy) * g.in_w;
+              for (std::int64_t x = 0; x < ow; ++x) {
+                const std::int64_t ix = x * g.stride - g.padding + kw;
+                if (ix >= 0 && ix < g.in_w) orow[ix] += irow[y * ow + x];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
 }
 
 }  // namespace tinyadc

@@ -45,4 +45,22 @@ Tensor im2col(const Tensor& input, const ConvGeometry& g);
 /// accumulating overlapping taps. Used by the conv input-gradient pass.
 Tensor col2im(const Tensor& cols, const ConvGeometry& g);
 
+/// Batched im2col: lowers `batch` images stored contiguously at `input`
+/// (N, C, H, W layout) straight into one patch matrix of shape
+/// (patch_rows × batch·patch_cols), sample n occupying the column block
+/// [n·patch_cols, (n+1)·patch_cols). Reads the input with strides — no
+/// per-sample image copy — and writes `out` (size patch_rows · batch ·
+/// patch_cols, caller-allocated). Rows fan out over the parallel runtime
+/// (disjoint writes), so the result is bit-identical at any thread count.
+void im2col_batch(const float* input, std::int64_t batch,
+                  const ConvGeometry& g, float* out);
+
+/// Adjoint of im2col_batch: scatters a (patch_rows × batch·patch_cols)
+/// patch matrix back into `batch` images at `images` (N, C, H, W layout,
+/// caller-allocated; overwritten, overlapping taps accumulate). Samples fan
+/// out over the parallel runtime (disjoint outputs) — bit-identical at any
+/// thread count.
+void col2im_batch(const float* cols, std::int64_t batch,
+                  const ConvGeometry& g, float* images);
+
 }  // namespace tinyadc
