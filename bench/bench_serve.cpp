@@ -1,0 +1,162 @@
+// Serving-engine throughput bench: sequential per-image evaluation vs the
+// dynamically batched InferenceEngine at 1/2/4 worker sessions.
+//
+// Inner operator parallelism is pinned to 1 thread, so the engine rows
+// measure pure request-level parallelism: each worker session runs its
+// forwards inline and N workers scale with the machine's cores (on a
+// single-core box the engine matches the sequential baseline within
+// noise — the analog MVM work is strictly per-image, so batching buys
+// concurrency, not FLOP amortization).
+//
+// All engine runs use deterministic mode, so every row's output digest
+// (logits bytes + predicted label, in arrival order) must match the
+// sequential baseline byte for byte — the bench exits nonzero on any
+// mismatch, making it a determinism check as well as a timing table.
+// Rows are emitted in the kernel-sweep JSON schema (threads = workers)
+// for tools/bench_compare.
+#include <chrono>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "msim/analog_network.hpp"
+#include "runtime/parallel.hpp"
+#include "serve/loadgen.hpp"
+#include "tensor/ops.hpp"
+
+namespace tinyadc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+/// Copies test example `i` into a standalone (C, H, W) tensor.
+Tensor extract_image(const data::Dataset& ds, std::int64_t i) {
+  const Tensor& all = ds.images;
+  const std::int64_t chw = all.numel() / all.dim(0);
+  Tensor img({all.dim(1), all.dim(2), all.dim(3)});
+  std::memcpy(img.data(), all.data() + i * chw,
+              static_cast<std::size_t>(chw) * sizeof(float));
+  return img;
+}
+
+int run(int argc, char** argv) {
+  const std::int64_t requests = quick_mode() ? 24 : 96;
+
+  data::SyntheticSpec spec = data::tier_by_name("cifar10");
+  spec.image_size = 8;
+  spec.num_classes = 4;
+  spec.train_per_class = 8;
+  spec.test_per_class = 8;
+  const auto data = data::make_synthetic(spec);
+
+  nn::ModelConfig mc;
+  mc.num_classes = spec.num_classes;
+  mc.image_size = 8;
+  mc.width_mult = 0.125F;
+  const auto model = nn::resnet18(mc);
+  project_cp_inplace(*model, 8, {32, 32});
+
+  xbar::MappingConfig map_cfg;
+  map_cfg.dims = {32, 32};
+  const auto net = xbar::map_model(*model, map_cfg);
+  msim::AnalogNetwork analog(*model, net, msim::MsimConfig{});
+  analog.calibrate(data.train, 8);
+
+  // Request-level parallelism only: forwards run inline per worker.
+  runtime::set_thread_count(1);
+
+  // Warm-up pass: fault in the session workspaces and the allocator's
+  // arena before any timed row (the first forwards are otherwise ~50%
+  // slower and would bias whichever row runs first).
+  {
+    msim::AnalogSession warm(analog);
+    for (std::int64_t i = 0; i < 4; ++i) {
+      const Tensor img = extract_image(data.test, i % data.test.size());
+      Tensor batch({1, img.dim(0), img.dim(1), img.dim(2)});
+      std::memcpy(batch.data(), img.data(),
+                  static_cast<std::size_t>(img.numel()) * sizeof(float));
+      warm.forward(batch);
+    }
+  }
+
+  std::printf("serving bench: %lld requests, resnet18 w=0.125, 32x32 xbars\n",
+              static_cast<long long>(requests));
+  hr(64);
+  std::printf("%-24s %10s %10s %9s\n", "path", "ms", "qps", "speedup");
+  hr(64);
+
+  std::vector<KernelTiming> rows;
+
+  // Sequential baseline: one image per forward pass, no queue, no batching.
+  std::uint64_t seq_digest = serve::fnv1a(nullptr, 0);
+  double seq_ms = 0.0;
+  {
+    msim::AnalogSession session(analog);
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < requests; ++i) {
+      const Tensor img = extract_image(data.test, i % data.test.size());
+      Tensor batch({1, img.dim(0), img.dim(1), img.dim(2)});
+      std::memcpy(batch.data(), img.data(),
+                  static_cast<std::size_t>(img.numel()) * sizeof(float));
+      const Tensor logits = session.forward(batch);
+      const std::int64_t label = argmax_range(logits, 0, logits.numel());
+      seq_digest = serve::fnv1a(logits.data(),
+                                static_cast<std::size_t>(logits.numel()) *
+                                    sizeof(float),
+                                seq_digest);
+      seq_digest = serve::fnv1a(&label, sizeof(label), seq_digest);
+    }
+    seq_ms = ms_since(t0);
+  }
+  const double seq_qps = 1000.0 * static_cast<double>(requests) / seq_ms;
+  std::printf("%-24s %10.1f %10.1f %8.2fx\n", "sequential (batch 1)", seq_ms,
+              seq_qps, 1.0);
+  rows.push_back({"serve_seq", 1, seq_ms, true});
+
+  bool all_identical = true;
+  for (const int workers : {1, 2, 4}) {
+    serve::ServeConfig cfg;
+    cfg.workers = workers;
+    cfg.max_batch = 8;
+    cfg.deterministic = true;
+    serve::InferenceEngine engine(analog, cfg);
+    serve::LoadgenConfig lc;
+    lc.requests = requests;
+    lc.max_outstanding = 32;
+    const auto t0 = Clock::now();
+    const serve::LoadgenReport report =
+        serve::run_loadgen(engine, data.test, lc);
+    const double ms = ms_since(t0);
+    engine.shutdown();
+    const bool identical = report.output_digest == seq_digest;
+    all_identical = all_identical && identical;
+    char name[48];
+    std::snprintf(name, sizeof(name), "engine (%d worker%s)", workers,
+                  workers == 1 ? "" : "s");
+    std::printf("%-24s %10.1f %10.1f %8.2fx%s\n", name, ms,
+                1000.0 * static_cast<double>(requests) / ms, seq_ms / ms,
+                identical ? "" : "  DIGEST MISMATCH");
+    rows.push_back({"serve_engine", workers, ms, identical});
+  }
+  hr(64);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: deterministic serving digest differs from the "
+                 "sequential baseline\n");
+    return 1;
+  }
+  std::printf("all digests match the sequential baseline\n");
+
+  const std::string json = bench_json_path(argc, argv);
+  if (!json.empty() && !write_bench_json(json, "serve", rows)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tinyadc::bench
+
+int main(int argc, char** argv) { return tinyadc::bench::run(argc, argv); }

@@ -396,6 +396,11 @@ void AnalogLayerSim::reset_stats() {
   adc_.reset_stats();
 }
 
+MsimStats AnalogLayerSim::stats_snapshot() const {
+  std::lock_guard<std::mutex> lk(*stats_mu_);
+  return stats_;
+}
+
 std::vector<AnalogLayerSim> make_network_sims(const xbar::MappedNetwork& net,
                                               const MsimConfig& config) {
   std::vector<AnalogLayerSim> sims;

@@ -100,8 +100,12 @@ class AnalogLayerSim {
 
   /// The ADC resolution in use.
   int adc_bits() const { return adc_.bits(); }
-  /// Statistics accumulated over all mvm() calls.
+  /// Statistics accumulated over all mvm() calls. Unsynchronized view —
+  /// only read while no mvm() is in flight.
   const MsimStats& stats() const { return stats_; }
+  /// Locked copy of the statistics; safe to call while concurrent mvm()
+  /// calls are running (used by the serving engine's live stats snapshot).
+  MsimStats stats_snapshot() const;
   /// Zeroes statistics.
   void reset_stats();
 

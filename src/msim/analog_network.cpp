@@ -9,6 +9,56 @@
 
 namespace tinyadc::msim {
 
+namespace {
+
+/// Analog execution of one conv lowering: `cols` is the (taps × pixels)
+/// patch matrix, each pixel an independent MVM (disjoint output columns;
+/// the sim's statistics merge is commutative), so pixels run on the
+/// worker pool.
+Tensor analog_conv_mvm(AnalogLayerSim& sim, const Tensor& cols,
+                       const xbar::QuantParams& quant, bool signed_input,
+                       std::int64_t out_ch) {
+  const std::int64_t rows = cols.dim(0);
+  const std::int64_t pixels = cols.dim(1);
+  Tensor out({out_ch, pixels});
+  runtime::parallel_for(0, pixels, 1, [&](std::int64_t p0, std::int64_t p1) {
+    std::vector<float> x(static_cast<std::size_t>(rows));
+    for (std::int64_t p = p0; p < p1; ++p) {
+      for (std::int64_t r = 0; r < rows; ++r)
+        x[static_cast<std::size_t>(r)] = cols.at(r, p);
+      const auto y = signed_input ? sim.mvm_real_signed(x, quant)
+                                  : sim.mvm_real(x, quant);
+      for (std::int64_t f = 0; f < out_ch; ++f)
+        out.at(f, p) = y[static_cast<std::size_t>(f)];
+    }
+  });
+  return out;
+}
+
+/// Analog execution of one linear layer: batch samples are independent
+/// MVMs — same parallel contract as the conv pixel loop.
+Tensor analog_linear_mvm(AnalogLayerSim& sim, const Tensor& input,
+                         const xbar::QuantParams& quant, bool signed_input,
+                         std::int64_t out_features) {
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t in_features = input.dim(1);
+  Tensor out({batch, out_features});
+  runtime::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
+    std::vector<float> x(static_cast<std::size_t>(in_features));
+    for (std::int64_t n = n0; n < n1; ++n) {
+      for (std::int64_t k = 0; k < in_features; ++k)
+        x[static_cast<std::size_t>(k)] = input.at(n, k);
+      const auto y = signed_input ? sim.mvm_real_signed(x, quant)
+                                  : sim.mvm_real(x, quant);
+      for (std::int64_t o = 0; o < out_features; ++o)
+        out.at(n, o) = y[static_cast<std::size_t>(o)];
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
 AnalogNetwork::AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
                              MsimConfig config)
     : model_(model), net_(net), config_(config) {
@@ -50,28 +100,8 @@ void AnalogNetwork::install_hooks() {
           if (min_value(cols) < 0.0F) signed_input_[i] = true;
           return std::nullopt;  // float path computes the result
         }
-        // Analog: one column of the patch matrix per MVM. Pixels are
-        // independent MVMs (disjoint output columns; the sim's statistics
-        // merge is commutative), so they run on the worker pool.
-        const std::int64_t rows = cols.dim(0);
-        const std::int64_t pixels = cols.dim(1);
-        const std::int64_t out_ch = net_.layers[i].cols;
-        Tensor out({out_ch, pixels});
-        runtime::parallel_for(
-            0, pixels, 1, [&](std::int64_t p0, std::int64_t p1) {
-              std::vector<float> x(static_cast<std::size_t>(rows));
-              for (std::int64_t p = p0; p < p1; ++p) {
-                for (std::int64_t r = 0; r < rows; ++r)
-                  x[static_cast<std::size_t>(r)] = cols.at(r, p);
-                const auto y =
-                    signed_input_[i]
-                        ? sims_[i]->mvm_real_signed(x, act_quant_[i])
-                        : sims_[i]->mvm_real(x, act_quant_[i]);
-                for (std::int64_t f = 0; f < out_ch; ++f)
-                  out.at(f, p) = y[static_cast<std::size_t>(f)];
-              }
-            });
-        return out;
+        return analog_conv_mvm(*sims_[i], cols, act_quant_[i],
+                               signed_input_[i], net_.layers[i].cols);
       });
     } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
       const std::size_t i = index++;
@@ -82,27 +112,8 @@ void AnalogNetwork::install_hooks() {
           if (min_value(input) < 0.0F) signed_input_[i] = true;
           return std::nullopt;
         }
-        // Batch samples are independent MVMs — same parallel contract as
-        // the conv pixel loop above.
-        const std::int64_t batch = input.dim(0);
-        const std::int64_t in_features = input.dim(1);
-        const std::int64_t out_features = net_.layers[i].cols;
-        Tensor out({batch, out_features});
-        runtime::parallel_for(
-            0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
-              std::vector<float> x(static_cast<std::size_t>(in_features));
-              for (std::int64_t n = n0; n < n1; ++n) {
-                for (std::int64_t k = 0; k < in_features; ++k)
-                  x[static_cast<std::size_t>(k)] = input.at(n, k);
-                const auto y =
-                    signed_input_[i]
-                        ? sims_[i]->mvm_real_signed(x, act_quant_[i])
-                        : sims_[i]->mvm_real(x, act_quant_[i]);
-                for (std::int64_t o = 0; o < out_features; ++o)
-                  out.at(n, o) = y[static_cast<std::size_t>(o)];
-              }
-            });
-        return out;
+        return analog_linear_mvm(*sims_[i], input, act_quant_[i],
+                                 signed_input_[i], net_.layers[i].cols);
       });
     }
   });
@@ -161,6 +172,37 @@ double AnalogNetwork::evaluate(const data::Dataset& test,
     seen += static_cast<std::int64_t>(batch.labels.size());
   }
   return seen ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+}
+
+AnalogSession::AnalogSession(const AnalogNetwork& compiled)
+    : compiled_(compiled), model_(compiled.model().clone()) {
+  TINYADC_CHECK(compiled_.calibrated(),
+                "AnalogSession requires a calibrated AnalogNetwork");
+  // Hook the replica's prunable layers to the shared simulators. The hooks
+  // capture the compiled network by pointer (stable across session moves)
+  // and only read its post-calibration state.
+  const AnalogNetwork* c = &compiled_;
+  std::size_t index = 0;
+  model_.root().visit([c, &index](nn::Layer& layer) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      const std::size_t i = index++;
+      conv->set_mvm_hook([c, i](const Tensor& cols) -> std::optional<Tensor> {
+        return analog_conv_mvm(*c->sims()[i], cols, c->activation_quant()[i],
+                               c->signed_input()[i], c->net().layers[i].cols);
+      });
+    } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
+      const std::size_t i = index++;
+      fc->set_mvm_hook([c, i](const Tensor& input) -> std::optional<Tensor> {
+        return analog_linear_mvm(*c->sims()[i], input,
+                                 c->activation_quant()[i],
+                                 c->signed_input()[i], c->net().layers[i].cols);
+      });
+    }
+  });
+}
+
+Tensor AnalogSession::forward(const Tensor& images) {
+  return model_.forward(images, /*training=*/false);
 }
 
 }  // namespace tinyadc::msim

@@ -54,8 +54,14 @@ class AnalogNetwork {
   const std::vector<xbar::QuantParams>& activation_quant() const {
     return act_quant_;
   }
+  /// Per-layer signed-input flags (first conv sees raw signed pixels).
+  const std::vector<bool>& signed_input() const { return signed_input_; }
   /// True once calibrate() has run.
   bool calibrated() const { return calibrated_; }
+  /// The hooked model (for cloning into serving sessions).
+  const nn::Model& model() const { return model_; }
+  /// The mapped network this sim executes.
+  const xbar::MappedNetwork& net() const { return net_; }
 
  private:
   enum class Mode { kCalibrate, kAnalog };
@@ -72,6 +78,32 @@ class AnalogNetwork {
   std::vector<bool> signed_input_;  // first conv sees raw (signed) pixels
   Mode mode_ = Mode::kCalibrate;
   bool calibrated_ = false;
+};
+
+/// One inference session over a calibrated AnalogNetwork.
+///
+/// The session owns a private Model::clone() replica whose conv/linear
+/// layers are hooked to the *shared* per-layer simulators (and their
+/// sparsity-packed execution plans) of the compiled network, so plan
+/// compilation and activation calibration happen once per deployment
+/// rather than once per session. Sessions only read the compiled state;
+/// concurrent forward() calls on different sessions over one compiled
+/// network are safe (the sims' statistics merges are locked and
+/// commutative, so aggregate ADC counters stay exact under concurrency).
+/// The compiled network must be calibrated and must outlive the session.
+class AnalogSession {
+ public:
+  explicit AnalogSession(const AnalogNetwork& compiled);
+
+  /// Analog forward pass of a (N, C, H, W) image batch (inference mode).
+  Tensor forward(const Tensor& images);
+
+  /// The session's private model replica.
+  nn::Model& model() { return model_; }
+
+ private:
+  const AnalogNetwork& compiled_;
+  nn::Model model_;
 };
 
 }  // namespace tinyadc::msim

@@ -1,0 +1,224 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace tinyadc::serve {
+
+namespace {
+
+/// Sum of the locked per-layer counter snapshots of a compiled network.
+msim::MsimStats sims_total(const msim::AnalogNetwork& compiled) {
+  msim::MsimStats total;
+  for (const auto& sim : compiled.sims()) {
+    const msim::MsimStats s = sim->stats_snapshot();
+    total.adc_conversions += s.adc_conversions;
+    total.adc_clip_events += s.adc_clip_events;
+    total.dac_cycles += s.dac_cycles;
+  }
+  return total;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const msim::AnalogNetwork& compiled,
+                                 ServeConfig config)
+    : compiled_(compiled), config_(config), t_start_(Clock::now()) {
+  TINYADC_CHECK(compiled_.calibrated(),
+                "InferenceEngine requires a calibrated AnalogNetwork");
+  TINYADC_CHECK(config_.workers >= 1, "need at least one worker");
+  TINYADC_CHECK(config_.max_batch >= 1, "max_batch must be >= 1");
+  sims_baseline_ = sims_total(compiled_);
+  batch_hist_.assign(config_.max_batch + 1, 0);
+  sessions_.reserve(static_cast<std::size_t>(config_.workers));
+  threads_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w)
+    sessions_.push_back(std::make_unique<msim::AnalogSession>(compiled_));
+  for (int w = 0; w < config_.workers; ++w)
+    threads_.emplace_back(
+        [this, w] { worker_main(*sessions_[static_cast<std::size_t>(w)]); });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::future<InferenceResult> InferenceEngine::submit(Tensor image) {
+  TINYADC_CHECK(image.ndim() == 3, "submit expects a (C, H, W) image, got "
+                                       << image.ndim() << " dims");
+  std::lock_guard<std::mutex> lk(mu_);
+  TINYADC_CHECK(!stop_, "submit after shutdown");
+  if (expected_shape_.empty()) {
+    expected_shape_ = {image.dim(0), image.dim(1), image.dim(2)};
+  } else {
+    TINYADC_CHECK(image.dim(0) == expected_shape_[0] &&
+                      image.dim(1) == expected_shape_[1] &&
+                      image.dim(2) == expected_shape_[2],
+                  "image shape differs from earlier submits");
+  }
+  if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
+    ++rejected_;
+    std::promise<InferenceResult> p;
+    p.set_exception(std::make_exception_ptr(
+        std::runtime_error("serve queue full (max_queue reached)")));
+    return p.get_future();
+  }
+  Pending pending;
+  pending.seq = next_seq_++;
+  pending.image = std::move(image);
+  pending.t_submit = Clock::now();
+  auto future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceEngine::worker_main(msim::AnalogSession& session) {
+  for (;;) {
+    std::vector<Pending> batch;
+    std::uint64_t batch_seq = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (;;) {
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // only possible when stopping
+        if (queue_.size() >= config_.max_batch || stop_ ||
+            drain_waiters_ > 0)
+          break;  // full batch ready, or flushing partials
+        if (config_.deterministic) {
+          // Deterministic mode: release only full consecutive batches;
+          // partials wait for a drain or shutdown, never for a clock.
+          cv_.wait(lk, [this] {
+            return stop_ || drain_waiters_ > 0 ||
+                   queue_.size() >= config_.max_batch;
+          });
+        } else {
+          // Dynamic batching: hold the partial batch until the oldest
+          // request's deadline, waking early if the batch fills up or
+          // another worker empties the queue.
+          const auto deadline =
+              queue_.front().t_submit +
+              std::chrono::microseconds(config_.max_wait_us);
+          cv_.wait_until(lk, deadline, [this] {
+            return stop_ || drain_waiters_ > 0 || queue_.empty() ||
+                   queue_.size() >= config_.max_batch;
+          });
+        }
+        if (!queue_.empty()) break;  // take whatever is there now
+      }
+      const std::size_t take = std::min(config_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      batch_seq = next_batch_seq_++;
+      inflight_ += batch.size();
+    }
+    cv_.notify_all();  // more work may remain for other workers
+    run_batch(session, batch, batch_seq);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      inflight_ -= batch.size();
+      if (inflight_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void InferenceEngine::run_batch(msim::AnalogSession& session,
+                                std::vector<Pending>& batch,
+                                std::uint64_t batch_seq) {
+  const auto b = static_cast<std::int64_t>(batch.size());
+  const Tensor& first = batch.front().image;
+  const std::int64_t chw = first.numel();
+  Tensor images({b, first.dim(0), first.dim(1), first.dim(2)});
+  for (std::int64_t i = 0; i < b; ++i)
+    std::memcpy(images.data() + i * chw,
+                batch[static_cast<std::size_t>(i)].image.data(),
+                static_cast<std::size_t>(chw) * sizeof(float));
+
+  Tensor logits;
+  try {
+    logits = session.forward(images);
+  } catch (...) {
+    const auto error = std::current_exception();
+    for (Pending& p : batch) p.promise.set_exception(error);
+    return;
+  }
+  const auto t_done = Clock::now();
+  const std::int64_t k = logits.dim(1);
+
+  LatencyHistogram local;
+  for (std::int64_t i = 0; i < b; ++i) {
+    Pending& p = batch[static_cast<std::size_t>(i)];
+    InferenceResult result;
+    result.seq = p.seq;
+    result.logits.assign(logits.data() + i * k, logits.data() + (i + 1) * k);
+    result.label = argmax_range(logits, i * k, (i + 1) * k);
+    result.latency_us =
+        std::chrono::duration<double, std::micro>(t_done - p.t_submit)
+            .count();
+    result.batch_seq = batch_seq;
+    result.batch_size = batch.size();
+    local.record(result.latency_us);
+    p.promise.set_value(std::move(result));
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    latency_.merge(local);
+    completed_ += batch.size();
+    ++batches_done_;
+    ++batch_hist_[batch.size()];
+  }
+}
+
+void InferenceEngine::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  ++drain_waiters_;
+  cv_.notify_all();  // release deterministic partial batches
+  idle_cv_.wait(lk, [this] { return queue_.empty() && inflight_ == 0; });
+  --drain_waiters_;
+}
+
+void InferenceEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+ServeStats InferenceEngine::stats() const {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s.requests = completed_;
+    s.batches = batches_done_;
+    s.batch_hist = batch_hist_;
+    s.p50_us = latency_.percentile(50.0);
+    s.p95_us = latency_.percentile(95.0);
+    s.p99_us = latency_.percentile(99.0);
+    s.mean_us = latency_.mean_us();
+    s.max_us = latency_.max_us();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.rejected = rejected_;
+    s.max_queue_depth = max_queue_depth_;
+  }
+  s.wall_s = std::chrono::duration<double>(Clock::now() - t_start_).count();
+  s.qps = s.wall_s > 0.0 ? static_cast<double>(s.requests) / s.wall_s : 0.0;
+  s.mean_batch =
+      s.batches ? static_cast<double>(s.requests) / s.batches : 0.0;
+  const msim::MsimStats now = sims_total(compiled_);
+  s.adc_conversions = now.adc_conversions - sims_baseline_.adc_conversions;
+  s.adc_clip_events = now.adc_clip_events - sims_baseline_.adc_clip_events;
+  s.dac_cycles = now.dac_cycles - sims_baseline_.dac_cycles;
+  return s;
+}
+
+}  // namespace tinyadc::serve

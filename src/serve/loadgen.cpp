@@ -1,0 +1,93 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <thread>
+
+namespace tinyadc::serve {
+
+namespace {
+
+/// Copies example `index` of `ds` into a standalone (C, H, W) tensor.
+Tensor extract_image(const data::Dataset& ds, std::int64_t index) {
+  const std::int64_t chw = ds.images.numel() / ds.images.dim(0);
+  Tensor image({ds.images.dim(1), ds.images.dim(2), ds.images.dim(3)});
+  std::memcpy(image.data(), ds.images.data() + index * chw,
+              static_cast<std::size_t>(chw) * sizeof(float));
+  return image;
+}
+
+}  // namespace
+
+LoadgenReport run_loadgen(InferenceEngine& engine, const data::Dataset& ds,
+                          const LoadgenConfig& config) {
+  TINYADC_CHECK(ds.size() > 0, "loadgen needs a non-empty dataset");
+  TINYADC_CHECK(config.requests > 0, "loadgen needs requests > 0");
+  using Clock = std::chrono::steady_clock;
+
+  struct Outstanding {
+    std::int64_t index = 0;  ///< dataset row (for the label check)
+    std::future<InferenceResult> future;
+  };
+
+  LoadgenReport report;
+  std::int64_t correct = 0;
+  std::int64_t completed = 0;
+  std::uint64_t digest = fnv1a(nullptr, 0);
+  std::deque<Outstanding> window;
+
+  auto drain_one = [&] {
+    Outstanding o = std::move(window.front());
+    window.pop_front();
+    const InferenceResult r = o.future.get();
+    digest = fnv1a(r.logits.data(), r.logits.size() * sizeof(float), digest);
+    digest = fnv1a(&r.label, sizeof(r.label), digest);
+    if (r.label == ds.labels[static_cast<std::size_t>(o.index)]) ++correct;
+    ++completed;
+  };
+
+  const auto t0 = Clock::now();
+  for (std::int64_t i = 0; i < config.requests; ++i) {
+    if (config.target_qps > 0.0) {
+      const auto due =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(
+                       static_cast<double>(i) / config.target_qps));
+      std::this_thread::sleep_until(due);
+    }
+    const std::int64_t index = i % ds.size();
+    Outstanding o;
+    o.index = index;
+    o.future = engine.submit(extract_image(ds, index));
+    window.push_back(std::move(o));
+    while (window.size() > config.max_outstanding) drain_one();
+  }
+  engine.wait_idle();  // releases deterministic partial batches
+  while (!window.empty()) drain_one();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  report.achieved_qps =
+      wall > 0.0 ? static_cast<double>(completed) / wall : 0.0;
+  report.accuracy = completed
+                        ? static_cast<double>(correct) /
+                              static_cast<double>(completed)
+                        : 0.0;
+  report.output_digest = digest;
+  report.stats = engine.stats();
+  return report;
+}
+
+std::string LoadgenReport::to_json() const {
+  std::ostringstream out;
+  std::string inner = stats.to_json();
+  inner.pop_back();  // strip the closing brace; extend the same object
+  out << inner << ", \"achieved_qps\": " << achieved_qps
+      << ", \"accuracy\": " << accuracy << ", \"output_digest\": \""
+      << std::hex << output_digest << "\"}";
+  return out.str();
+}
+
+}  // namespace tinyadc::serve

@@ -1,0 +1,40 @@
+// Closed-loop load generator over an InferenceEngine.
+//
+// Submits single-image requests drawn round-robin from a dataset, paced
+// to a target QPS (0 = as fast as the engine accepts them), with a bound
+// on outstanding requests (closed loop: the generator blocks on the
+// oldest future once the window is full, so it never outruns the engine
+// unboundedly). Collects per-request results, verifies labels against
+// the dataset, and digests every result (logits bytes + predicted label,
+// in arrival order) so deterministic-mode runs can be compared
+// byte-for-byte across worker counts.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "serve/engine.hpp"
+
+namespace tinyadc::serve {
+
+struct LoadgenConfig {
+  std::int64_t requests = 256;   ///< total requests to issue
+  double target_qps = 0.0;       ///< pacing rate; 0 = max speed
+  std::size_t max_outstanding = 64;  ///< closed-loop window
+};
+
+struct LoadgenReport {
+  ServeStats stats;             ///< engine snapshot after the run drained
+  double achieved_qps = 0.0;    ///< completed requests / loadgen wall time
+  double accuracy = 0.0;        ///< predicted label vs dataset label
+  std::uint64_t output_digest = 0;  ///< FNV over (logits, label) by seq
+
+  /// Stats JSON extended with the loadgen-level fields.
+  std::string to_json() const;
+};
+
+/// Runs the load and drains the engine (wait_idle) before snapshotting.
+LoadgenReport run_loadgen(InferenceEngine& engine, const data::Dataset& ds,
+                          const LoadgenConfig& config);
+
+}  // namespace tinyadc::serve

@@ -7,7 +7,10 @@
 #include <tuple>
 
 #include "core/projection.hpp"
+#include "data/synthetic.hpp"
 #include "msim/analog_mvm.hpp"
+#include "msim/analog_network.hpp"
+#include "nn/models.hpp"
 #include "runtime/parallel.hpp"
 #include "tensor/ops.hpp"
 
@@ -134,6 +137,70 @@ TEST(OverflowGuard, RejectsAccumulatorOverflow) {
   MsimConfig cfg;
   cfg.adc_bits_override = 24;
   EXPECT_THROW(AnalogLayerSim(layer, cfg), tinyadc::CheckError);
+}
+
+/// Whole-network evaluation must not depend on how the test set is
+/// chunked: accuracy and the summed ADC counters of a calibrated
+/// AnalogNetwork are identical at batch sizes 1, 7 and 16 — per-sample
+/// analog MVMs and per-sample digital layers make each image's path
+/// independent of its batch neighbours. Checked for both the packed-plan
+/// and the legacy dense execution paths.
+TEST(BatchInvariance, EvaluateIndependentOfBatchSize) {
+  nn::ModelConfig mc;
+  mc.num_classes = 4;
+  mc.image_size = 8;
+  mc.width_mult = 0.0625F;
+  const auto model = nn::resnet18(mc);
+
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.image_size = 8;
+  spec.train_per_class = 8;
+  spec.test_per_class = 6;
+  spec.seed = 17;
+  const auto data = data::make_synthetic(spec);
+
+  xbar::MappingConfig map_cfg;
+  map_cfg.dims = {16, 16};
+  const auto net = xbar::map_model(*model, map_cfg);
+
+  for (const bool use_plan : {true, false}) {
+    double ref_acc = 0.0;
+    MsimStats ref;
+    bool first = true;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{16}}) {
+      // Fresh sims (zero counters) with identical calibration per run.
+      MsimConfig cfg;
+      cfg.use_plan = use_plan;
+      AnalogNetwork analog(*model, net, cfg);
+      analog.calibrate(data.train, 8);
+      const double acc = analog.evaluate(data.test, batch);
+      MsimStats total;
+      for (const auto& sim : analog.sims()) {
+        const MsimStats s = sim->stats_snapshot();
+        total.adc_conversions += s.adc_conversions;
+        total.adc_clip_events += s.adc_clip_events;
+        total.dac_cycles += s.dac_cycles;
+      }
+      if (first) {
+        ref_acc = acc;
+        ref = total;
+        first = false;
+        EXPECT_GT(total.adc_conversions, 0);
+        EXPECT_GT(total.dac_cycles, 0);
+      } else {
+        EXPECT_DOUBLE_EQ(acc, ref_acc)
+            << "use_plan=" << use_plan << " batch=" << batch;
+        EXPECT_EQ(total.adc_conversions, ref.adc_conversions)
+            << "use_plan=" << use_plan << " batch=" << batch;
+        EXPECT_EQ(total.adc_clip_events, ref.adc_clip_events)
+            << "use_plan=" << use_plan << " batch=" << batch;
+        EXPECT_EQ(total.dac_cycles, ref.dac_cycles)
+            << "use_plan=" << use_plan << " batch=" << batch;
+      }
+    }
+  }
 }
 
 TEST(OverflowGuard, AcceptsPaperConfiguration) {

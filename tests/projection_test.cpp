@@ -230,5 +230,75 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<std::int64_t>(4, 8),
                        ::testing::Values<std::int64_t>(1, 2, 4)));
 
+/// Randomized trials over shapes the grid sweep above does not enumerate:
+/// projection followed by projection is projection (idempotence) for
+/// arbitrary (rows, cols, crossbar, keep) draws, including keep == block.
+TEST(CpProjectionProperty, RandomizedIdempotence) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t rows = 1 + rng.uniform_int(48);
+    const std::int64_t cols = 1 + rng.uniform_int(24);
+    const std::int64_t xrows = 2 + rng.uniform_int(15);
+    const std::int64_t keep = rng.uniform_int(xrows + 2);  // may exceed block
+    auto data = random_matrix(rows, cols, rng.uniform_int(1 << 20));
+    MatrixRef m{data.data(), rows, cols};
+    const CrossbarDims dims{xrows, xrows};
+    project_column_proportional(m, dims, keep);
+    EXPECT_TRUE(satisfies_column_proportional({data.data(), rows, cols},
+                                              dims, keep))
+        << "trial " << trial << " rows=" << rows << " cols=" << cols
+        << " xrows=" << xrows << " keep=" << keep;
+    auto once = data;
+    project_column_proportional(m, dims, keep);
+    EXPECT_EQ(data, once) << "trial " << trial;
+  }
+}
+
+/// The CP constraint treats every block column independently, so the
+/// projection must commute with any permutation of the matrix columns:
+/// project(permute(W)) == permute(project(W)). Random normal entries make
+/// magnitude ties (where survivor choice could legitimately differ)
+/// probability-zero.
+TEST(CpProjectionProperty, ColumnPermutationEquivariance) {
+  Rng rng(4096);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t rows = 2 + rng.uniform_int(30);
+    const std::int64_t cols = 2 + rng.uniform_int(12);
+    const std::int64_t xrows = 2 + rng.uniform_int(10);
+    const std::int64_t keep = 1 + rng.uniform_int(xrows);
+    const auto orig = random_matrix(rows, cols, 777 + trial);
+
+    // Fisher–Yates permutation of column indices.
+    std::vector<std::int64_t> perm(static_cast<std::size_t>(cols));
+    for (std::int64_t c = 0; c < cols; ++c)
+      perm[static_cast<std::size_t>(c)] = c;
+    for (std::int64_t c = cols - 1; c > 0; --c)
+      std::swap(perm[static_cast<std::size_t>(c)],
+                perm[static_cast<std::size_t>(rng.uniform_int(c + 1))]);
+
+    const CrossbarDims dims{xrows, xrows};
+    auto direct = orig;
+    project_column_proportional({direct.data(), rows, cols}, dims, keep);
+
+    // Column-major storage: column c occupies rows contiguous at c * rows.
+    auto permuted = orig;
+    {
+      ConstMatrixRef src{orig.data(), rows, cols};
+      MatrixRef dst{permuted.data(), rows, cols};
+      for (std::int64_t c = 0; c < cols; ++c)
+        for (std::int64_t r = 0; r < rows; ++r)
+          dst.at(r, c) = src.at(r, perm[static_cast<std::size_t>(c)]);
+    }
+    project_column_proportional({permuted.data(), rows, cols}, dims, keep);
+    ConstMatrixRef got{permuted.data(), rows, cols};
+    ConstMatrixRef want{direct.data(), rows, cols};
+    for (std::int64_t c = 0; c < cols; ++c)
+      for (std::int64_t r = 0; r < rows; ++r)
+        EXPECT_EQ(got.at(r, c),
+                  want.at(r, perm[static_cast<std::size_t>(c)]))
+            << "trial " << trial << " r=" << r << " c=" << c;
+  }
+}
+
 }  // namespace
 }  // namespace tinyadc::core

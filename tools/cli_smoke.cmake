@@ -19,3 +19,8 @@ run(${CLI} report --net resnet18 --width-mult 0.0625 --image-size 8
     --classes 10 --in ${WORK}/smoke_pruned.bin)
 run(${CLI} fault ${common} --in ${WORK}/smoke_pruned.bin --rate 0.05
     --trials 1 --remap)
+run(${CLI} serve ${common} --in ${WORK}/smoke_pruned.bin --requests 24
+    --workers 2 --max-batch 4)
+run(${CLI} loadgen ${common} --in ${WORK}/smoke_pruned.bin --requests 24
+    --workers 2 --max-batch 4 --qps 200 --deterministic
+    --json ${WORK}/smoke_loadgen.json)

@@ -6,6 +6,8 @@
 //   map     map a checkpoint onto crossbars and print the ADC/array table
 //   report  price the accelerator (area/power) and the pipeline schedule
 //   fault   evaluate accuracy under stuck-at faults (optionally remapped)
+//   serve   push the test set through the concurrent serving engine
+//   loadgen closed-loop load generator at a target QPS over the engine
 //
 // Examples:
 //   tinyadc train --net resnet18 --dataset cifar10 --epochs 10 --out m.bin
@@ -15,11 +17,17 @@
 //   tinyadc report --net resnet18 --in pruned.bin
 //   tinyadc fault --net resnet18 --dataset cifar10 --in pruned.bin \
 //                 --rate 0.10 --remap
+//   tinyadc serve --net resnet18 --dataset cifar10 --in pruned.bin \
+//                 --workers 4 --max-batch 8
+//   tinyadc loadgen --net resnet18 --dataset cifar10 --in pruned.bin \
+//                 --qps 200 --requests 512 --json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+
+#include <fstream>
 
 #include "core/pruner.hpp"
 #include "data/synthetic.hpp"
@@ -27,6 +35,7 @@
 #include "hw/inference_model.hpp"
 #include "hw/pipeline.hpp"
 #include "nn/models.hpp"
+#include "serve/loadgen.hpp"
 
 namespace {
 
@@ -216,16 +225,85 @@ int cmd_fault(const Args& args) {
   return 0;
 }
 
+serve::ServeConfig serve_config(const Args& args) {
+  serve::ServeConfig cfg;
+  cfg.workers = static_cast<int>(args.get_int("workers", 2));
+  cfg.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  cfg.max_wait_us = args.get_int("max-wait-us", 1000);
+  cfg.deterministic = args.has("deterministic");
+  cfg.max_queue = static_cast<std::size_t>(args.get_int("max-queue", 0));
+  return cfg;
+}
+
+/// Shared by `serve` and `loadgen`: map + calibrate the model, run the
+/// engine under the load generator, print (or dump) the stats.
+int run_serving(const Args& args, double target_qps,
+                std::int64_t default_requests) {
+  const auto data = load_dataset(args);
+  auto model = load_model(args, data.train.num_classes);
+  const auto cfg = mapping_config(args);
+  const auto net = xbar::map_model(*model, cfg);
+  msim::MsimConfig mcfg;
+  mcfg.variation_sigma = args.get_double("sigma", 0.0);
+  msim::AnalogNetwork analog(*model, net, mcfg);
+  analog.calibrate(data.train, 16);
+
+  serve::InferenceEngine engine(analog, serve_config(args));
+  serve::LoadgenConfig lc;
+  lc.requests = args.get_int("requests", default_requests);
+  lc.target_qps = target_qps;
+  lc.max_outstanding =
+      static_cast<std::size_t>(args.get_int("outstanding", 64));
+  const auto report = serve::run_loadgen(engine, data.test, lc);
+  engine.shutdown();
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "1");
+    if (path == "1") {  // bare --json: print to stdout
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::ofstream out(path);
+      TINYADC_CHECK(out.good(), "cannot write " << path);
+      out << report.to_json() << "\n";
+      std::printf("wrote %s\n", path.c_str());
+    }
+  } else {
+    std::printf("%s", report.stats.to_table().c_str());
+    std::printf("%-22s %12.1f\n", "achieved qps", report.achieved_qps);
+    std::printf("%-22s %11.2f%%\n", "accuracy", 100.0 * report.accuracy);
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  // One pass over the test set (cycled up to --requests), as fast as the
+  // engine accepts work.
+  const auto data_size = args.get_int("test-per-class", 8) *
+                         args.get_int("classes", 10);
+  return run_serving(args, /*target_qps=*/0.0,
+                     /*default_requests=*/std::max<std::int64_t>(
+                         data_size, 32));
+}
+
+int cmd_loadgen(const Args& args) {
+  return run_serving(args, args.get_double("qps", 100.0),
+                     /*default_requests=*/256);
+}
+
 void usage() {
   std::printf(
-      "usage: tinyadc <train|prune|map|report|fault> [--flag value]...\n"
+      "usage: tinyadc <train|prune|map|report|fault|serve|loadgen> "
+      "[--flag value]...\n"
       "common flags: --net resnet18|resnet50|vgg16  --dataset "
       "cifar10|cifar100|imagenet\n"
       "              --width-mult 0.125  --image-size 8  --xbar 16  --in/"
       "--out ckpt.bin\n"
       "prune flags : --cp-rate N  --filter-frac F  --shape-frac F  "
       "--include-linear\n"
-      "fault flags : --rate R  --sa0-fraction F  --trials N  --remap\n");
+      "fault flags : --rate R  --sa0-fraction F  --trials N  --remap\n"
+      "serve flags : --workers N  --max-batch B  --max-wait-us T  "
+      "--deterministic\n"
+      "              --requests N  --qps Q (loadgen)  --json [path]\n");
 }
 
 }  // namespace
@@ -243,6 +321,8 @@ int main(int argc, char** argv) {
     if (cmd == "map") return cmd_map(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "fault") return cmd_fault(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "loadgen") return cmd_loadgen(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
