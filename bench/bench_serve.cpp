@@ -15,8 +15,10 @@
 // Rows are emitted in the kernel-sweep JSON schema (threads = workers)
 // for tools/bench_compare.
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
+#include "artifact/artifact.hpp"
 #include "bench_util.hpp"
 #include "msim/analog_network.hpp"
 #include "runtime/parallel.hpp"
@@ -142,6 +144,70 @@ int run(int argc, char** argv) {
                 identical ? "" : "  DIGEST MISMATCH");
     rows.push_back({"serve_engine", workers, ms, identical});
   }
+  // Cold-start phase: time-to-first-response for a fresh serving process.
+  // "inprocess" pays the full pipeline (build + prune-project + map +
+  // plan-compile + calibrate); "artifact" deserializes the deployment file
+  // and must produce a bit-identical first response without touching the
+  // plan compiler or the calibration pass.
+  const std::string artifact_path = "bench_serve_coldstart.tadc";
+  {
+    artifact::ArtifactMeta meta;
+    meta.arch = "resnet18";
+    meta.model_name = model->name();
+    meta.model_config = mc;
+    artifact::ArtifactInputs inputs{meta, *model, net, analog, {}, {}};
+    artifact::save_artifact(artifact_path, inputs);
+  }
+  const Tensor first_img = extract_image(data.test, 0);
+  const auto first_response_digest = [&](msim::AnalogNetwork& an) {
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    serve::InferenceEngine engine(an, cfg);
+    auto fut = engine.submit(first_img);
+    const serve::InferenceResult r = fut.get();
+    engine.shutdown();
+    return serve::fnv1a(r.logits.data(), r.logits.size() * sizeof(float));
+  };
+
+  double scratch_ms = 0.0, artifact_ms = 0.0;
+  std::uint64_t scratch_digest = 0, artifact_digest = 0;
+  {
+    const auto t0 = Clock::now();
+    const auto cold_model = nn::resnet18(mc);
+    project_cp_inplace(*cold_model, 8, {32, 32});
+    const auto cold_net = xbar::map_model(*cold_model, map_cfg);
+    msim::AnalogNetwork cold(*cold_model, cold_net, msim::MsimConfig{});
+    cold.calibrate(data.train, 8);
+    scratch_digest = first_response_digest(cold);
+    scratch_ms = ms_since(t0);
+  }
+  {
+    const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+    const auto calib_before = msim::AnalogNetwork::calibration_runs();
+    const auto t0 = Clock::now();
+    artifact::Deployment dep = artifact::load_artifact(artifact_path);
+    artifact_digest = first_response_digest(*dep.analog);
+    artifact_ms = ms_since(t0);
+    if (msim::AnalogLayerSim::plan_compilations() != plans_before ||
+        msim::AnalogNetwork::calibration_runs() != calib_before) {
+      std::fprintf(stderr,
+                   "FAIL: artifact cold-start invoked the plan compiler or "
+                   "the calibration pass\n");
+      return 1;
+    }
+  }
+  std::remove(artifact_path.c_str());
+  const bool cold_identical = scratch_digest == artifact_digest;
+  all_identical = all_identical && cold_identical;
+  std::printf("%-24s %10.1f %10s %9s\n", "coldstart (scratch)", scratch_ms,
+              "-", "-");
+  std::printf("%-24s %10.1f %10s %8.2fx%s\n", "coldstart (artifact)",
+              artifact_ms, "-", scratch_ms / artifact_ms,
+              cold_identical ? "" : "  DIGEST MISMATCH");
+  rows.push_back({"serve_coldstart_inprocess", 1, scratch_ms, true});
+  rows.push_back(
+      {"serve_coldstart_artifact", 1, artifact_ms, cold_identical});
+
   hr(64);
   if (!all_identical) {
     std::fprintf(stderr,

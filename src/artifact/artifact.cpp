@@ -1,0 +1,176 @@
+#include "artifact/artifact.hpp"
+
+#include <cmath>
+
+#include "artifact/format.hpp"
+#include "tensor/check.hpp"
+
+namespace tinyadc::artifact {
+
+namespace {
+
+constexpr std::uint32_t kMetaSectionVersion = 1;
+constexpr std::uint32_t kPruneSectionVersion = 1;
+constexpr std::uint64_t kMaxLayers = 1ULL << 16;
+
+const char kTagMeta[] = "META";
+const char kTagWeights[] = "WEIGHTS";
+const char kTagPrune[] = "PRUNE";
+const char kTagMapping[] = "MAPPING";
+const char kTagPlans[] = "PLANS";
+const char kTagCalib[] = "CALIB";
+
+void write_meta(const ArtifactMeta& meta, SectionWriter& w) {
+  w.pod(kMetaSectionVersion);
+  w.str(meta.arch);
+  w.str(meta.model_name);
+  w.pod(meta.model_config.num_classes);
+  w.pod(meta.model_config.in_channels);
+  w.pod(meta.model_config.image_size);
+  w.pod(meta.model_config.width_mult);
+  w.pod(static_cast<std::uint8_t>(meta.model_config.imagenet_stem ? 1 : 0));
+  w.pod(meta.model_config.seed);
+}
+
+ArtifactMeta read_meta(SectionReader& r) {
+  const auto version = r.pod<std::uint32_t>();
+  TINYADC_CHECK(version == kMetaSectionVersion,
+                "unsupported META section version " << version);
+  ArtifactMeta meta;
+  meta.arch = r.str();
+  meta.model_name = r.str();
+  meta.model_config.num_classes = r.pod<std::int64_t>();
+  meta.model_config.in_channels = r.pod<std::int64_t>();
+  meta.model_config.image_size = r.pod<std::int64_t>();
+  meta.model_config.width_mult = r.pod<float>();
+  meta.model_config.imagenet_stem = r.pod<std::uint8_t>() != 0;
+  meta.model_config.seed = r.pod<std::uint64_t>();
+  TINYADC_CHECK(!meta.arch.empty(), "META section has an empty architecture");
+  TINYADC_CHECK(meta.model_config.num_classes > 0 &&
+                    meta.model_config.num_classes <= (1 << 20),
+                "META section has " << meta.model_config.num_classes
+                                    << " classes");
+  TINYADC_CHECK(meta.model_config.in_channels > 0 &&
+                    meta.model_config.in_channels <= (1 << 16),
+                "META section has " << meta.model_config.in_channels
+                                    << " input channels");
+  TINYADC_CHECK(meta.model_config.image_size > 0 &&
+                    meta.model_config.image_size <= (1 << 16),
+                "META section has image size "
+                    << meta.model_config.image_size);
+  TINYADC_CHECK(std::isfinite(meta.model_config.width_mult) &&
+                    meta.model_config.width_mult > 0.0F,
+                "META section has a non-positive width multiplier");
+  TINYADC_CHECK(r.remaining() == 0, "trailing bytes after the META section");
+  return meta;
+}
+
+void write_prune(const std::vector<core::LayerPruneSpec>& specs,
+                 const std::vector<core::StructuralSelection>& selections,
+                 SectionWriter& w) {
+  w.pod(kPruneSectionVersion);
+  w.pod(static_cast<std::uint64_t>(specs.size()));
+  for (const auto& spec : specs) core::serialize(spec, w);
+  w.pod(static_cast<std::uint64_t>(selections.size()));
+  for (const auto& sel : selections) core::serialize(sel, w);
+}
+
+void read_prune(SectionReader& r, std::vector<core::LayerPruneSpec>& specs,
+                std::vector<core::StructuralSelection>& selections) {
+  const auto version = r.pod<std::uint32_t>();
+  TINYADC_CHECK(version == kPruneSectionVersion,
+                "unsupported PRUNE section version " << version);
+  const auto nspecs = r.pod<std::uint64_t>();
+  TINYADC_CHECK(nspecs <= kMaxLayers,
+                "PRUNE section claims " << nspecs << " specs");
+  specs.reserve(static_cast<std::size_t>(nspecs));
+  for (std::uint64_t i = 0; i < nspecs; ++i)
+    specs.push_back(core::deserialize_prune_spec(r));
+  const auto nsel = r.pod<std::uint64_t>();
+  TINYADC_CHECK(nsel <= kMaxLayers,
+                "PRUNE section claims " << nsel << " selections");
+  selections.reserve(static_cast<std::size_t>(nsel));
+  for (std::uint64_t i = 0; i < nsel; ++i)
+    selections.push_back(core::deserialize_selection(r));
+  TINYADC_CHECK(r.remaining() == 0, "trailing bytes after the PRUNE section");
+}
+
+/// Shared body of both save overloads — one code path, so a freshly built
+/// deployment and a reloaded one serialize to identical bytes.
+void write_artifact(const std::string& path, const ArtifactMeta& meta,
+                    const std::vector<core::LayerPruneSpec>& specs,
+                    const std::vector<core::StructuralSelection>& selections,
+                    nn::Model& model, const xbar::MappedNetwork& mapping,
+                    const msim::AnalogNetwork& analog) {
+  TINYADC_CHECK(analog.calibrated(),
+                "save_artifact requires a calibrated analog network");
+  ArtifactWriter writer(path);
+  write_meta(meta, writer.section(kTagMeta));
+  model.serialize(writer.section(kTagWeights));
+  if (!specs.empty() || !selections.empty())
+    write_prune(specs, selections, writer.section(kTagPrune));
+  xbar::serialize(mapping, writer.section(kTagMapping));
+  analog.serialize_plans(writer.section(kTagPlans));
+  analog.serialize_calibration(writer.section(kTagCalib));
+  writer.finish();
+}
+
+}  // namespace
+
+void save_artifact(const std::string& path, const ArtifactInputs& inputs) {
+  write_artifact(path, inputs.meta, inputs.specs, inputs.selections,
+                 inputs.model, inputs.mapping, inputs.analog);
+}
+
+void save_artifact(const std::string& path, const Deployment& deployment) {
+  TINYADC_CHECK(deployment.model && deployment.mapping && deployment.analog,
+                "save_artifact on an incomplete deployment");
+  write_artifact(path, deployment.meta, deployment.specs,
+                 deployment.selections, *deployment.model, *deployment.mapping,
+                 *deployment.analog);
+}
+
+Deployment load_artifact(const std::string& path) {
+  ArtifactFile file(path);
+  for (const char* tag : {kTagMeta, kTagWeights, kTagMapping, kTagPlans,
+                          kTagCalib})
+    TINYADC_CHECK(file.has(tag),
+                  "artifact " << path << " is missing the required " << tag
+                              << " section");
+
+  Deployment dep;
+  {
+    auto r = file.section(kTagMeta);
+    dep.meta = read_meta(r);
+  }
+  dep.model = nn::build_model(dep.meta.arch, dep.meta.model_config);
+  TINYADC_CHECK(dep.model->name() == dep.meta.model_name,
+                "META names model '" << dep.meta.model_name
+                                     << "' but architecture '" << dep.meta.arch
+                                     << "' builds '" << dep.model->name()
+                                     << "'");
+  {
+    auto r = file.section(kTagWeights);
+    dep.model->deserialize_state(r);
+    TINYADC_CHECK(r.remaining() == 0,
+                  "trailing bytes after the WEIGHTS section");
+  }
+  if (file.has(kTagPrune)) {
+    auto r = file.section(kTagPrune);
+    read_prune(r, dep.specs, dep.selections);
+  }
+  {
+    auto r = file.section(kTagMapping);
+    dep.mapping = std::make_unique<xbar::MappedNetwork>(
+        xbar::deserialize_mapped_network(r));
+    TINYADC_CHECK(r.remaining() == 0,
+                  "trailing bytes after the MAPPING section");
+  }
+  auto plans = file.section(kTagPlans);
+  auto calib = file.section(kTagCalib);
+  dep.analog = std::make_unique<msim::AnalogNetwork>(*dep.model, *dep.mapping,
+                                                     plans, calib);
+  return dep;
+}
+
+}  // namespace tinyadc::artifact

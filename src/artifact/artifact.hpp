@@ -1,0 +1,80 @@
+// Deployment-artifact assembly: one `.tadc` file carrying everything a
+// serving process needs to cold-start in milliseconds.
+//
+// Sections (see format.hpp for the container layout):
+//
+//   META     architecture name + ModelConfig — enough to rebuild the
+//            layer graph with nn::build_model (weights come separately)
+//   WEIGHTS  trained parameters + buffers (Model::serialize)
+//   PRUNE    prune specs and structural selections (optional: absent for
+//            dense deployments)
+//   MAPPING  the full crossbar mapping — config, quantizers, reform index
+//            maps, block grids, quantized codes, occupancy census
+//   PLANS    MsimConfig + per-layer compiled execution state (ADC sizing,
+//            variation draws, sparsity-packed plans)
+//   CALIB    activation-calibration state (quantizer ranges, signed flags)
+//
+// load_artifact() reconstructs the whole deployment *without* invoking the
+// pruning pipeline, the plan compiler or the calibration pass — verified
+// by AnalogLayerSim::plan_compilations() / AnalogNetwork::calibration_runs()
+// staying flat across a load. A loaded deployment produces bit-identical
+// forward outputs and ADC counters to the in-process pipeline it was saved
+// from, and re-saving it reproduces the input file byte for byte.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prune_spec.hpp"
+#include "msim/analog_network.hpp"
+#include "nn/model.hpp"
+#include "nn/models.hpp"
+#include "xbar/mapping.hpp"
+
+namespace tinyadc::artifact {
+
+/// Model-identity metadata (the META section).
+struct ArtifactMeta {
+  std::string arch;        ///< zoo name for nn::build_model
+  std::string model_name;  ///< Model::name() of the deployed instance
+  nn::ModelConfig model_config;
+};
+
+/// Everything save_artifact() snapshots. All references must outlive the
+/// call; `analog` must be calibrated.
+struct ArtifactInputs {
+  ArtifactMeta meta;
+  nn::Model& model;  ///< non-const: serialization walks live named views
+  const xbar::MappedNetwork& mapping;
+  const msim::AnalogNetwork& analog;
+  /// Optional pruning provenance (empty for dense deployments).
+  std::vector<core::LayerPruneSpec> specs;
+  std::vector<core::StructuralSelection> selections;
+};
+
+/// Writes a deployment artifact to `path`.
+void save_artifact(const std::string& path, const ArtifactInputs& inputs);
+
+/// A deployment reconstructed from an artifact. The members reference each
+/// other (the analog network hooks the model and reads the mapping), so
+/// they live behind stable unique_ptrs and the struct is move-only.
+struct Deployment {
+  ArtifactMeta meta;
+  std::vector<core::LayerPruneSpec> specs;
+  std::vector<core::StructuralSelection> selections;
+  std::unique_ptr<nn::Model> model;
+  std::unique_ptr<xbar::MappedNetwork> mapping;
+  std::unique_ptr<msim::AnalogNetwork> analog;
+};
+
+/// Loads a deployment artifact: rebuilds the model from META, restores the
+/// weights, mapping, compiled plans and calibration state. Never touches
+/// training, pruning, plan-compilation or calibration code paths.
+Deployment load_artifact(const std::string& path);
+
+/// Re-serializes a loaded deployment. save → load → save is byte-identical,
+/// which is the round-trip guarantee tests/artifact_test.cpp enforces.
+void save_artifact(const std::string& path, const Deployment& deployment);
+
+}  // namespace tinyadc::artifact

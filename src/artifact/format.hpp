@@ -1,0 +1,198 @@
+// Versioned, sectioned deployment-artifact container (the `.tadc` format).
+//
+// Layout (little-endian, every offset and every section start 8-byte
+// aligned):
+//
+//   0x00  magic  "TADCDEP\0"                     (8 bytes)
+//   0x08  u32 format version | u32 section count (8 bytes)
+//   0x10  section table: count × { char tag[8] | u64 offset | u64 length }
+//   ...   section payloads, each starting at an 8-byte-aligned offset,
+//         zero-padded up to the next section
+//
+// The flat table with aligned payloads is mmap-friendly: a loader can map
+// the file once and hand out zero-copy spans per section, and bulk fields
+// (weight tensors, packed execution plans) are stored as raw little-endian
+// arrays that deserialize with a single memcpy. The portable loader here
+// reads the file into one buffer and bounds-checks every access through
+// SectionReader, so truncated or malformed artifacts fail with an explicit
+// CheckError instead of bad_alloc or silent garbage.
+//
+// Versioning/compat policy: the container version only changes when the
+// header/table layout changes. Section payloads are versioned by their
+// producer (each domain section starts with its own u32 version), so adding
+// a new section or bumping one section's layout never invalidates the rest.
+// Readers reject unknown container versions and unknown *required* section
+// versions; unknown extra sections are ignored.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tinyadc::artifact {
+
+/// Container-level format version (header + section table layout).
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// Magic at offset 0 of every artifact file.
+constexpr char kMagic[8] = {'T', 'A', 'D', 'C', 'D', 'E', 'P', '\0'};
+
+/// Upper bound on sections per artifact (sanity cap for the reader).
+constexpr std::uint32_t kMaxSections = 256;
+
+/// Accumulates one section's payload in memory with typed append helpers.
+/// All multi-byte fields are written in the host's (little-endian) byte
+/// order; bulk arrays are written raw so loads are a single memcpy.
+class SectionWriter {
+ public:
+  /// Appends one trivially-copyable value.
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "pod() needs a POD type");
+    const auto* p = reinterpret_cast<const char*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Appends a string as u64 length + raw bytes.
+  void str(const std::string& s);
+
+  /// Appends a vector of trivially-copyable elements as u64 count + raw
+  /// element bytes.
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "vec() needs POD elements");
+    pod(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const char*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  /// Appends a vector<bool> as u64 count + one byte per element.
+  void vec_bool(const std::vector<bool>& v);
+
+  /// Appends a tensor as u32 ndim + i64 dims + raw f32 data.
+  void tensor(const Tensor& t);
+
+  /// The accumulated payload.
+  const std::vector<char>& bytes() const { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Bounds-checked cursor over one section's payload. Every accessor
+/// validates the remaining byte budget *before* allocating, so absurd
+/// counts from corrupt files raise CheckError instead of bad_alloc.
+class SectionReader {
+ public:
+  /// Views `size` bytes at `data` (not owned); `name` labels errors.
+  SectionReader(const char* data, std::size_t size, std::string name);
+
+  /// Reads one trivially-copyable value.
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>, "pod() needs a POD type");
+    need(sizeof(T), "value");
+    T v{};
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Reads a string written by SectionWriter::str.
+  std::string str();
+
+  /// Reads a vector written by SectionWriter::vec. The element count is
+  /// validated against the bytes actually present.
+  template <typename T>
+  std::vector<T> vec() {
+    static_assert(std::is_trivially_copyable_v<T>, "vec() needs POD elements");
+    const std::size_t count = checked_count(sizeof(T), "array");
+    std::vector<T> v(count);
+    std::memcpy(v.data(), data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return v;
+  }
+
+  /// Reads a vector<bool> written by SectionWriter::vec_bool.
+  std::vector<bool> vec_bool();
+
+  /// Reads a tensor written by SectionWriter::tensor, rejecting absurd
+  /// ranks/extents and dimension products before allocating.
+  Tensor tensor();
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Section label (for error messages in domain deserializers).
+  const std::string& name() const { return name_; }
+
+ private:
+  /// Validates that `n` more bytes exist (`what` labels the error).
+  void need(std::size_t n, const char* what) const;
+  /// Reads a u64 count and validates count·elem_size against the budget.
+  std::size_t checked_count(std::size_t elem_size, const char* what);
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string name_;
+};
+
+/// Assembles an artifact: sections are registered in order, then finish()
+/// lays them out with 8-byte-aligned offsets and writes the file.
+class ArtifactWriter {
+ public:
+  /// Opens a writer targeting `path` (written on finish()).
+  explicit ArtifactWriter(std::string path);
+
+  /// Starts (or resumes) the section tagged `tag` (1–8 bytes, unique) and
+  /// returns its payload writer.
+  SectionWriter& section(const std::string& tag);
+
+  /// Writes header, table and payloads to the target path; throws
+  /// CheckError on I/O failure. Must be called exactly once.
+  void finish();
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, SectionWriter>> sections_;
+  bool finished_ = false;
+};
+
+/// A loaded artifact: the file bytes plus the validated section table.
+class ArtifactFile {
+ public:
+  /// Reads and validates `path` (magic, version, table bounds/alignment).
+  explicit ArtifactFile(const std::string& path);
+
+  /// True if a section tagged `tag` exists.
+  bool has(const std::string& tag) const;
+
+  /// Bounds-checked reader over the section tagged `tag`; throws
+  /// CheckError when the section is missing.
+  SectionReader section(const std::string& tag) const;
+
+  /// Container version of the loaded file.
+  std::uint32_t version() const { return version_; }
+
+  /// Section tags in file order.
+  std::vector<std::string> tags() const;
+
+ private:
+  struct Entry {
+    std::string tag;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+  };
+
+  std::vector<char> data_;
+  std::vector<Entry> entries_;
+  std::uint32_t version_ = 0;
+  std::string path_;
+};
+
+}  // namespace tinyadc::artifact

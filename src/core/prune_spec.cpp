@@ -1,8 +1,55 @@
 #include "core/prune_spec.hpp"
 
+#include "artifact/format.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::core {
+
+namespace {
+constexpr std::uint32_t kPruneSpecVersion = 1;
+}  // namespace
+
+void serialize(const LayerPruneSpec& spec, artifact::SectionWriter& w) {
+  w.pod(kPruneSpecVersion);
+  w.str(spec.layer_name);
+  w.pod(static_cast<std::uint8_t>(spec.enabled ? 1 : 0));
+  w.pod(spec.cp_keep);
+  w.pod(spec.remove_filters);
+  w.pod(spec.remove_shapes);
+}
+
+LayerPruneSpec deserialize_prune_spec(artifact::SectionReader& r) {
+  const auto version = r.pod<std::uint32_t>();
+  TINYADC_CHECK(version == kPruneSpecVersion,
+                "unsupported prune-spec version " << version);
+  LayerPruneSpec spec;
+  spec.layer_name = r.str();
+  spec.enabled = r.pod<std::uint8_t>() != 0;
+  spec.cp_keep = r.pod<std::int64_t>();
+  spec.remove_filters = r.pod<std::int64_t>();
+  spec.remove_shapes = r.pod<std::int64_t>();
+  TINYADC_CHECK(spec.cp_keep >= 0 && spec.remove_filters >= 0 &&
+                    spec.remove_shapes >= 0,
+                "negative prune-spec counts for layer " << spec.layer_name);
+  return spec;
+}
+
+void serialize(const StructuralSelection& selection,
+               artifact::SectionWriter& w) {
+  w.vec(selection.rows);
+  w.vec(selection.cols);
+}
+
+StructuralSelection deserialize_selection(artifact::SectionReader& r) {
+  StructuralSelection selection;
+  selection.rows = r.vec<std::int64_t>();
+  selection.cols = r.vec<std::int64_t>();
+  for (const auto& list : {selection.rows, selection.cols})
+    for (std::size_t i = 0; i < list.size(); ++i)
+      TINYADC_CHECK(list[i] >= 0 && (i == 0 || list[i - 1] < list[i]),
+                    "structural selection is not strictly ascending");
+  return selection;
+}
 
 StructuralSelection project_combined_tracked(MatrixRef m,
                                              const LayerPruneSpec& spec,

@@ -3,9 +3,15 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/layout.hpp"
 #include "core/projection.hpp"
+
+namespace tinyadc::artifact {
+class SectionWriter;
+class SectionReader;
+}  // namespace tinyadc::artifact
 
 namespace tinyadc::core {
 
@@ -33,6 +39,16 @@ struct StructuralSelection {
   std::vector<std::int64_t> rows;  ///< pruned filter shapes, ascending
   std::vector<std::int64_t> cols;  ///< pruned filters, ascending
 };
+
+/// Artifact (de)serialization of one layer's prune spec. The spec travels
+/// with deployed weights so a redeployment never re-derives what was pruned.
+void serialize(const LayerPruneSpec& spec, artifact::SectionWriter& w);
+LayerPruneSpec deserialize_prune_spec(artifact::SectionReader& r);
+
+/// Artifact (de)serialization of a structural selection (reform geometry).
+void serialize(const StructuralSelection& selection,
+               artifact::SectionWriter& w);
+StructuralSelection deserialize_selection(artifact::SectionReader& r);
 
 /// Euclidean projection onto the combined constraint set of `spec`:
 /// filter-shape rows first, then filter columns, then the CP constraint on

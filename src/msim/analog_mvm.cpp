@@ -1,22 +1,69 @@
 #include "msim/analog_mvm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 
+#include "artifact/format.hpp"
 #include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::msim {
 
-AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
-                               MsimConfig config)
-    : layer_(layer),
-      config_(config),
-      adc_(config.adc_bits_override >= 0 ? config.adc_bits_override
-                                         : layer.required_adc_bits()),
-      stats_mu_(std::make_unique<std::mutex>()) {
+namespace {
+
+std::atomic<std::int64_t> g_plan_compilations{0};
+
+/// The ideal-datapath predicate of build_plan, shared with deserialize so
+/// a loaded plan provably dispatches through the same inner loop.
+bool plan_ideal_for(const xbar::MappedLayer& layer, const MsimConfig& config,
+                    bool has_variation) {
+  std::int64_t max_rows = 0;
+  for (const auto& b : layer.blocks) max_rows = std::max(max_rows, b.rows);
+  const auto& cfg = layer.config;
+  const double worst_plane_sum =
+      static_cast<double>((1 << cfg.cell_bits) - 1) *
+      static_cast<double>((1 << cfg.dac_bits) - 1) *
+      static_cast<double>(max_rows);
+  return !has_variation && config.ir_drop_alpha <= 0.0 &&
+         worst_plane_sum < 9007199254740992.0;  // 2^53
+}
+
+}  // namespace
+
+void serialize(const MsimConfig& config, artifact::SectionWriter& w) {
+  w.pod(static_cast<std::int32_t>(config.adc_bits_override));
+  w.pod(config.variation_sigma);
+  w.pod(config.ir_drop_alpha);
+  w.pod(config.seed);
+  w.pod(static_cast<std::uint8_t>(config.use_plan ? 1 : 0));
+}
+
+MsimConfig deserialize_msim_config(artifact::SectionReader& r) {
+  MsimConfig config;
+  config.adc_bits_override = r.pod<std::int32_t>();
+  config.variation_sigma = r.pod<double>();
+  config.ir_drop_alpha = r.pod<double>();
+  config.seed = r.pod<std::uint64_t>();
+  config.use_plan = r.pod<std::uint8_t>() != 0;
+  TINYADC_CHECK(config.adc_bits_override >= -1 &&
+                    config.adc_bits_override <= 32,
+                "implausible ADC override " << config.adc_bits_override);
+  TINYADC_CHECK(std::isfinite(config.variation_sigma) &&
+                    config.variation_sigma >= 0.0 &&
+                    std::isfinite(config.ir_drop_alpha) &&
+                    config.ir_drop_alpha >= 0.0,
+                "implausible msim non-ideality configuration");
+  return config;
+}
+
+std::int64_t AnalogLayerSim::plan_compilations() {
+  return g_plan_compilations.load(std::memory_order_relaxed);
+}
+
+void AnalogLayerSim::check_accumulator_headroom() const {
   const auto& cfg = layer_.config;
   const int slices = cfg.slices();
   const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
@@ -28,19 +75,29 @@ AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
   // code therefore needs adc_bits + max_shift bits, plus headroom for the
   // number of summed terms; anything past 62 bits can silently wrap the
   // int64 accumulator, so refuse the configuration up front.
-  {
-    const int max_shift =
-        (slices - 1) * cfg.cell_bits + (cycles - 1) * cfg.dac_bits;
-    const auto terms = static_cast<std::uint64_t>(2 * slices * cycles) *
-                       static_cast<std::uint64_t>(
-                           std::max<std::int64_t>(1, layer_.block_grid_rows));
-    const int headroom = std::bit_width(terms);
-    TINYADC_CHECK(
-        adc_.bits() + max_shift + headroom <= 62,
-        "shift-and-add accumulator overflow: " << adc_.bits() << " ADC bits + "
-            << max_shift << " max shift + " << headroom
-            << " headroom bits exceed int64 (layer " << layer_.name << ")");
-  }
+  const int max_shift =
+      (slices - 1) * cfg.cell_bits + (cycles - 1) * cfg.dac_bits;
+  const auto terms = static_cast<std::uint64_t>(2 * slices * cycles) *
+                     static_cast<std::uint64_t>(
+                         std::max<std::int64_t>(1, layer_.block_grid_rows));
+  const int headroom = std::bit_width(terms);
+  TINYADC_CHECK(
+      adc_.bits() + max_shift + headroom <= 62,
+      "shift-and-add accumulator overflow: " << adc_.bits() << " ADC bits + "
+          << max_shift << " max shift + " << headroom
+          << " headroom bits exceed int64 (layer " << layer_.name << ")");
+}
+
+AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
+                               MsimConfig config)
+    : layer_(layer),
+      config_(config),
+      adc_(config.adc_bits_override >= 0 ? config.adc_bits_override
+                                         : layer.required_adc_bits()),
+      stats_mu_(std::make_unique<std::mutex>()) {
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  check_accumulator_headroom();
 
   if (config_.variation_sigma > 0.0) {
     Rng rng(config_.seed);
@@ -58,6 +115,7 @@ AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
 }
 
 void AnalogLayerSim::build_plan() {
+  g_plan_compilations.fetch_add(1, std::memory_order_relaxed);
   const auto& cfg = layer_.config;
   const int slices = cfg.slices();
   TINYADC_CHECK(layer_.rows <= INT32_MAX,
@@ -68,14 +126,7 @@ void AnalogLayerSim::build_plan() {
   // dense path's double accumulation as long as every partial plane sum is
   // exactly representable in a double (< 2^53; true for any physical
   // configuration, checked anyway).
-  std::int64_t max_rows = 0;
-  for (const auto& b : layer_.blocks) max_rows = std::max(max_rows, b.rows);
-  const double worst_plane_sum =
-      static_cast<double>((1 << cfg.cell_bits) - 1) *
-      static_cast<double>((1 << cfg.dac_bits) - 1) *
-      static_cast<double>(max_rows);
-  plan_ideal_ = variation_.empty() && config_.ir_drop_alpha <= 0.0 &&
-                worst_plane_sum < 9007199254740992.0;  // 2^53
+  plan_ideal_ = plan_ideal_for(layer_, config_, !variation_.empty());
 
   // Entry-count upper bound from the mapping's per-column occupancy census:
   // every active weight owns one differential polarity and at most `slices`
@@ -399,6 +450,162 @@ void AnalogLayerSim::reset_stats() {
 MsimStats AnalogLayerSim::stats_snapshot() const {
   std::lock_guard<std::mutex> lk(*stats_mu_);
   return stats_;
+}
+
+AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
+                               MsimConfig config, RestoredState&& restored)
+    : layer_(layer),
+      config_(config),
+      adc_(restored.adc_bits),
+      variation_(std::move(restored.variation)),
+      plan_pairs_(std::move(restored.pairs)),
+      plan_offsets_(std::move(restored.offsets)),
+      plan_x_(std::move(restored.x)),
+      plan_level_(std::move(restored.level)),
+      plan_var_(std::move(restored.var)),
+      plan_denom_(std::move(restored.denom)),
+      plan_ideal_(restored.plan_ideal),
+      stats_mu_(std::make_unique<std::mutex>()) {
+  check_accumulator_headroom();
+}
+
+void AnalogLayerSim::serialize(artifact::SectionWriter& w) const {
+  w.pod(static_cast<std::int32_t>(adc_.bits()));
+  w.pod(static_cast<std::uint8_t>(plan_ideal_ ? 1 : 0));
+  w.pod(static_cast<std::uint64_t>(variation_.size()));
+  for (const auto& v : variation_) w.vec(v);
+  w.pod(static_cast<std::uint8_t>(config_.use_plan ? 1 : 0));
+  if (!config_.use_plan) return;
+  w.pod(static_cast<std::uint64_t>(plan_pairs_.size()));
+  for (const auto& pair : plan_pairs_) {
+    w.pod(pair.out);
+    w.pod(static_cast<std::uint64_t>(pair.plane0));
+  }
+  w.pod(static_cast<std::uint64_t>(plan_offsets_.size()));
+  for (const auto off : plan_offsets_) w.pod(static_cast<std::uint64_t>(off));
+  w.vec(plan_x_);
+  w.vec(plan_level_);
+  w.vec(plan_var_);
+  w.vec(plan_denom_);
+}
+
+std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
+    const xbar::MappedLayer& layer, MsimConfig config,
+    artifact::SectionReader& r) {
+  const auto& cfg = layer.config;
+  const int slices = cfg.slices();
+  RestoredState s;
+
+  s.adc_bits = r.pod<std::int32_t>();
+  const int expected_bits = config.adc_bits_override >= 0
+                                ? config.adc_bits_override
+                                : layer.required_adc_bits();
+  TINYADC_CHECK(s.adc_bits == expected_bits,
+                "layer " << layer.name << ": artifact ADC has " << s.adc_bits
+                         << " bits, configuration requires " << expected_bits);
+  s.plan_ideal = r.pod<std::uint8_t>() != 0;
+
+  const auto nvar = r.pod<std::uint64_t>();
+  TINYADC_CHECK((nvar > 0) == (config.variation_sigma > 0.0),
+                "layer " << layer.name
+                         << ": variation state disagrees with "
+                            "variation_sigma");
+  TINYADC_CHECK(nvar == 0 || nvar == layer.blocks.size(),
+                "layer " << layer.name << ": " << nvar
+                         << " variation blocks, mapping has "
+                         << layer.blocks.size());
+  s.variation.reserve(static_cast<std::size_t>(nvar));
+  for (std::uint64_t i = 0; i < nvar; ++i) {
+    auto v = r.vec<float>();
+    const auto& b = layer.blocks[static_cast<std::size_t>(i)];
+    TINYADC_CHECK(v.size() == static_cast<std::size_t>(b.rows * b.cols *
+                                                       slices),
+                  "layer " << layer.name << ": variation block " << i
+                           << " holds " << v.size() << " draws, expected "
+                           << b.rows * b.cols * slices);
+    for (const float f : v)
+      TINYADC_CHECK(std::isfinite(f) && f > 0.0F,
+                    "layer " << layer.name
+                             << ": non-finite variation factor");
+    s.variation.push_back(std::move(v));
+  }
+
+  const bool has_plan = r.pod<std::uint8_t>() != 0;
+  TINYADC_CHECK(has_plan == config.use_plan,
+                "layer " << layer.name
+                         << ": artifact plan presence disagrees with "
+                            "MsimConfig::use_plan");
+  if (has_plan) {
+    TINYADC_CHECK(s.plan_ideal ==
+                      plan_ideal_for(layer, config, nvar > 0),
+                  "layer " << layer.name
+                           << ": stored ideal-path flag disagrees with the "
+                              "configuration");
+    std::size_t npairs_expected = 0;
+    for (const auto& b : layer.blocks)
+      npairs_expected += static_cast<std::size_t>(b.cols);
+    const auto npairs = r.pod<std::uint64_t>();
+    TINYADC_CHECK(npairs == npairs_expected,
+                  "layer " << layer.name << ": plan has " << npairs
+                           << " conversion pairs, mapping needs "
+                           << npairs_expected);
+    const std::size_t planes_per_pair = 2 * static_cast<std::size_t>(slices);
+    s.pairs.reserve(static_cast<std::size_t>(npairs));
+    for (std::uint64_t pi = 0; pi < npairs; ++pi) {
+      PairRef pair;
+      pair.out = r.pod<std::int64_t>();
+      pair.plane0 = static_cast<std::size_t>(r.pod<std::uint64_t>());
+      TINYADC_CHECK(pair.out >= 0 && pair.out < layer.cols,
+                    "layer " << layer.name << ": plan pair " << pi
+                             << " targets output column " << pair.out);
+      TINYADC_CHECK(pair.plane0 == static_cast<std::size_t>(pi) *
+                                       planes_per_pair,
+                    "layer " << layer.name << ": plan pair " << pi
+                             << " has corrupt plane offset");
+      s.pairs.push_back(pair);
+    }
+    const auto noffsets = r.pod<std::uint64_t>();
+    TINYADC_CHECK(noffsets == npairs * planes_per_pair + 1,
+                  "layer " << layer.name << ": plan offset table holds "
+                           << noffsets << " entries, expected "
+                           << npairs * planes_per_pair + 1);
+    s.offsets.reserve(static_cast<std::size_t>(noffsets));
+    for (std::uint64_t i = 0; i < noffsets; ++i) {
+      const auto off = r.pod<std::uint64_t>();
+      TINYADC_CHECK((i == 0 && off == 0) ||
+                        (i > 0 && off >= s.offsets.back()),
+                    "layer " << layer.name
+                             << ": plan offsets are not monotone");
+      s.offsets.push_back(static_cast<std::size_t>(off));
+    }
+    s.x = r.vec<std::int32_t>();
+    s.level = r.vec<std::int32_t>();
+    s.var = r.vec<float>();
+    s.denom = r.vec<double>();
+    const std::size_t entries = s.offsets.back();
+    TINYADC_CHECK(s.x.size() == entries && s.level.size() == entries &&
+                      s.var.size() == entries && s.denom.size() == entries,
+                  "layer " << layer.name
+                           << ": plan entry arrays disagree with the offset "
+                              "table ("
+                           << entries << " entries)");
+    const std::int32_t max_level = (1 << cfg.cell_bits) - 1;
+    for (std::size_t e = 0; e < entries; ++e) {
+      TINYADC_CHECK(s.x[e] >= 0 &&
+                        static_cast<std::int64_t>(s.x[e]) < layer.rows,
+                    "layer " << layer.name << ": plan entry " << e
+                             << " reads activation row " << s.x[e]);
+      TINYADC_CHECK(s.level[e] > 0 && s.level[e] <= max_level,
+                    "layer " << layer.name << ": plan entry " << e
+                             << " holds cell level " << s.level[e]);
+      TINYADC_CHECK(std::isfinite(s.var[e]) && s.var[e] > 0.0F &&
+                        std::isfinite(s.denom[e]) && s.denom[e] > 0.0,
+                    "layer " << layer.name << ": plan entry " << e
+                             << " holds non-finite analog factors");
+    }
+  }
+  return std::unique_ptr<AnalogLayerSim>(
+      new AnalogLayerSim(layer, config, std::move(s)));
 }
 
 std::vector<AnalogLayerSim> make_network_sims(const xbar::MappedNetwork& net,

@@ -35,6 +35,11 @@
 #include "msim/dac.hpp"
 #include "xbar/mapping.hpp"
 
+namespace tinyadc::artifact {
+class SectionWriter;
+class SectionReader;
+}  // namespace tinyadc::artifact
+
 namespace tinyadc::msim {
 
 /// Simulation knobs.
@@ -58,6 +63,10 @@ struct MsimConfig {
   bool use_plan = true;
 };
 
+/// Artifact (de)serialization of the simulation knobs.
+void serialize(const MsimConfig& config, artifact::SectionWriter& w);
+MsimConfig deserialize_msim_config(artifact::SectionReader& r);
+
 /// Aggregate statistics from a simulation run.
 struct MsimStats {
   std::int64_t adc_conversions = 0;
@@ -76,6 +85,23 @@ struct MsimStats {
 class AnalogLayerSim {
  public:
   AnalogLayerSim(const xbar::MappedLayer& layer, MsimConfig config);
+
+  /// Writes the compiled execution state — ADC sizing, programmed variation
+  /// draws, and the packed plan arrays — into a deployment artifact, so a
+  /// redeployment can *load* the plan instead of recompiling it.
+  void serialize(artifact::SectionWriter& w) const;
+
+  /// Reconstructs a simulator from state written by serialize(). Never
+  /// invokes the plan compiler (build_plan) or redraws variation: the
+  /// restored sim executes exactly the serialized operands, and every
+  /// structural invariant of the plan is re-validated against `layer`.
+  static std::unique_ptr<AnalogLayerSim> deserialize(
+      const xbar::MappedLayer& layer, MsimConfig config,
+      artifact::SectionReader& r);
+
+  /// Process-wide count of plan compilations (build_plan runs). Lets tests
+  /// and benches prove that artifact loading touches no compilation path.
+  static std::int64_t plan_compilations();
 
   /// Integer-domain MVM: unsigned activation codes in, signed column sums
   /// out (same contract as xbar::reference_mvm). Crossbar blocks convert in
@@ -116,6 +142,23 @@ class AnalogLayerSim {
     std::size_t plane0 = 0; ///< first plane slot: planes are
                             ///< [pair][polarity][slice], contiguous
   };
+
+  // Execution state restored from an artifact (see deserialize()).
+  struct RestoredState {
+    int adc_bits = 0;
+    bool plan_ideal = false;
+    std::vector<std::vector<float>> variation;
+    std::vector<PairRef> pairs;
+    std::vector<std::size_t> offsets;
+    std::vector<std::int32_t> x;
+    std::vector<std::int32_t> level;
+    std::vector<float> var;
+    std::vector<double> denom;
+  };
+
+  AnalogLayerSim(const xbar::MappedLayer& layer, MsimConfig config,
+                 RestoredState&& restored);
+  void check_accumulator_headroom() const;
 
   void build_plan();
   std::vector<std::int64_t> mvm_packed(const std::vector<std::int32_t>& x);

@@ -1,7 +1,10 @@
 #include "msim/analog_network.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 
+#include "artifact/format.hpp"
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
 #include "runtime/parallel.hpp"
@@ -10,6 +13,11 @@
 namespace tinyadc::msim {
 
 namespace {
+
+constexpr std::uint32_t kPlansSectionVersion = 1;
+constexpr std::uint32_t kCalibSectionVersion = 1;
+
+std::atomic<std::int64_t> g_calibration_runs{0};
 
 /// Analog execution of one conv lowering: `cols` is the (taps × pixels)
 /// patch matrix, each pixel an independent MVM (disjoint output columns;
@@ -86,6 +94,101 @@ AnalogNetwork::AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
   install_hooks();
 }
 
+AnalogNetwork::AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
+                             artifact::SectionReader& plans,
+                             artifact::SectionReader& calib)
+    : model_(model), net_(net) {
+  const auto views = model_.prunable_views();
+  TINYADC_CHECK(views.size() == net_.layers.size(),
+                "mapped network has " << net_.layers.size()
+                                      << " layers, model has "
+                                      << views.size());
+
+  // --- Compiled plans section: shared config + one sim per layer. ---------
+  const auto plans_version = plans.pod<std::uint32_t>();
+  TINYADC_CHECK(plans_version == kPlansSectionVersion,
+                "unsupported plans-section version " << plans_version);
+  config_ = deserialize_msim_config(plans);
+  const auto nsims = plans.pod<std::uint64_t>();
+  TINYADC_CHECK(nsims == views.size(),
+                "artifact holds " << nsims << " compiled layers, model has "
+                                  << views.size());
+  sims_.reserve(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    TINYADC_CHECK(views[i].layer_name == net_.layers[i].name,
+                  "layer order mismatch: " << views[i].layer_name << " vs "
+                                           << net_.layers[i].name);
+    TINYADC_CHECK(views[i].rows == net_.layers[i].rows &&
+                      views[i].cols == net_.layers[i].cols,
+                  "layer shape mismatch on " << views[i].layer_name);
+    MsimConfig layer_cfg = config_;
+    layer_cfg.seed = config_.seed + i * 131;  // mirrors the compile-time draw
+    sims_.push_back(
+        AnalogLayerSim::deserialize(net_.layers[i], layer_cfg, plans));
+  }
+  TINYADC_CHECK(plans.remaining() == 0,
+                "trailing bytes after the compiled plans");
+
+  // --- Calibration section: quantizer ranges + signed-input flags. --------
+  const auto calib_version = calib.pod<std::uint32_t>();
+  TINYADC_CHECK(calib_version == kCalibSectionVersion,
+                "unsupported calibration-section version " << calib_version);
+  const auto nlayers = calib.pod<std::uint64_t>();
+  TINYADC_CHECK(nlayers == views.size(),
+                "artifact calibrates " << nlayers << " layers, model has "
+                                       << views.size());
+  act_quant_.reserve(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    xbar::QuantParams q;
+    q.bits = static_cast<int>(calib.pod<std::int32_t>());
+    q.scale = calib.pod<float>();
+    TINYADC_CHECK(q.bits == net_.config.input_bits,
+                  "layer " << views[i].layer_name
+                           << ": activation quantizer has " << q.bits
+                           << " bits, mapping uses " << net_.config.input_bits);
+    TINYADC_CHECK(std::isfinite(q.scale) && q.scale > 0.0F,
+                  "layer " << views[i].layer_name
+                           << ": non-positive activation scale");
+    act_quant_.push_back(q);
+  }
+  signed_input_ = calib.vec_bool();
+  TINYADC_CHECK(signed_input_.size() == views.size(),
+                "artifact's signed-input flags cover "
+                    << signed_input_.size() << " layers, model has "
+                    << views.size());
+  TINYADC_CHECK(calib.remaining() == 0,
+                "trailing bytes after the calibration state");
+
+  observed_max_.assign(views.size(), 0.0F);
+  calibrated_ = true;
+  mode_ = Mode::kAnalog;
+  install_hooks();
+}
+
+void AnalogNetwork::serialize_plans(artifact::SectionWriter& w) const {
+  w.pod(kPlansSectionVersion);
+  serialize(config_, w);
+  w.pod(static_cast<std::uint64_t>(sims_.size()));
+  for (const auto& sim : sims_) sim->serialize(w);
+}
+
+void AnalogNetwork::serialize_calibration(artifact::SectionWriter& w) const {
+  TINYADC_CHECK(calibrated_,
+                "serialize_calibration before calibrate(): the artifact "
+                "must carry final quantizer ranges");
+  w.pod(kCalibSectionVersion);
+  w.pod(static_cast<std::uint64_t>(act_quant_.size()));
+  for (const auto& q : act_quant_) {
+    w.pod(static_cast<std::int32_t>(q.bits));
+    w.pod(q.scale);
+  }
+  w.vec_bool(signed_input_);
+}
+
+std::int64_t AnalogNetwork::calibration_runs() {
+  return g_calibration_runs.load(std::memory_order_relaxed);
+}
+
 AnalogNetwork::~AnalogNetwork() { remove_hooks(); }
 
 void AnalogNetwork::install_hooks() {
@@ -132,6 +235,7 @@ void AnalogNetwork::remove_hooks() {
 void AnalogNetwork::calibrate(const data::Dataset& sample,
                               std::int64_t max_images) {
   TINYADC_CHECK(sample.size() > 0, "calibration set is empty");
+  g_calibration_runs.fetch_add(1, std::memory_order_relaxed);
   mode_ = Mode::kCalibrate;
   std::fill(observed_max_.begin(), observed_max_.end(), 0.0F);
   std::fill(signed_input_.begin(), signed_input_.end(), false);

@@ -21,6 +21,11 @@
 #include "msim/analog_mvm.hpp"
 #include "nn/model.hpp"
 
+namespace tinyadc::artifact {
+class SectionWriter;
+class SectionReader;
+}  // namespace tinyadc::artifact
+
 namespace tinyadc::msim {
 
 /// Runs a model's inference on the simulated mixed-signal accelerator.
@@ -32,6 +37,15 @@ class AnalogNetwork {
  public:
   AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
                 MsimConfig config);
+
+  /// Restores a deployed network from artifact sections written by
+  /// serialize_plans() / serialize_calibration(). The restored network is
+  /// immediately calibrated and in analog mode: no calibrate() call, no
+  /// plan compilation — per-layer sims come from AnalogLayerSim's
+  /// deserialize path (MsimConfig included in `plans`), and quantizer
+  /// ranges are read back verbatim from `calib`.
+  AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
+                artifact::SectionReader& plans, artifact::SectionReader& calib);
   ~AnalogNetwork();
   AnalogNetwork(const AnalogNetwork&) = delete;
   AnalogNetwork& operator=(const AnalogNetwork&) = delete;
@@ -58,6 +72,18 @@ class AnalogNetwork {
   const std::vector<bool>& signed_input() const { return signed_input_; }
   /// True once calibrate() has run.
   bool calibrated() const { return calibrated_; }
+
+  /// Writes the per-layer compiled execution state (shared MsimConfig plus
+  /// each sim's ADC sizing, variation draws and packed plan) into a
+  /// deployment artifact section.
+  void serialize_plans(artifact::SectionWriter& w) const;
+  /// Writes the activation-calibration state (per-layer quantizer ranges
+  /// and signed-input flags). Requires calibrate() to have run.
+  void serialize_calibration(artifact::SectionWriter& w) const;
+
+  /// Process-wide count of calibrate() runs. Lets tests and benches prove
+  /// that artifact loading touches no calibration path.
+  static std::int64_t calibration_runs();
   /// The hooked model (for cloning into serving sessions).
   const nn::Model& model() const { return model_; }
   /// The mapped network this sim executes.

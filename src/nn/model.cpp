@@ -1,8 +1,14 @@
 #include "nn/model.hpp"
 
+#include "artifact/format.hpp"
 #include "nn/batchnorm.hpp"
 
 namespace tinyadc::nn {
+
+namespace {
+// Payload version of the model-state artifact section.
+constexpr std::uint32_t kModelSectionVersion = 1;
+}  // namespace
 
 namespace {
 
@@ -131,6 +137,45 @@ std::vector<TensorRecord> Model::state_records() {
 }
 
 void Model::save(const std::string& path) { save_records(path, state_records()); }
+
+void Model::serialize(artifact::SectionWriter& w) {
+  const auto records = state_records();
+  w.pod(kModelSectionVersion);
+  w.str(name_);
+  w.pod(static_cast<std::uint64_t>(records.size()));
+  for (const auto& r : records) {
+    w.str(r.name);
+    w.tensor(r.value);
+  }
+}
+
+void Model::deserialize_state(artifact::SectionReader& r) {
+  const auto version = r.pod<std::uint32_t>();
+  TINYADC_CHECK(version == kModelSectionVersion,
+                "unsupported model section version " << version);
+  const std::string name = r.str();
+  TINYADC_CHECK(name == name_, "artifact model is '" << name
+                                                     << "', expected '"
+                                                     << name_ << "'");
+  auto live = state_records();
+  const auto count = r.pod<std::uint64_t>();
+  TINYADC_CHECK(count == live.size(),
+                "artifact has " << count << " state records, model needs "
+                                << live.size());
+  for (auto& rec : live) {
+    const std::string rec_name = r.str();
+    TINYADC_CHECK(rec_name == rec.name, "artifact record is '"
+                                            << rec_name << "', expected '"
+                                            << rec.name << "'");
+    const Tensor value = r.tensor();
+    TINYADC_CHECK(value.shape() == rec.value.shape(),
+                  "artifact record '" << rec_name << "' has shape "
+                                      << shape_to_string(value.shape())
+                                      << ", expected "
+                                      << shape_to_string(rec.value.shape()));
+    rec.value.copy_from(value);
+  }
+}
 
 void Model::load(const std::string& path) {
   const auto loaded = load_records(path);

@@ -11,6 +11,11 @@
 #include "nn/sequential.hpp"
 #include "tensor/serialize.hpp"
 
+namespace tinyadc::artifact {
+class SectionWriter;
+class SectionReader;
+}  // namespace tinyadc::artifact
+
 namespace tinyadc::nn {
 
 /// A 2-D "crossbar-layout" view of one prunable weight tensor.
@@ -83,6 +88,13 @@ class Model {
   void save(const std::string& path);
   /// Restores parameters saved by `save`; shapes must match exactly.
   void load(const std::string& path);
+
+  /// Writes the model name and every state record (parameters + BN running
+  /// statistics, pre-order) into a deployment-artifact section.
+  void serialize(artifact::SectionWriter& w);
+  /// Restores state written by serialize() into this (already constructed)
+  /// architecture; record names and shapes must match exactly.
+  void deserialize_state(artifact::SectionReader& r);
 
  private:
   std::vector<TensorRecord> state_records();

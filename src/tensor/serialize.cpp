@@ -60,9 +60,15 @@ Tensor read_tensor(std::istream& is) {
   const auto ndim = read_pod<std::uint32_t>(is);
   TINYADC_CHECK(ndim <= 8, "implausible tensor rank " << ndim);
   Shape shape(ndim);
+  std::uint64_t numel = 1;
   for (auto& d : shape) {
     d = read_pod<std::int64_t>(is);
     TINYADC_CHECK(d >= 0 && d < (1LL << 32), "implausible extent " << d);
+    // Overflow-safe product guard: reject before multiplying, and before
+    // Tensor's allocation can turn a corrupt header into bad_alloc.
+    TINYADC_CHECK(d == 0 || numel <= (1ULL << 33) / static_cast<std::uint64_t>(d),
+                  "implausible tensor element count");
+    numel *= static_cast<std::uint64_t>(d);
   }
   Tensor t(shape);
   is.read(reinterpret_cast<char*>(t.data()),

@@ -2,9 +2,192 @@
 
 #include <algorithm>
 
+#include "artifact/format.hpp"
 #include "tensor/ops.hpp"
 
 namespace tinyadc::xbar {
+
+namespace {
+
+constexpr std::uint32_t kMappingSectionVersion = 1;
+
+void serialize_config(const MappingConfig& cfg, artifact::SectionWriter& w) {
+  w.pod(cfg.dims.rows);
+  w.pod(cfg.dims.cols);
+  w.pod(static_cast<std::int32_t>(cfg.weight_bits));
+  w.pod(static_cast<std::int32_t>(cfg.cell_bits));
+  w.pod(static_cast<std::int32_t>(cfg.input_bits));
+  w.pod(static_cast<std::int32_t>(cfg.dac_bits));
+  w.pod(static_cast<std::uint8_t>(cfg.isaac_encoding ? 1 : 0));
+}
+
+MappingConfig deserialize_config(artifact::SectionReader& r) {
+  MappingConfig cfg;
+  cfg.dims.rows = r.pod<std::int64_t>();
+  cfg.dims.cols = r.pod<std::int64_t>();
+  cfg.weight_bits = r.pod<std::int32_t>();
+  cfg.cell_bits = r.pod<std::int32_t>();
+  cfg.input_bits = r.pod<std::int32_t>();
+  cfg.dac_bits = r.pod<std::int32_t>();
+  cfg.isaac_encoding = r.pod<std::uint8_t>() != 0;
+  TINYADC_CHECK(cfg.dims.rows > 0 && cfg.dims.cols > 0 &&
+                    cfg.dims.rows <= (1 << 20) && cfg.dims.cols <= (1 << 20),
+                "implausible crossbar dims " << cfg.dims.rows << "x"
+                                             << cfg.dims.cols);
+  TINYADC_CHECK(cfg.weight_bits >= 2 && cfg.weight_bits <= 16 &&
+                    cfg.cell_bits >= 1 && cfg.cell_bits <= 8 &&
+                    cfg.input_bits >= 1 && cfg.input_bits <= 16 &&
+                    cfg.dac_bits >= 1 && cfg.dac_bits <= cfg.input_bits,
+                "implausible mapping precision configuration");
+  return cfg;
+}
+
+/// Strictly-ascending kept-index map confined to [0, extent).
+void check_kept(const std::vector<std::int64_t>& kept, std::int64_t extent,
+                const std::string& layer, const char* what) {
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    TINYADC_CHECK(kept[i] >= 0 && kept[i] < extent &&
+                      (i == 0 || kept[i - 1] < kept[i]),
+                  "layer " << layer << ": corrupt kept_" << what
+                           << " index map");
+}
+
+void serialize_layer(const MappedLayer& layer, artifact::SectionWriter& w) {
+  w.str(layer.name);
+  w.pod(layer.rows);
+  w.pod(layer.cols);
+  w.pod(static_cast<std::int32_t>(layer.quant.bits));
+  w.pod(layer.quant.scale);
+  w.vec(layer.kept_rows);
+  w.vec(layer.kept_cols);
+  w.pod(layer.block_grid_rows);
+  w.pod(layer.block_grid_cols);
+  w.pod(static_cast<std::uint64_t>(layer.blocks.size()));
+  for (const auto& b : layer.blocks) {
+    w.pod(b.row0);
+    w.pod(b.col0);
+    w.pod(b.rows);
+    w.pod(b.cols);
+    w.vec(b.q);
+    w.vec(b.col_nonzeros);
+    w.pod(b.max_col_nonzeros);
+  }
+}
+
+MappedLayer deserialize_layer(artifact::SectionReader& r,
+                              const MappingConfig& config) {
+  MappedLayer layer;
+  layer.config = config;
+  layer.name = r.str();
+  layer.rows = r.pod<std::int64_t>();
+  layer.cols = r.pod<std::int64_t>();
+  TINYADC_CHECK(layer.rows >= 0 && layer.cols >= 0,
+                "layer " << layer.name << ": negative matrix extent");
+  layer.quant.bits = r.pod<std::int32_t>();
+  layer.quant.scale = r.pod<float>();
+  TINYADC_CHECK(layer.quant.bits == config.weight_bits,
+                "layer " << layer.name << ": quantizer bits "
+                         << layer.quant.bits << " != mapping weight bits "
+                         << config.weight_bits);
+  layer.kept_rows = r.vec<std::int64_t>();
+  layer.kept_cols = r.vec<std::int64_t>();
+  check_kept(layer.kept_rows, layer.rows, layer.name, "rows");
+  check_kept(layer.kept_cols, layer.cols, layer.name, "cols");
+  const auto compact_rows = static_cast<std::int64_t>(layer.kept_rows.size());
+  const auto compact_cols = static_cast<std::int64_t>(layer.kept_cols.size());
+  layer.block_grid_rows = r.pod<std::int64_t>();
+  layer.block_grid_cols = r.pod<std::int64_t>();
+  TINYADC_CHECK(layer.block_grid_rows ==
+                        (compact_rows + config.dims.rows - 1) /
+                            config.dims.rows &&
+                    layer.block_grid_cols ==
+                        (compact_cols + config.dims.cols - 1) /
+                            config.dims.cols,
+                "layer " << layer.name
+                         << ": block grid disagrees with the reform geometry");
+  const auto nblocks = r.pod<std::uint64_t>();
+  TINYADC_CHECK(nblocks == static_cast<std::uint64_t>(layer.block_grid_rows *
+                                                      layer.block_grid_cols),
+                "layer " << layer.name << ": block count " << nblocks
+                         << " != grid "
+                         << layer.block_grid_rows * layer.block_grid_cols);
+  const std::int32_t max_code = (1 << (config.weight_bits - 1)) - 1;
+  layer.blocks.reserve(static_cast<std::size_t>(nblocks));
+  for (std::uint64_t i = 0; i < nblocks; ++i) {
+    const std::int64_t br = static_cast<std::int64_t>(i) /
+                            layer.block_grid_cols;
+    const std::int64_t bc = static_cast<std::int64_t>(i) %
+                            layer.block_grid_cols;
+    CrossbarBlock b;
+    b.row0 = r.pod<std::int64_t>();
+    b.col0 = r.pod<std::int64_t>();
+    b.rows = r.pod<std::int64_t>();
+    b.cols = r.pod<std::int64_t>();
+    TINYADC_CHECK(b.row0 == br * config.dims.rows &&
+                      b.col0 == bc * config.dims.cols &&
+                      b.rows == std::min(config.dims.rows,
+                                         compact_rows - b.row0) &&
+                      b.cols == std::min(config.dims.cols,
+                                         compact_cols - b.col0),
+                  "layer " << layer.name << ": block " << i
+                           << " geometry disagrees with the grid");
+    b.q = r.vec<std::int32_t>();
+    TINYADC_CHECK(b.q.size() == static_cast<std::size_t>(b.rows * b.cols),
+                  "layer " << layer.name << ": block " << i << " holds "
+                           << b.q.size() << " codes, expected "
+                           << b.rows * b.cols);
+    for (const auto q : b.q)
+      TINYADC_CHECK(q >= -max_code && q <= max_code,
+                    "layer " << layer.name << ": code " << q << " exceeds "
+                             << config.weight_bits << "-bit signed range");
+    b.col_nonzeros = r.vec<std::int64_t>();
+    b.max_col_nonzeros = r.pod<std::int64_t>();
+    // Re-derive the census rather than trusting stored values: the plan
+    // compiler and Eq. 1 ADC sizing both consume it.
+    TINYADC_CHECK(b.col_nonzeros.size() == static_cast<std::size_t>(b.cols),
+                  "layer " << layer.name << ": block " << i
+                           << " census length mismatch");
+    std::int64_t worst = 0;
+    for (std::int64_t c = 0; c < b.cols; ++c) {
+      std::int64_t nz = 0;
+      for (std::int64_t row = 0; row < b.rows; ++row)
+        nz += (b.at(row, c) != 0);
+      TINYADC_CHECK(b.col_nonzeros[static_cast<std::size_t>(c)] == nz,
+                    "layer " << layer.name << ": block " << i
+                             << " stored census disagrees with the codes");
+      worst = std::max(worst, nz);
+    }
+    TINYADC_CHECK(b.max_col_nonzeros == worst,
+                  "layer " << layer.name << ": block " << i
+                           << " stored worst occupancy disagrees");
+    layer.blocks.push_back(std::move(b));
+  }
+  return layer;
+}
+
+}  // namespace
+
+void serialize(const MappedNetwork& net, artifact::SectionWriter& w) {
+  w.pod(kMappingSectionVersion);
+  serialize_config(net.config, w);
+  w.pod(static_cast<std::uint64_t>(net.layers.size()));
+  for (const auto& layer : net.layers) serialize_layer(layer, w);
+}
+
+MappedNetwork deserialize_mapped_network(artifact::SectionReader& r) {
+  const auto version = r.pod<std::uint32_t>();
+  TINYADC_CHECK(version == kMappingSectionVersion,
+                "unsupported mapping section version " << version);
+  MappedNetwork net;
+  net.config = deserialize_config(r);
+  const auto count = r.pod<std::uint64_t>();
+  TINYADC_CHECK(count <= (1ULL << 16),
+                "implausible mapped-layer count " << count);
+  net.layers.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i)
+    net.layers.push_back(deserialize_layer(r, net.config));
+  return net;
+}
 
 bool CrossbarBlock::all_zero() const {
   return std::all_of(q.begin(), q.end(),

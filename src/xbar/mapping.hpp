@@ -18,6 +18,11 @@
 #include "xbar/adc_bits.hpp"
 #include "xbar/quant.hpp"
 
+namespace tinyadc::artifact {
+class SectionWriter;
+class SectionReader;
+}  // namespace tinyadc::artifact
+
 namespace tinyadc::xbar {
 
 /// Static configuration of the crossbar substrate.
@@ -173,6 +178,14 @@ MappedNetwork map_model(nn::Model& model, const MappingConfig& config,
 MappedNetwork map_model(
     nn::Model& model, const MappingConfig& config,
     const std::vector<core::StructuralSelection>& selections);
+
+/// Artifact (de)serialization of a whole network mapping (config, per-layer
+/// quantizers, reform index maps, block grids and quantized codes with
+/// their occupancy census). Deserialization re-validates every structural
+/// invariant (grid extents, block sizes, kept-index ranges, census bounds),
+/// so a loaded mapping is as trustworthy as a freshly computed one.
+void serialize(const MappedNetwork& net, artifact::SectionWriter& w);
+MappedNetwork deserialize_mapped_network(artifact::SectionReader& r);
 
 /// Exact integer reference MVM for one mapped layer: y[c] = Σ_r q[r,c]·x[r]
 /// with unsigned input codes `x` (length = layer rows). The gold standard

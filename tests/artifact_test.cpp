@@ -1,0 +1,349 @@
+// Deployment artifacts: container round trips, bit-identical forward
+// outputs and ADC counters between the in-process pipeline and a loaded
+// artifact (packed-plan and dense datapaths, 1 and 4 workers), proof that
+// loading never recompiles plans or recalibrates, byte-identical re-save,
+// and a corruption matrix (truncations, bad magic/version, table abuse)
+// that must fail with CheckError instead of bad_alloc or garbage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "artifact/artifact.hpp"
+#include "artifact/format.hpp"
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "serve/engine.hpp"
+
+namespace tinyadc::artifact {
+namespace {
+
+/// Tiny CP-pruned resnet18 + synthetic data: real sparsity so the packed
+/// plans are non-trivial, but no training (bit-identity does not depend on
+/// trained weights).
+struct Fixture {
+  std::unique_ptr<nn::Model> model;
+  data::DatasetPair data;
+  xbar::MappedNetwork net;
+  std::unique_ptr<msim::AnalogNetwork> analog;
+  std::vector<core::LayerPruneSpec> specs;
+  ArtifactMeta meta;
+
+  explicit Fixture(msim::MsimConfig mcfg = {}) {
+    nn::ModelConfig mc;
+    mc.num_classes = 4;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625F;
+    model = nn::build_model("resnet18", mc);
+    meta.arch = "resnet18";
+    meta.model_name = model->name();
+    meta.model_config = mc;
+
+    data::SyntheticSpec spec;
+    spec.num_classes = 4;
+    spec.image_size = 8;
+    spec.train_per_class = 8;
+    spec.test_per_class = 6;
+    spec.seed = 17;
+    data = data::make_synthetic(spec);
+
+    // CP-prune in place (projection only — the constraint, not the
+    // training) so most crossbar columns carry ≤ 4 active rows.
+    core::CrossbarDims dims{16, 16};
+    specs = core::uniform_cp_specs(*model, 4, dims, {});
+    auto views = model->prunable_views();
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      Tensor m = views[i].to_matrix();
+      core::project_combined({m.data(), views[i].rows, views[i].cols},
+                             specs[i], dims);
+      views[i].from_matrix(m);
+    }
+
+    xbar::MappingConfig cfg;
+    cfg.dims = {16, 16};
+    net = xbar::map_model(*model, cfg);
+    analog = std::make_unique<msim::AnalogNetwork>(*model, net, mcfg);
+    analog->calibrate(data.train, 8);
+  }
+
+  ArtifactInputs inputs() const {
+    return ArtifactInputs{meta, *model, net, *analog, specs, {}};
+  }
+
+  /// First `n` test images as one (n, C, H, W) batch.
+  Tensor batch(std::int64_t n) const {
+    const Tensor& all = data.test.images;
+    Tensor b({n, all.dim(1), all.dim(2), all.dim(3)});
+    std::memcpy(b.data(), all.data(),
+                static_cast<std::size_t>(b.numel()) * sizeof(float));
+    return b;
+  }
+
+  /// Test example `i` as a standalone (C, H, W) tensor.
+  Tensor image(std::int64_t i) const {
+    const Tensor& all = data.test.images;
+    const std::int64_t chw = all.numel() / all.dim(0);
+    Tensor img({all.dim(1), all.dim(2), all.dim(3)});
+    std::memcpy(img.data(), all.data() + i * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+    return img;
+  }
+};
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Sums the analog network's per-layer ADC/DAC counters.
+msim::MsimStats total_stats(const msim::AnalogNetwork& analog) {
+  msim::MsimStats total;
+  for (const auto& sim : analog.sims()) {
+    const auto s = sim->stats_snapshot();
+    total.adc_conversions += s.adc_conversions;
+    total.adc_clip_events += s.adc_clip_events;
+    total.dac_cycles += s.dac_cycles;
+  }
+  return total;
+}
+
+/// Serves the first 20 test images (cycled) through a fresh deterministic
+/// engine and digests logits+labels; also returns the sims' counter delta.
+std::uint64_t serve_digest(const Fixture& f, msim::AnalogNetwork& analog,
+                           int workers, msim::MsimStats* delta) {
+  const msim::MsimStats before = total_stats(analog);
+  serve::ServeConfig cfg;
+  cfg.workers = workers;
+  cfg.max_batch = 8;
+  cfg.deterministic = true;
+  serve::InferenceEngine engine(analog, cfg);
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (std::int64_t i = 0; i < 20; ++i)
+    futures.push_back(engine.submit(f.image(i % f.data.test.size())));
+  engine.wait_idle();
+  std::uint64_t h = serve::fnv1a(nullptr, 0);
+  for (auto& fut : futures) {
+    const auto r = fut.get();
+    h = serve::fnv1a(r.logits.data(), r.logits.size() * sizeof(float), h);
+    h = serve::fnv1a(&r.label, sizeof(r.label), h);
+  }
+  const msim::MsimStats after = total_stats(analog);
+  delta->adc_conversions = after.adc_conversions - before.adc_conversions;
+  delta->adc_clip_events = after.adc_clip_events - before.adc_clip_events;
+  delta->dac_cycles = after.dac_cycles - before.dac_cycles;
+  return h;
+}
+
+TEST(Format, SectionRoundTripAndMissingTag) {
+  const std::string path = "artifact_format_tmp.tadc";
+  {
+    ArtifactWriter w(path);
+    auto& a = w.section("ALPHA");
+    a.pod(std::int64_t{-7});
+    a.str("hello");
+    a.vec(std::vector<float>{1.0F, 2.5F});
+    w.section("BETA").pod(std::uint32_t{99});
+    w.finish();
+  }
+  ArtifactFile file(path);
+  EXPECT_EQ(file.version(), kFormatVersion);
+  EXPECT_TRUE(file.has("ALPHA"));
+  EXPECT_TRUE(file.has("BETA"));
+  EXPECT_FALSE(file.has("GAMMA"));
+  EXPECT_THROW((void)file.section("GAMMA"), CheckError);
+  auto r = file.section("ALPHA");
+  EXPECT_EQ(r.pod<std::int64_t>(), -7);
+  EXPECT_EQ(r.str(), "hello");
+  const auto v = r.vec<float>();
+  ASSERT_EQ(v.size(), 2U);
+  EXPECT_EQ(v[1], 2.5F);
+  EXPECT_EQ(r.remaining(), 0U);
+  // Reading past the end must throw, not read a neighbour section.
+  EXPECT_THROW((void)r.pod<std::uint8_t>(), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, LoadedForwardAndCountersBitIdenticalNoRecompile) {
+  Fixture f;
+  const std::string path = "artifact_roundtrip_tmp.tadc";
+  save_artifact(path, f.inputs());
+
+  const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+  const auto calib_before = msim::AnalogNetwork::calibration_runs();
+  Deployment dep = load_artifact(path);
+  EXPECT_EQ(msim::AnalogLayerSim::plan_compilations(), plans_before)
+      << "loading must not invoke the plan compiler";
+  EXPECT_EQ(msim::AnalogNetwork::calibration_runs(), calib_before)
+      << "loading must not invoke calibration";
+  EXPECT_TRUE(dep.analog->calibrated());
+  EXPECT_EQ(dep.meta.arch, "resnet18");
+  ASSERT_EQ(dep.specs.size(), f.specs.size());
+  for (std::size_t i = 0; i < f.specs.size(); ++i) {
+    EXPECT_EQ(dep.specs[i].layer_name, f.specs[i].layer_name);
+    EXPECT_EQ(dep.specs[i].cp_keep, f.specs[i].cp_keep);
+  }
+
+  // Bit-identical forward outputs and per-layer ADC/DAC counter deltas.
+  const Tensor batch = f.batch(8);
+  ASSERT_EQ(f.analog->sims().size(), dep.analog->sims().size());
+  const msim::MsimStats ob = total_stats(*f.analog);
+  const msim::MsimStats lb = total_stats(*dep.analog);
+  const Tensor y0 = f.analog->forward(batch);
+  const Tensor y1 = dep.analog->forward(batch);
+  ASSERT_EQ(y0.numel(), y1.numel());
+  EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                        static_cast<std::size_t>(y0.numel()) * sizeof(float)),
+            0);
+  for (std::size_t i = 0; i < f.analog->sims().size(); ++i) {
+    const auto s0 = f.analog->sims()[i]->stats_snapshot();
+    const auto s1 = dep.analog->sims()[i]->stats_snapshot();
+    EXPECT_EQ(s0.adc_conversions, s1.adc_conversions) << "layer " << i;
+    EXPECT_EQ(s0.adc_clip_events, s1.adc_clip_events) << "layer " << i;
+    EXPECT_EQ(s0.dac_cycles, s1.dac_cycles) << "layer " << i;
+  }
+  const msim::MsimStats oa = total_stats(*f.analog);
+  const msim::MsimStats la = total_stats(*dep.analog);
+  EXPECT_EQ(oa.adc_conversions - ob.adc_conversions,
+            la.adc_conversions - lb.adc_conversions);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, ServeDigestIdenticalAcrossWorkerCountsAndLoadPath) {
+  Fixture f;
+  const std::string path = "artifact_serve_tmp.tadc";
+  save_artifact(path, f.inputs());
+  const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+  const auto calib_before = msim::AnalogNetwork::calibration_runs();
+  Deployment dep = load_artifact(path);
+
+  std::uint64_t digests[4];
+  msim::MsimStats deltas[4];
+  int slot = 0;
+  for (const int workers : {1, 4}) {
+    digests[slot] = serve_digest(f, *f.analog, workers, &deltas[slot]);
+    ++slot;
+    digests[slot] = serve_digest(f, *dep.analog, workers, &deltas[slot]);
+    ++slot;
+  }
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(digests[i], digests[0]) << "run " << i;
+    EXPECT_EQ(deltas[i].adc_conversions, deltas[0].adc_conversions);
+    EXPECT_EQ(deltas[i].adc_clip_events, deltas[0].adc_clip_events);
+    EXPECT_EQ(deltas[i].dac_cycles, deltas[0].dac_cycles);
+  }
+  // The whole serve-from-artifact path compiled nothing and calibrated
+  // nothing.
+  EXPECT_EQ(msim::AnalogLayerSim::plan_compilations(), plans_before);
+  EXPECT_EQ(msim::AnalogNetwork::calibration_runs(), calib_before);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, DenseDatapathWithVariationRoundTrips) {
+  msim::MsimConfig mcfg;
+  mcfg.use_plan = false;
+  mcfg.variation_sigma = 0.1;
+  Fixture f(mcfg);
+  const std::string path = "artifact_dense_tmp.tadc";
+  save_artifact(path, f.inputs());
+  Deployment dep = load_artifact(path);
+  const Tensor batch = f.batch(6);
+  const Tensor y0 = f.analog->forward(batch);
+  const Tensor y1 = dep.analog->forward(batch);
+  ASSERT_EQ(y0.numel(), y1.numel());
+  EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                        static_cast<std::size_t>(y0.numel()) * sizeof(float)),
+            0)
+      << "restored variation draws must reproduce the programmed chip";
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, ResaveIsByteIdentical) {
+  Fixture f;
+  const std::string path0 = "artifact_resave0_tmp.tadc";
+  const std::string path1 = "artifact_resave1_tmp.tadc";
+  save_artifact(path0, f.inputs());
+  Deployment dep = load_artifact(path0);
+  save_artifact(path1, dep);
+  const auto b0 = slurp(path0);
+  const auto b1 = slurp(path1);
+  ASSERT_FALSE(b0.empty());
+  EXPECT_EQ(b0.size(), b1.size());
+  EXPECT_TRUE(b0 == b1) << "save → load → save must reproduce the file";
+  std::remove(path0.c_str());
+  std::remove(path1.c_str());
+}
+
+TEST(Artifact, CorruptionMatrixFailsWithCheckError) {
+  Fixture f;
+  const std::string path = "artifact_corrupt_src_tmp.tadc";
+  const std::string bad = "artifact_corrupt_tmp.tadc";
+  save_artifact(path, f.inputs());
+  const auto bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 64U);
+
+  // Missing file.
+  EXPECT_THROW((void)load_artifact("artifact_does_not_exist.tadc"),
+               CheckError);
+
+  // Bad magic and unsupported container version.
+  {
+    auto b = bytes;
+    b[0] ^= 0x5A;
+    spit(bad, b);
+    EXPECT_THROW((void)load_artifact(bad), CheckError);
+  }
+  {
+    auto b = bytes;
+    b[8] = 99;  // u32 version at offset 8
+    spit(bad, b);
+    EXPECT_THROW((void)load_artifact(bad), CheckError);
+  }
+
+  // Truncation at every section boundary (and inside every payload): walk
+  // the section table for the offsets.
+  std::uint32_t nsections = 0;
+  std::memcpy(&nsections, bytes.data() + 12, sizeof(nsections));
+  ASSERT_GE(nsections, 5U);
+  std::vector<std::size_t> cuts = {0, 7, 8, 12, 15};
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    const std::size_t entry = 16 + static_cast<std::size_t>(i) * 24;
+    std::uint64_t offset = 0, length = 0;
+    std::memcpy(&offset, bytes.data() + entry + 8, sizeof(offset));
+    std::memcpy(&length, bytes.data() + entry + 16, sizeof(length));
+    cuts.push_back(static_cast<std::size_t>(offset));
+    cuts.push_back(static_cast<std::size_t>(offset + length / 2));
+    cuts.push_back(static_cast<std::size_t>(offset + length) - 1);
+  }
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    spit(bad, std::vector<char>(bytes.begin(),
+                                bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                    cut)));
+    EXPECT_THROW((void)load_artifact(bad), CheckError)
+        << "truncation at byte " << cut << " must raise CheckError";
+  }
+
+  // A section length pointing past the end of the file.
+  {
+    auto b = bytes;
+    const std::uint64_t absurd = bytes.size() * 16;
+    std::memcpy(b.data() + 16 + 16, &absurd, sizeof(absurd));
+    spit(bad, b);
+    EXPECT_THROW((void)load_artifact(bad), CheckError);
+  }
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
+}  // namespace
+}  // namespace tinyadc::artifact

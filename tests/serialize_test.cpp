@@ -67,5 +67,44 @@ TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_records("/nonexistent/path/x.bin"), CheckError);
 }
 
+/// Builds a tensor header (magic, version, rank, dims) with no payload.
+std::stringstream tensor_header(const std::vector<std::int64_t>& dims) {
+  std::stringstream ss;
+  ss.write("TADC", 4);
+  const std::uint32_t version = 1;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  const auto ndim = static_cast<std::uint32_t>(dims.size());
+  ss.write(reinterpret_cast<const char*>(&ndim), 4);
+  for (const auto d : dims) ss.write(reinterpret_cast<const char*>(&d), 8);
+  return ss;
+}
+
+TEST(Serialize, AbsurdRankRejected) {
+  std::stringstream ss = tensor_header({1, 1, 1, 1, 1, 1, 1, 1, 1});
+  EXPECT_THROW(read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, NegativeExtentRejected) {
+  std::stringstream ss = tensor_header({4, -2});
+  EXPECT_THROW(read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, AbsurdDimProductRejectedBeforeAllocating) {
+  // Each extent individually passes the < 2^32 bound, but the product is
+  // ~2^93: the guard must fire before Tensor's allocation turns the corrupt
+  // header into bad_alloc (or worse, an overflowed small allocation).
+  std::stringstream ss =
+      tensor_header({1LL << 31, 1LL << 31, 1LL << 31});
+  EXPECT_THROW(read_tensor(ss), CheckError);
+}
+
+TEST(Serialize, TruncatedHeaderRejected) {
+  std::stringstream ss = tensor_header({8, 8});
+  std::string bytes = ss.str();
+  bytes.resize(14);  // mid-rank field
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_tensor(truncated), CheckError);
+}
+
 }  // namespace
 }  // namespace tinyadc

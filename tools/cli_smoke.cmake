@@ -1,5 +1,6 @@
-# End-to-end CLI smoke: train → prune → map → report → fault on a tiny
-# budget; any non-zero exit fails the test.
+# End-to-end CLI smoke: train → prune → map → report → fault → serve on a
+# tiny budget, including a deployment-artifact save and a serve cold-start
+# from it; any non-zero exit fails the test.
 function(run)
   execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
@@ -8,11 +9,22 @@ function(run)
   endif()
 endfunction()
 
+# Expects a non-zero exit (the CLI must reject the invocation).
+function(expect_fail)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  ERROR_VARIABLE _stderr OUTPUT_VARIABLE _stdout)
+  if(rc EQUAL 0)
+    string(REPLACE ";" " " pretty "${ARGN}")
+    message(FATAL_ERROR "command unexpectedly succeeded: ${pretty}")
+  endif()
+endfunction()
+
 set(common --net resnet18 --dataset cifar10 --width-mult 0.0625
     --image-size 8 --train-per-class 8 --test-per-class 4)
 run(${CLI} train ${common} --epochs 2 --out ${WORK}/smoke.bin)
 run(${CLI} prune ${common} --in ${WORK}/smoke.bin --cp-rate 4
-    --admm-epochs 1 --retrain-epochs 1 --out ${WORK}/smoke_pruned.bin)
+    --admm-epochs 1 --retrain-epochs 1 --out ${WORK}/smoke_pruned.bin
+    --save-artifact ${WORK}/smoke_deploy.tadc)
 run(${CLI} map --net resnet18 --width-mult 0.0625 --image-size 8
     --classes 10 --in ${WORK}/smoke_pruned.bin)
 run(${CLI} report --net resnet18 --width-mult 0.0625 --image-size 8
@@ -24,3 +36,15 @@ run(${CLI} serve ${common} --in ${WORK}/smoke_pruned.bin --requests 24
 run(${CLI} loadgen ${common} --in ${WORK}/smoke_pruned.bin --requests 24
     --workers 2 --max-batch 4 --qps 200 --deterministic
     --json ${WORK}/smoke_loadgen.json)
+# Millisecond cold-start: serve and loadgen straight from the artifact,
+# without --in (no checkpoint, no mapping, no calibration).
+run(${CLI} serve --artifact ${WORK}/smoke_deploy.tadc --dataset cifar10
+    --image-size 8 --train-per-class 8 --test-per-class 4 --requests 24
+    --workers 2 --max-batch 4)
+run(${CLI} loadgen --artifact ${WORK}/smoke_deploy.tadc --dataset cifar10
+    --image-size 8 --train-per-class 8 --test-per-class 4 --requests 24
+    --workers 2 --max-batch 4 --qps 200 --deterministic
+    --json ${WORK}/smoke_loadgen_artifact.json)
+# Unknown flags must be an error, not a silent default.
+expect_fail(${CLI} map --net resnet18 --width-mult 0.0625 --image-size 8
+    --classes 10 --in ${WORK}/smoke_pruned.bin --cp-rat 4)

@@ -21,14 +21,21 @@
 //                 --workers 4 --max-batch 8
 //   tinyadc loadgen --net resnet18 --dataset cifar10 --in pruned.bin \
 //                 --qps 200 --requests 512 --json
+//   tinyadc prune --net resnet18 --dataset cifar10 --in m.bin --cp-rate 8 \
+//                 --save-artifact deploy.tadc
+//   tinyadc serve --artifact deploy.tadc --dataset cifar10 --workers 4
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include <fstream>
 
+#include "artifact/artifact.hpp"
 #include "core/pruner.hpp"
 #include "data/synthetic.hpp"
 #include "fault/evaluate.hpp"
@@ -71,9 +78,40 @@ class Args {
   }
   bool has(const std::string& key) const { return values_.count(key) > 0; }
 
+  /// Rejects any flag outside the subcommand's allowlist — a typo like
+  /// --cp-rat must fail loudly, not silently run with the default.
+  void expect_known(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : values_) {
+      bool ok = false;
+      for (const auto& k : known)
+        if (key == k) {
+          ok = true;
+          break;
+        }
+      TINYADC_CHECK(ok, "unknown flag --" << key
+                                          << " for this subcommand (run "
+                                             "tinyadc without arguments for "
+                                             "usage)");
+    }
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Allowlist concatenation for expect_known.
+std::vector<std::string> operator+(std::vector<std::string> a,
+                                   const std::vector<std::string>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+const std::vector<std::string> kDatasetFlags = {
+    "dataset", "image-size", "train-per-class", "test-per-class", "classes"};
+const std::vector<std::string> kModelFlags = {"net", "width-mult", "in"};
+const std::vector<std::string> kMappingFlags = {"xbar", "weight-bits",
+                                                "cell-bits", "input-bits"};
+const std::vector<std::string> kArtifactSaveFlags = {"save-artifact", "sigma"};
 
 data::DatasetPair load_dataset(const Args& args) {
   auto spec = data::tier_by_name(args.get("dataset", "cifar10"));
@@ -84,13 +122,20 @@ data::DatasetPair load_dataset(const Args& args) {
   return data::make_synthetic(spec);
 }
 
-std::unique_ptr<nn::Model> load_model(const Args& args,
-                                      std::int64_t num_classes) {
+/// The ModelConfig the flags describe — shared by model construction and
+/// artifact metadata, so a saved artifact rebuilds the exact architecture.
+nn::ModelConfig model_config(const Args& args, std::int64_t num_classes) {
   nn::ModelConfig cfg;
   cfg.num_classes = num_classes;
   cfg.image_size = args.get_int("image-size", 8);
   cfg.width_mult = static_cast<float>(args.get_double("width-mult", 0.125));
-  auto model = nn::build_model(args.get("net", "resnet18"), cfg);
+  return cfg;
+}
+
+std::unique_ptr<nn::Model> load_model(const Args& args,
+                                      std::int64_t num_classes) {
+  auto model = nn::build_model(args.get("net", "resnet18"),
+                               model_config(args, num_classes));
   if (args.has("in")) model->load(args.get("in", ""));
   return model;
 }
@@ -105,7 +150,37 @@ xbar::MappingConfig mapping_config(const Args& args) {
   return cfg;
 }
 
+/// --save-artifact flow shared by train/prune/map: map the model onto
+/// crossbars (honoring the pipeline's structural selections when present),
+/// compile + calibrate the analog network, and write the deployment file.
+void save_deployment(const Args& args, nn::Model& model,
+                     const data::DatasetPair& data,
+                     std::vector<core::LayerPruneSpec> specs,
+                     std::vector<core::StructuralSelection> selections) {
+  const std::string path = args.get("save-artifact", "deploy.tadc");
+  const auto cfg = mapping_config(args);
+  const auto net = selections.empty()
+                       ? xbar::map_model(model, cfg)
+                       : xbar::map_model(model, cfg, selections);
+  msim::MsimConfig mcfg;
+  mcfg.variation_sigma = args.get_double("sigma", 0.0);
+  msim::AnalogNetwork analog(model, net, mcfg);
+  analog.calibrate(data.train, 16);
+  artifact::ArtifactMeta meta;
+  meta.arch = args.get("net", "resnet18");
+  meta.model_name = model.name();
+  meta.model_config = model_config(args, data.train.num_classes);
+  artifact::ArtifactInputs inputs{meta, model, net, analog, std::move(specs),
+                                  std::move(selections)};
+  artifact::save_artifact(path, inputs);
+  std::printf("saved deployment artifact to %s\n", path.c_str());
+}
+
 int cmd_train(const Args& args) {
+  args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags +
+                    kArtifactSaveFlags +
+                    std::vector<std::string>{"epochs", "batch", "lr",
+                                             "verbose", "out"});
   const auto data = load_dataset(args);
   auto model = load_model(args, data.train.num_classes);
   nn::TrainConfig tc;
@@ -122,10 +197,17 @@ int cmd_train(const Args& args) {
     model->save(args.get("out", ""));
     std::printf("saved checkpoint to %s\n", args.get("out", "").c_str());
   }
+  if (args.has("save-artifact")) save_deployment(args, *model, data, {}, {});
   return 0;
 }
 
 int cmd_prune(const Args& args) {
+  args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags +
+                    kArtifactSaveFlags +
+                    std::vector<std::string>{
+                        "epochs", "admm-epochs", "retrain-epochs", "verbose",
+                        "cp-rate", "filter-frac", "shape-frac",
+                        "include-linear", "no-xbar-aware", "out"});
   const auto data = load_dataset(args);
   auto model = load_model(args, data.train.num_classes);
   core::PipelineConfig cfg;
@@ -161,10 +243,14 @@ int cmd_prune(const Args& args) {
     std::printf("saved pruned checkpoint to %s\n",
                 args.get("out", "").c_str());
   }
+  if (args.has("save-artifact"))
+    save_deployment(args, *model, data, specs, result.selections);
   return 0;
 }
 
 int cmd_map(const Args& args) {
+  args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags +
+                    kArtifactSaveFlags);
   auto model = load_model(args, args.get_int("classes", 10));
   const auto cfg = mapping_config(args);
   const auto net = xbar::map_model(*model, cfg);
@@ -181,10 +267,19 @@ int cmd_map(const Args& args) {
               "layer: %d bits\n",
               100.0 * net.crossbar_reduction(),
               net.worst_design_adc_bits_after_first());
+  if (args.has("save-artifact")) {
+    const auto data = load_dataset(args);  // calibration inputs
+    TINYADC_CHECK(data.train.num_classes == args.get_int("classes", 10),
+                  "--save-artifact needs --classes to match the dataset ("
+                      << data.train.num_classes << " classes)");
+    save_deployment(args, *model, data, {}, {});
+  }
   return 0;
 }
 
 int cmd_report(const Args& args) {
+  args.expect_known(kModelFlags + kMappingFlags +
+                    std::vector<std::string>{"classes", "image-size"});
   auto model = load_model(args, args.get_int("classes", 10));
   const auto cfg = mapping_config(args);
   const auto net = xbar::map_model(*model, cfg);
@@ -203,6 +298,9 @@ int cmd_report(const Args& args) {
 }
 
 int cmd_fault(const Args& args) {
+  args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags +
+                    std::vector<std::string>{"rate", "sa0-fraction", "trials",
+                                             "remap"});
   const auto data = load_dataset(args);
   auto model = load_model(args, data.train.num_classes);
   const auto cfg = mapping_config(args);
@@ -235,20 +333,43 @@ serve::ServeConfig serve_config(const Args& args) {
   return cfg;
 }
 
-/// Shared by `serve` and `loadgen`: map + calibrate the model, run the
-/// engine under the load generator, print (or dump) the stats.
+/// Shared by `serve` and `loadgen`: obtain a calibrated analog network —
+/// either the full in-process pipeline (map + compile + calibrate) or a
+/// millisecond cold-start from a deployment artifact — then run the engine
+/// under the load generator and print (or dump) the stats.
 int run_serving(const Args& args, double target_qps,
                 std::int64_t default_requests) {
   const auto data = load_dataset(args);
-  auto model = load_model(args, data.train.num_classes);
-  const auto cfg = mapping_config(args);
-  const auto net = xbar::map_model(*model, cfg);
-  msim::MsimConfig mcfg;
-  mcfg.variation_sigma = args.get_double("sigma", 0.0);
-  msim::AnalogNetwork analog(*model, net, mcfg);
-  analog.calibrate(data.train, 16);
+  std::unique_ptr<nn::Model> model;
+  std::optional<xbar::MappedNetwork> net;
+  std::optional<msim::AnalogNetwork> analog_local;
+  std::optional<artifact::Deployment> dep;
+  msim::AnalogNetwork* analog = nullptr;
+  if (args.has("artifact")) {
+    const std::string path = args.get("artifact", "deploy.tadc");
+    const auto t0 = std::chrono::steady_clock::now();
+    dep.emplace(artifact::load_artifact(path));
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    TINYADC_CHECK(dep->meta.model_config.num_classes == data.train.num_classes,
+                  "artifact serves " << dep->meta.model_config.num_classes
+                                     << " classes, dataset has "
+                                     << data.train.num_classes);
+    analog = dep->analog.get();
+    std::printf("loaded %s (%s) in %.2f ms — no recompile, no recalibrate\n",
+                path.c_str(), dep->meta.arch.c_str(), ms);
+  } else {
+    model = load_model(args, data.train.num_classes);
+    net.emplace(xbar::map_model(*model, mapping_config(args)));
+    msim::MsimConfig mcfg;
+    mcfg.variation_sigma = args.get_double("sigma", 0.0);
+    analog_local.emplace(*model, *net, mcfg);
+    analog_local->calibrate(data.train, 16);
+    analog = &*analog_local;
+  }
 
-  serve::InferenceEngine engine(analog, serve_config(args));
+  serve::InferenceEngine engine(*analog, serve_config(args));
   serve::LoadgenConfig lc;
   lc.requests = args.get_int("requests", default_requests);
   lc.target_qps = target_qps;
@@ -275,7 +396,13 @@ int run_serving(const Args& args, double target_qps,
   return 0;
 }
 
+const std::vector<std::string> kServeFlags = {
+    "sigma",   "workers",     "max-batch",   "max-wait-us", "deterministic",
+    "max-queue", "requests",  "outstanding", "json",        "artifact"};
+
 int cmd_serve(const Args& args) {
+  args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags +
+                    kServeFlags);
   // One pass over the test set (cycled up to --requests), as fast as the
   // engine accepts work.
   const auto data_size = args.get_int("test-per-class", 8) *
@@ -286,6 +413,8 @@ int cmd_serve(const Args& args) {
 }
 
 int cmd_loadgen(const Args& args) {
+  args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags + kServeFlags +
+                    std::vector<std::string>{"qps"});
   return run_serving(args, args.get_double("qps", 100.0),
                      /*default_requests=*/256);
 }
@@ -294,16 +423,24 @@ void usage() {
   std::printf(
       "usage: tinyadc <train|prune|map|report|fault|serve|loadgen> "
       "[--flag value]...\n"
-      "common flags: --net resnet18|resnet50|vgg16  --dataset "
+      "common flags  : --net resnet18|resnet50|vgg16  --dataset "
       "cifar10|cifar100|imagenet\n"
-      "              --width-mult 0.125  --image-size 8  --xbar 16  --in/"
+      "                --width-mult 0.125  --image-size 8  --xbar 16  --in/"
       "--out ckpt.bin\n"
-      "prune flags : --cp-rate N  --filter-frac F  --shape-frac F  "
+      "prune flags   : --cp-rate N  --filter-frac F  --shape-frac F  "
       "--include-linear\n"
-      "fault flags : --rate R  --sa0-fraction F  --trials N  --remap\n"
-      "serve flags : --workers N  --max-batch B  --max-wait-us T  "
+      "fault flags   : --rate R  --sa0-fraction F  --trials N  --remap\n"
+      "serve flags   : --workers N  --max-batch B  --max-wait-us T  "
       "--deterministic\n"
-      "              --requests N  --qps Q (loadgen)  --json [path]\n");
+      "                --requests N  --qps Q (loadgen)  --json [path]\n"
+      "artifact flags: --save-artifact out.tadc (train|prune|map: write a "
+      "deployment\n"
+      "                artifact with compiled plans + calibration; --sigma "
+      "S for variation)\n"
+      "                --artifact out.tadc (serve|loadgen: millisecond "
+      "cold-start from\n"
+      "                the artifact instead of map+compile+calibrate)\n"
+      "unknown flags are an error\n");
 }
 
 }  // namespace
