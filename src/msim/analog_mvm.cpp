@@ -10,6 +10,14 @@
 #include "runtime/parallel.hpp"
 #include "tensor/check.hpp"
 
+// Software prefetch of upcoming plan streams (DESIGN.md §12). Read-only,
+// low temporal locality hint; compiles away off GCC/Clang.
+#if defined(__GNUC__) || defined(__clang__)
+#define TINYADC_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define TINYADC_PREFETCH(addr) ((void)0)
+#endif
+
 namespace tinyadc::msim {
 
 namespace {
@@ -31,6 +39,21 @@ bool plan_ideal_for(const xbar::MappedLayer& layer, const MsimConfig& config,
          worst_plane_sum < 9007199254740992.0;  // 2^53
 }
 
+/// Integer-domain ADC conversion, inlined for the plan fast paths. The
+/// ideal datapath's analog sum is an exact non-negative integer, so
+/// Adc::convert's llround is the identity and only the saturation remains.
+/// Counters are bulk-added by the caller (conversions) / here (clips).
+inline std::int64_t adc_code_int(std::int64_t isum, int bits,
+                                 std::int64_t full_scale,
+                                 std::int64_t& clip_events) {
+  if (bits == 0) return 0;
+  if (isum > full_scale) {
+    ++clip_events;
+    return full_scale;
+  }
+  return isum;
+}
+
 }  // namespace
 
 void serialize(const MsimConfig& config, artifact::SectionWriter& w) {
@@ -39,15 +62,23 @@ void serialize(const MsimConfig& config, artifact::SectionWriter& w) {
   w.pod(config.ir_drop_alpha);
   w.pod(config.seed);
   w.pod(static_cast<std::uint8_t>(config.use_plan ? 1 : 0));
+  w.pod(static_cast<std::uint8_t>(config.plan_kernel));
 }
 
-MsimConfig deserialize_msim_config(artifact::SectionReader& r) {
+MsimConfig deserialize_msim_config(artifact::SectionReader& r,
+                                   std::uint32_t version) {
   MsimConfig config;
   config.adc_bits_override = r.pod<std::int32_t>();
   config.variation_sigma = r.pod<double>();
   config.ir_drop_alpha = r.pod<double>();
   config.seed = r.pod<std::uint64_t>();
   config.use_plan = r.pod<std::uint8_t>() != 0;
+  if (version >= 2) {
+    const auto kernel = r.pod<std::uint8_t>();
+    TINYADC_CHECK(kernel <= static_cast<std::uint8_t>(PlanKernel::kBitslice),
+                  "implausible plan kernel " << static_cast<int>(kernel));
+    config.plan_kernel = static_cast<PlanKernel>(kernel);
+  }
   TINYADC_CHECK(config.adc_bits_override >= -1 &&
                     config.adc_bits_override <= 32,
                 "implausible ADC override " << config.adc_bits_override);
@@ -128,34 +159,30 @@ void AnalogLayerSim::build_plan() {
   // configuration, checked anyway).
   plan_ideal_ = plan_ideal_for(layer_, config_, !variation_.empty());
 
-  // Entry-count upper bound from the mapping's per-column occupancy census:
-  // every active weight owns one differential polarity and at most `slices`
-  // non-zero cell levels.
-  std::size_t max_entries = 0;
-  for (const auto& b : layer_.blocks)
-    for (std::int64_t c = 0; c < b.cols; ++c)
-      max_entries += static_cast<std::size_t>(b.column_nonzeros(c)) *
-                     static_cast<std::size_t>(slices);
-  plan_x_.reserve(max_entries);
-  plan_level_.reserve(max_entries);
-  plan_var_.reserve(max_entries);
-  plan_denom_.reserve(max_entries);
+  // Stream sizing straight from the mapping's per-column occupancy census:
+  // every active weight owns exactly one row slot in one polarity segment,
+  // so the census sum is the exact stream length (not an upper bound).
+  const auto slots = static_cast<std::size_t>(layer_.census_nonzeros());
+  soa_row_.reserve(slots);
+  soa_mag_.reserve(slots);
+  soa_denom_.reserve(slots);
+  soa_level_.reserve(slots * static_cast<std::size_t>(slices));
+  soa_var_.reserve(slots * static_cast<std::size_t>(slices));
 
   std::size_t npairs = 0;
   for (const auto& b : layer_.blocks)
     npairs += static_cast<std::size_t>(b.cols);
-  plan_pairs_.reserve(npairs);
-  plan_offsets_.reserve(npairs * 2 * static_cast<std::size_t>(slices) + 1);
-  plan_offsets_.push_back(0);
+  soa_out_.reserve(npairs);
+  soa_seg_.reserve(2 * npairs + 1);
+  soa_seg_.push_back(0);
 
+  std::vector<std::int64_t> seg_rows;  // block-local rows of one segment
   for (std::size_t bi = 0; bi < layer_.blocks.size(); ++bi) {
     const auto& b = layer_.blocks[bi];
     const float* var = variation_.empty() ? nullptr : variation_[bi].data();
     for (std::int64_t c = 0; c < b.cols; ++c) {
-      PairRef pair;
-      pair.out = layer_.kept_cols[static_cast<std::size_t>(b.col0 + c)];
-      pair.plane0 = plan_offsets_.size() - 1;
-      plan_pairs_.push_back(pair);
+      soa_out_.push_back(
+          layer_.kept_cols[static_cast<std::size_t>(b.col0 + c)]);
 
       // Column load for the IR-drop model, from the live codes (matches the
       // dense path's per-call count; the census is equal at map time but
@@ -168,37 +195,198 @@ void AnalogLayerSim::build_plan() {
             static_cast<double>(active) / static_cast<double>(b.rows);
       }
 
-      // Planes in dense-scan order: polarity (+ then −), then slice; the
-      // entries of one plane are the active rows ascending — exactly the
+      // Two polarity segments per pair (+ then −), each the column's active
+      // rows of that sign in ascending block-row order — exactly the
       // operands (and order) of the dense inner loop.
       for (int polarity : {+1, -1}) {
+        seg_rows.clear();
+        for (std::int64_t r = 0; r < b.rows; ++r) {
+          const std::int32_t q = b.at(r, c);
+          if (q == 0 || (q > 0 ? 1 : -1) != polarity) continue;
+          seg_rows.push_back(r);
+          soa_row_.push_back(static_cast<std::int32_t>(layer_.kept_rows[
+              static_cast<std::size_t>(b.row0 + r)]));
+          soa_mag_.push_back(std::abs(q));
+          double denom = 1.0;
+          if (config_.ir_drop_alpha > 0.0) {
+            const double depth = static_cast<double>(r + 1) /
+                                 static_cast<double>(b.rows);
+            denom = 1.0 + config_.ir_drop_alpha * depth * column_load;
+          }
+          soa_denom_.push_back(denom);
+        }
+        // Slice-resolved rectangle, slice-major within the segment. Zero
+        // levels are kept (they add nothing to the integer paths; the
+        // general path skips them like the dense scan does) so every slice
+        // streams contiguously. Variation slots at zero levels store the
+        // exact multiplicative identity.
         for (int s = 0; s < slices; ++s) {
-          for (std::int64_t r = 0; r < b.rows; ++r) {
-            const std::int32_t q = b.at(r, c);
-            if (q == 0 || (q > 0 ? 1 : -1) != polarity) continue;
-            const auto sl = xbar::slice_magnitude(std::abs(q), cfg.cell_bits,
-                                                  slices);
+          for (const std::int64_t r : seg_rows) {
+            const auto sl = xbar::slice_magnitude(std::abs(b.at(r, c)),
+                                                  cfg.cell_bits, slices);
             const std::int32_t level = sl[static_cast<std::size_t>(s)];
-            if (level == 0) continue;
-            plan_x_.push_back(static_cast<std::int32_t>(layer_.kept_rows[
-                static_cast<std::size_t>(b.row0 + r)]));
-            plan_level_.push_back(level);
-            plan_var_.push_back(
-                var == nullptr
+            soa_level_.push_back(level);
+            soa_var_.push_back(
+                var == nullptr || level == 0
                     ? 1.0F
                     : var[static_cast<std::size_t>((r * b.cols + c) * slices +
                                                    s)]);
-            double denom = 1.0;
-            if (config_.ir_drop_alpha > 0.0) {
-              const double depth = static_cast<double>(r + 1) /
-                                   static_cast<double>(b.rows);
-              denom = 1.0 + config_.ir_drop_alpha * depth * column_load;
-            }
-            plan_denom_.push_back(denom);
           }
-          plan_offsets_.push_back(plan_x_.size());
+        }
+        soa_seg_.push_back(soa_row_.size());
+      }
+    }
+  }
+  finalize_plan();
+}
+
+void AnalogLayerSim::finalize_plan() {
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  const std::int64_t chunk_max = (1 << cfg.dac_bits) - 1;
+  const std::int64_t code_max = (std::int64_t{1} << cfg.input_bits) - 1;
+
+  // Worst-case sums for the fast-path predicates, exact from the streams:
+  // worst_plane_sum_ bounds any single (pair, polarity, slice, cycle)
+  // conversion; worst_fused_sum_ bounds a fused per-polarity partial.
+  worst_plane_sum_ = 0;
+  worst_fused_sum_ = 0;
+  const std::size_t nseg = soa_seg_.empty() ? 0 : soa_seg_.size() - 1;
+  for (std::size_t k = 0; k < nseg; ++k) {
+    const std::size_t i0 = soa_seg_[k], i1 = soa_seg_[k + 1];
+    const std::size_t len = i1 - i0;
+    const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
+    std::int64_t fused = 0;
+    for (std::size_t i = i0; i < i1; ++i) fused += soa_mag_[i];
+    worst_fused_sum_ = std::max(worst_fused_sum_, fused * code_max);
+    for (int s = 0; s < slices; ++s) {
+      std::int64_t plane = 0;
+      const std::int32_t* lv =
+          soa_level_.data() + lbase + static_cast<std::size_t>(s) * len;
+      for (std::size_t i = 0; i < len; ++i) plane += lv[i];
+      worst_plane_sum_ = std::max(worst_plane_sum_, plane * chunk_max);
+    }
+  }
+
+  // Execution-path resolution (DESIGN.md §12). The fused collapse requires
+  // the clip-free guarantee; the bitslice packing requires an ideal 1-bit
+  // DAC datapath. Everything else runs the vector (ideal) or general
+  // (non-ideal) sweep. kAos sidesteps the SoA executor entirely.
+  const bool clip_free = plan_ideal_ && worst_plane_sum_ <= adc_.full_scale();
+  const bool bits_ok = plan_ideal_ && cfg.dac_bits == 1;
+  switch (config_.plan_kernel) {
+    case PlanKernel::kAuto:
+      exec_path_ = clip_free ? ExecPath::kFused
+                   : bits_ok ? ExecPath::kBitslice
+                   : plan_ideal_ ? ExecPath::kVector
+                                 : ExecPath::kGeneral;
+      break;
+    case PlanKernel::kAos:
+      exec_path_ = plan_ideal_ ? ExecPath::kVector : ExecPath::kGeneral;
+      derive_aos_from_soa();
+      break;
+    case PlanKernel::kSoa:
+      exec_path_ = plan_ideal_ ? ExecPath::kVector : ExecPath::kGeneral;
+      break;
+    case PlanKernel::kBitslice:
+      exec_path_ = bits_ok ? ExecPath::kBitslice
+                   : plan_ideal_ ? ExecPath::kVector
+                                 : ExecPath::kGeneral;
+      break;
+  }
+  if (exec_path_ == ExecPath::kBitslice) build_bit_planes();
+}
+
+void AnalogLayerSim::derive_aos_from_soa() {
+  // Reconstructs the PR-3 array-of-structs plan from the SoA streams: per
+  // (pair, polarity, slice) plane, the non-zero-level slots in ascending
+  // row order. Used both after build_plan and after an artifact load, so a
+  // restored kAos sim executes byte-identical entry arrays.
+  const int slices = layer_.config.slices();
+  const std::size_t npairs = soa_out_.size();
+  plan_pairs_.clear();
+  plan_offsets_.clear();
+  plan_x_.clear();
+  plan_level_.clear();
+  plan_var_.clear();
+  plan_denom_.clear();
+  plan_pairs_.reserve(npairs);
+  plan_offsets_.reserve(npairs * 2 * static_cast<std::size_t>(slices) + 1);
+  plan_offsets_.push_back(0);
+  for (std::size_t pi = 0; pi < npairs; ++pi) {
+    PairRef pair;
+    pair.out = soa_out_[pi];
+    pair.plane0 = plan_offsets_.size() - 1;
+    plan_pairs_.push_back(pair);
+    for (int pol = 0; pol < 2; ++pol) {
+      const std::size_t k = 2 * pi + static_cast<std::size_t>(pol);
+      const std::size_t i0 = soa_seg_[k], len = soa_seg_[k + 1] - i0;
+      const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
+      for (int s = 0; s < slices; ++s) {
+        const std::size_t sbase = lbase + static_cast<std::size_t>(s) * len;
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::int32_t level = soa_level_[sbase + i];
+          if (level == 0) continue;
+          plan_x_.push_back(soa_row_[i0 + i]);
+          plan_level_.push_back(level);
+          plan_var_.push_back(soa_var_[sbase + i]);
+          plan_denom_.push_back(soa_denom_[i0 + i]);
+        }
+        plan_offsets_.push_back(plan_x_.size());
+      }
+    }
+  }
+}
+
+void AnalogLayerSim::build_bit_planes() {
+  // Packs each segment's slice levels into bit planes, 64 cells per word:
+  // bit b of slice s lands in plane p = s·cell_bits + b, and local row i
+  // sets bit i%64 of word i/64. A plane sum then becomes
+  // Σ_b popcount(plane_word & chunk_word) · 2^b.
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  const int planes = slices * cfg.cell_bits;
+  const std::size_t nseg = soa_seg_.empty() ? 0 : soa_seg_.size() - 1;
+  bs_base_.assign(nseg + 1, 0);
+  for (std::size_t k = 0; k < nseg; ++k) {
+    const std::size_t words = (soa_seg_[k + 1] - soa_seg_[k] + 63) / 64;
+    bs_base_[k + 1] = bs_base_[k] + words * static_cast<std::size_t>(planes);
+  }
+  bs_words_.assign(bs_base_[nseg], 0);
+  for (std::size_t k = 0; k < nseg; ++k) {
+    const std::size_t i0 = soa_seg_[k], len = soa_seg_[k + 1] - i0;
+    const std::size_t words = (len + 63) / 64;
+    const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
+    for (int s = 0; s < slices; ++s) {
+      const std::size_t sbase = lbase + static_cast<std::size_t>(s) * len;
+      for (std::size_t i = 0; i < len; ++i) {
+        const auto level = static_cast<std::uint32_t>(soa_level_[sbase + i]);
+        for (int b = 0; b < cfg.cell_bits; ++b) {
+          if (((level >> b) & 1U) == 0) continue;
+          const std::size_t p = static_cast<std::size_t>(s * cfg.cell_bits + b);
+          bs_words_[bs_base_[k] + p * words + i / 64] |=
+              std::uint64_t{1} << (i % 64);
         }
       }
+    }
+  }
+}
+
+void AnalogLayerSim::dac_split(const std::int32_t* x,
+                               std::int32_t* chunks) const {
+  const auto& cfg = layer_.config;
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+  const std::int32_t mask = (1 << cfg.dac_bits) - 1;
+  const auto n = static_cast<std::size_t>(layer_.rows);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::int32_t rest = x[r];
+    TINYADC_CHECK(rest >= 0 && rest < (std::int64_t{1} << cfg.input_bits),
+                  "activation code " << x[r] << " exceeds " << cfg.input_bits
+                                     << " bits");
+    if (chunks == nullptr) continue;
+    for (int t = 0; t < cycles; ++t) {
+      chunks[static_cast<std::size_t>(t) * n + r] = rest & mask;
+      rest >>= cfg.dac_bits;
     }
   }
 }
@@ -208,85 +396,299 @@ std::vector<std::int64_t> AnalogLayerSim::mvm(
   return config_.use_plan ? mvm_packed(x) : mvm_dense(x);
 }
 
+void AnalogLayerSim::exec_pairs_soa(const std::int32_t* x,
+                                    const std::int32_t* chunks,
+                                    std::int64_t p0, std::int64_t p1,
+                                    std::int64_t* pair_acc,
+                                    AdcCounters& counters) const {
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+  const auto n = static_cast<std::size_t>(layer_.rows);
+  const int bits = adc_.bits();
+  const std::int64_t full_scale = adc_.full_scale();
+  const std::int64_t conv_per_pair = std::int64_t{2} * slices * cycles;
+
+  switch (exec_path_) {
+    case ExecPath::kFused: {
+      // Clip-free ideal datapath: every conversion returns its plane sum
+      // exactly, so the shift-and-add telescopes into Σ ± |q_i|·x_i per
+      // polarity (DESIGN.md §12). No DAC chunks, no per-plane loop.
+      const bool narrow = worst_fused_sum_ <= INT32_MAX;
+      for (std::int64_t pi = p0; pi < p1; ++pi) {
+        const std::size_t k0 = 2 * static_cast<std::size_t>(pi);
+        if (pi + 1 < p1) {
+          // One pair ahead (~2–4 cache lines of stream data) hides the
+          // stream-load latency behind the current pair's arithmetic.
+          const std::size_t nx = soa_seg_[k0 + 2];
+          TINYADC_PREFETCH(soa_mag_.data() + nx);
+          TINYADC_PREFETCH(soa_row_.data() + nx);
+        }
+        std::int64_t acc = 0;
+        for (int pol = 0; pol < 2; ++pol) {
+          const std::size_t i0 = soa_seg_[k0 + static_cast<std::size_t>(pol)];
+          const std::size_t i1 =
+              soa_seg_[k0 + static_cast<std::size_t>(pol) + 1];
+          std::int64_t part;
+          if (narrow) {
+            std::int32_t p32 = 0;
+            for (std::size_t i = i0; i < i1; ++i)
+              p32 += soa_mag_[i] * x[soa_row_[i]];
+            part = p32;
+          } else {
+            std::int64_t p64 = 0;
+            for (std::size_t i = i0; i < i1; ++i)
+              p64 += static_cast<std::int64_t>(soa_mag_[i]) * x[soa_row_[i]];
+            part = p64;
+          }
+          acc += pol == 0 ? part : -part;
+        }
+        pair_acc[pi] = acc;
+        counters.conversions += conv_per_pair;
+      }
+      return;
+    }
+    case ExecPath::kBitslice: {
+      // Ideal 1-bit DAC: cycle t's chunk of code x is just bit t, so the
+      // chunk words pack straight from x and every plane sum is a handful
+      // of popcounts over the packed level bit planes.
+      std::size_t max_words = 0;
+      for (std::size_t k = 0; k + 1 < soa_seg_.size(); ++k)
+        max_words = std::max(max_words,
+                             (soa_seg_[k + 1] - soa_seg_[k] + 63) / 64);
+      std::vector<std::uint64_t> cw(static_cast<std::size_t>(cycles) *
+                                    std::max<std::size_t>(max_words, 1));
+      for (std::int64_t pi = p0; pi < p1; ++pi) {
+        std::int64_t acc = 0;
+        std::int64_t convs = 0;
+        for (int pol = 0; pol < 2; ++pol) {
+          const std::size_t k =
+              2 * static_cast<std::size_t>(pi) + static_cast<std::size_t>(pol);
+          const std::size_t i0 = soa_seg_[k], len = soa_seg_[k + 1] - i0;
+          const std::size_t words = (len + 63) / 64;
+          if (pi + 1 < p1)
+            TINYADC_PREFETCH(bs_words_.data() + bs_base_[k + 2]);
+          std::fill(cw.begin(),
+                    cw.begin() + static_cast<std::ptrdiff_t>(
+                                     static_cast<std::size_t>(cycles) * words),
+                    0);
+          for (std::size_t i = 0; i < len; ++i) {
+            const auto xv = static_cast<std::uint32_t>(x[soa_row_[i0 + i]]);
+            const std::size_t w = i / 64;
+            const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+            for (int t = 0; t < cycles; ++t)
+              if ((xv >> t) & 1U) cw[static_cast<std::size_t>(t) * words + w] |=
+                  bit;
+          }
+          const std::uint64_t* plane0 = bs_words_.data() + bs_base_[k];
+          for (int s = 0; s < slices; ++s) {
+            const int sshift = s * cfg.cell_bits;
+            for (int t = 0; t < cycles; ++t) {
+              const std::uint64_t* ct =
+                  cw.data() + static_cast<std::size_t>(t) * words;
+              std::int64_t isum = 0;
+              for (int b = 0; b < cfg.cell_bits; ++b) {
+                const std::uint64_t* pw =
+                    plane0 +
+                    static_cast<std::size_t>(sshift + b) * words;
+                std::int64_t pc = 0;
+                for (std::size_t w = 0; w < words; ++w)
+                  pc += std::popcount(pw[w] & ct[w]);
+                isum += pc << b;
+              }
+              const std::int64_t code =
+                  adc_code_int(isum, bits, full_scale, counters.clip_events);
+              acc += (pol == 0 ? 1 : -1) *
+                     (code << (sshift + t * cfg.dac_bits));
+              ++convs;
+            }
+          }
+        }
+        pair_acc[pi] = acc;
+        counters.conversions += convs;
+      }
+      return;
+    }
+    case ExecPath::kVector: {
+      // Ideal multi-bit-DAC fallback: gather one cycle's chunks per
+      // segment, then a contiguous multiply-accumulate per slice over the
+      // rectangular level stream (zeros contribute nothing, so the
+      // rectangle is exact).
+      std::size_t max_len = 0;
+      for (std::size_t k = 0; k + 1 < soa_seg_.size(); ++k)
+        max_len = std::max(max_len, soa_seg_[k + 1] - soa_seg_[k]);
+      std::vector<std::int32_t> g(std::max<std::size_t>(max_len, 1));
+      const bool narrow = worst_plane_sum_ <= INT32_MAX;
+      for (std::int64_t pi = p0; pi < p1; ++pi) {
+        std::int64_t acc = 0;
+        for (int pol = 0; pol < 2; ++pol) {
+          const std::size_t k =
+              2 * static_cast<std::size_t>(pi) + static_cast<std::size_t>(pol);
+          const std::size_t i0 = soa_seg_[k], len = soa_seg_[k + 1] - i0;
+          const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
+          for (int t = 0; t < cycles; ++t) {
+            const std::int32_t* ch = chunks + static_cast<std::size_t>(t) * n;
+            for (std::size_t i = 0; i < len; ++i) g[i] = ch[soa_row_[i0 + i]];
+            for (int s = 0; s < slices; ++s) {
+              const std::int32_t* lv =
+                  soa_level_.data() + lbase +
+                  static_cast<std::size_t>(s) * len;
+              std::int64_t isum;
+              if (narrow) {
+                std::int32_t s32 = 0;
+                for (std::size_t i = 0; i < len; ++i) s32 += lv[i] * g[i];
+                isum = s32;
+              } else {
+                std::int64_t s64 = 0;
+                for (std::size_t i = 0; i < len; ++i)
+                  s64 += static_cast<std::int64_t>(lv[i]) * g[i];
+                isum = s64;
+              }
+              const std::int64_t code =
+                  adc_code_int(isum, bits, full_scale, counters.clip_events);
+              acc += (pol == 0 ? 1 : -1) *
+                     (code << (s * cfg.cell_bits + t * cfg.dac_bits));
+            }
+          }
+        }
+        pair_acc[pi] = acc;
+        counters.conversions += conv_per_pair;
+      }
+      return;
+    }
+    case ExecPath::kGeneral: {
+      // Non-ideal datapath: float accumulation in exactly the dense scan's
+      // operand order — ascending active rows, skipping zero levels, one
+      // variation multiply and one IR-drop divide per operand (both exact
+      // identities when the corresponding non-ideality is off).
+      for (std::int64_t pi = p0; pi < p1; ++pi) {
+        std::int64_t acc = 0;
+        for (int pol = 0; pol < 2; ++pol) {
+          const std::size_t k =
+              2 * static_cast<std::size_t>(pi) + static_cast<std::size_t>(pol);
+          const std::size_t i0 = soa_seg_[k], len = soa_seg_[k + 1] - i0;
+          const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
+          for (int s = 0; s < slices; ++s) {
+            const std::size_t sbase =
+                lbase + static_cast<std::size_t>(s) * len;
+            const std::int32_t* lv = soa_level_.data() + sbase;
+            const float* vv = soa_var_.data() + sbase;
+            for (int t = 0; t < cycles; ++t) {
+              const std::int32_t* ch =
+                  chunks + static_cast<std::size_t>(t) * n;
+              double analog = 0.0;
+              for (std::size_t i = 0; i < len; ++i) {
+                const std::int32_t level = lv[i];
+                if (level == 0) continue;
+                double contrib = static_cast<double>(level) *
+                                 ch[soa_row_[i0 + i]];
+                contrib *= vv[i];
+                contrib /= soa_denom_[i0 + i];
+                analog += contrib;
+              }
+              const std::int64_t code = adc_.convert(analog, counters);
+              acc += (pol == 0 ? 1 : -1) *
+                     (code << (s * cfg.cell_bits + t * cfg.dac_bits));
+            }
+          }
+        }
+        pair_acc[pi] = acc;
+      }
+      return;
+    }
+  }
+}
+
+void AnalogLayerSim::exec_pairs_aos(const std::int32_t* chunks,
+                                    std::int64_t p0, std::int64_t p1,
+                                    std::int64_t* pair_acc,
+                                    AdcCounters& counters) const {
+  const auto& cfg = layer_.config;
+  const int slices = cfg.slices();
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+  const auto n = static_cast<std::size_t>(layer_.rows);
+  for (std::int64_t pi = p0; pi < p1; ++pi) {
+    const PairRef& pair = plan_pairs_[static_cast<std::size_t>(pi)];
+    const std::size_t* off = plan_offsets_.data() + pair.plane0;
+    std::int64_t acc = 0;
+    for (int polarity : {+1, -1}) {
+      for (int s = 0; s < slices; ++s, ++off) {
+        const std::size_t e0 = off[0], e1 = off[1];
+        for (int t = 0; t < cycles; ++t) {
+          const std::int32_t* ch = chunks + static_cast<std::size_t>(t) * n;
+          double analog;
+          if (plan_ideal_) {
+            // Ideal wires and cells: every operand is a small integer, so
+            // the sum is computed in int64 and is exactly the double the
+            // dense path accumulates (each partial fits a double).
+            std::int64_t isum = 0;
+            for (std::size_t e = e0; e < e1; ++e)
+              isum += static_cast<std::int64_t>(plan_level_[e]) *
+                      ch[plan_x_[e]];
+            analog = static_cast<double>(isum);
+          } else {
+            analog = 0.0;
+            for (std::size_t e = e0; e < e1; ++e) {
+              double contrib = static_cast<double>(plan_level_[e]) *
+                               ch[plan_x_[e]];
+              contrib *= plan_var_[e];
+              contrib /= plan_denom_[e];
+              analog += contrib;
+            }
+          }
+          const std::int64_t code = adc_.convert(analog, counters);
+          acc += polarity *
+                 (code << (s * cfg.cell_bits + t * cfg.dac_bits));
+        }
+      }
+    }
+    pair_acc[pi] = acc;
+  }
+}
+
 std::vector<std::int64_t> AnalogLayerSim::mvm_packed(
     const std::vector<std::int32_t>& x) {
   TINYADC_CHECK(static_cast<std::int64_t>(x.size()) == layer_.rows,
                 "input length " << x.size() << " != layer rows "
                                 << layer_.rows);
   const auto& cfg = layer_.config;
-  const int slices = cfg.slices();
   const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
   const std::size_t n = x.size();
+  const bool aos = config_.plan_kernel == PlanKernel::kAos;
+  const bool needs_chunks = aos || (exec_path_ == ExecPath::kVector ||
+                                    exec_path_ == ExecPath::kGeneral);
 
   // DAC chunks flattened into one contiguous buffer: chunk t of row r sits
   // at [t*n + r], so plan entries index a cycle's chunks directly by their
-  // packed row index.
-  const std::int32_t mask = (1 << cfg.dac_bits) - 1;
-  std::vector<std::int32_t> chunks(static_cast<std::size_t>(cycles) * n);
-  for (std::size_t r = 0; r < n; ++r) {
-    std::int32_t rest = x[r];
-    TINYADC_CHECK(rest >= 0 && rest < (std::int64_t{1} << cfg.input_bits),
-                  "activation code " << x[r] << " exceeds " << cfg.input_bits
-                                     << " bits");
-    for (int t = 0; t < cycles; ++t) {
-      chunks[static_cast<std::size_t>(t) * n + r] = rest & mask;
-      rest >>= cfg.dac_bits;
-    }
-  }
+  // packed row index. The fused and bitslice paths read the codes
+  // directly and skip the split (validation still runs).
+  std::vector<std::int32_t> chunks;
+  if (needs_chunks) chunks.resize(static_cast<std::size_t>(cycles) * n);
+  dac_split(x.data(), needs_chunks ? chunks.data() : nullptr);
 
-  const auto npairs = static_cast<std::int64_t>(plan_pairs_.size());
-  std::vector<std::int64_t> pair_acc(plan_pairs_.size(), 0);
-  std::vector<AdcCounters> pair_counters(plan_pairs_.size());
+  const auto npairs = static_cast<std::int64_t>(soa_out_.size());
+  std::vector<std::int64_t> pair_acc(soa_out_.size(), 0);
 
+  // Each (block, logical column) pair converts independently — in hardware
+  // all crossbar arrays fire in parallel. Per-pair sums land in fixed
+  // slots; counters accumulate per worker chunk and merge under a local
+  // mutex (integer sums, so the grand total is partition-independent).
+  AdcCounters call_counters;
+  std::mutex counters_mu;
   runtime::parallel_for(0, npairs, 1, [&](std::int64_t p0, std::int64_t p1) {
-    for (std::int64_t pi = p0; pi < p1; ++pi) {
-      const PairRef& pair = plan_pairs_[static_cast<std::size_t>(pi)];
-      AdcCounters& counters = pair_counters[static_cast<std::size_t>(pi)];
-      const std::size_t* off = plan_offsets_.data() + pair.plane0;
-      std::int64_t acc = 0;
-      for (int polarity : {+1, -1}) {
-        for (int s = 0; s < slices; ++s, ++off) {
-          const std::size_t e0 = off[0], e1 = off[1];
-          for (int t = 0; t < cycles; ++t) {
-            const std::int32_t* ch =
-                chunks.data() + static_cast<std::size_t>(t) * n;
-            double analog;
-            if (plan_ideal_) {
-              // Ideal wires and cells: every operand is a small integer, so
-              // the sum is computed in int64 and is exactly the double the
-              // dense path accumulates (each partial fits a double).
-              std::int64_t isum = 0;
-              for (std::size_t e = e0; e < e1; ++e)
-                isum += static_cast<std::int64_t>(plan_level_[e]) *
-                        ch[plan_x_[e]];
-              analog = static_cast<double>(isum);
-            } else {
-              analog = 0.0;
-              for (std::size_t e = e0; e < e1; ++e) {
-                double contrib = static_cast<double>(plan_level_[e]) *
-                                 ch[plan_x_[e]];
-                contrib *= plan_var_[e];
-                contrib /= plan_denom_[e];
-                analog += contrib;
-              }
-            }
-            const std::int64_t code = adc_.convert(analog, counters);
-            acc += polarity *
-                   (code << (s * cfg.cell_bits + t * cfg.dac_bits));
-          }
-        }
-      }
-      pair_acc[static_cast<std::size_t>(pi)] = acc;
-    }
+    AdcCounters local;
+    if (aos)
+      exec_pairs_aos(chunks.data(), p0, p1, pair_acc.data(), local);
+    else
+      exec_pairs_soa(x.data(), chunks.data(), p0, p1, pair_acc.data(), local);
+    std::lock_guard<std::mutex> lk(counters_mu);
+    call_counters.conversions += local.conversions;
+    call_counters.clip_events += local.clip_events;
   });
 
   std::vector<std::int64_t> y(static_cast<std::size_t>(layer_.cols), 0);
-  AdcCounters call_counters;
-  for (std::size_t pi = 0; pi < plan_pairs_.size(); ++pi) {
-    y[static_cast<std::size_t>(plan_pairs_[pi].out)] += pair_acc[pi];
-    call_counters.conversions += pair_counters[pi].conversions;
-    call_counters.clip_events += pair_counters[pi].clip_events;
-  }
+  for (std::size_t pi = 0; pi < soa_out_.size(); ++pi)
+    y[static_cast<std::size_t>(soa_out_[pi])] += pair_acc[pi];
   merge_stats(call_counters, cycles);
   return y;
 }
@@ -408,10 +810,94 @@ std::vector<std::int64_t> AnalogLayerSim::mvm_dense(
   return y;
 }
 
-void AnalogLayerSim::merge_stats(const AdcCounters& counters, int cycles) {
+std::vector<std::int64_t> AnalogLayerSim::mvm_batch(
+    const std::vector<std::int32_t>& xs, std::int64_t batch) {
+  TINYADC_CHECK(batch >= 0, "negative batch");
+  TINYADC_CHECK(static_cast<std::int64_t>(xs.size()) == batch * layer_.rows,
+                "batched input holds " << xs.size() << " codes, expected "
+                                       << batch * layer_.rows);
+  const auto n = static_cast<std::size_t>(layer_.rows);
+  const auto cols = static_cast<std::size_t>(layer_.cols);
+  std::vector<std::int64_t> y(static_cast<std::size_t>(batch) * cols, 0);
+  if (batch == 0) return y;
+
+  const bool fused_batch = config_.use_plan &&
+                           config_.plan_kernel != PlanKernel::kAos &&
+                           exec_path_ == ExecPath::kFused;
+  if (!fused_batch) {
+    // Generic fallback: per-sample executors run inline under a
+    // sample-parallel loop (nested parallel_for serializes). Each sample
+    // merges its own statistics — integer counter sums, so the totals are
+    // identical to `batch` sequential mvm() calls at any thread count.
+    runtime::parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+      std::vector<std::int32_t> x(n);
+      for (std::int64_t si = b0; si < b1; ++si) {
+        const std::int32_t* src = xs.data() + static_cast<std::size_t>(si) * n;
+        x.assign(src, src + n);
+        const auto yi = mvm(x);
+        std::copy(yi.begin(), yi.end(),
+                  y.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(si) * cols));
+      }
+    });
+    return y;
+  }
+
+  // Fused batch: one serial pair walk per sample with the plan streams
+  // shared read-only across samples (the serve path's hot lane). Counters
+  // are exact multiples of the single-sample fused counts: 2·slices·cycles
+  // conversions per pair per sample, zero clips by the fused predicate.
+  const auto& cfg = layer_.config;
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+  const auto npairs = soa_out_.size();
+  const bool narrow = worst_fused_sum_ <= INT32_MAX;
+  runtime::parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t si = b0; si < b1; ++si) {
+      const std::int32_t* x = xs.data() + static_cast<std::size_t>(si) * n;
+      std::int64_t* yrow = y.data() + static_cast<std::size_t>(si) * cols;
+      dac_split(x, nullptr);  // validation only
+      for (std::size_t pi = 0; pi < npairs; ++pi) {
+        const std::size_t k0 = 2 * pi;
+        if (pi + 1 < npairs) {
+          const std::size_t nx = soa_seg_[k0 + 2];
+          TINYADC_PREFETCH(soa_mag_.data() + nx);
+          TINYADC_PREFETCH(soa_row_.data() + nx);
+        }
+        std::int64_t acc = 0;
+        for (int pol = 0; pol < 2; ++pol) {
+          const std::size_t i0 = soa_seg_[k0 + static_cast<std::size_t>(pol)];
+          const std::size_t i1 =
+              soa_seg_[k0 + static_cast<std::size_t>(pol) + 1];
+          std::int64_t part;
+          if (narrow) {
+            std::int32_t p32 = 0;
+            for (std::size_t i = i0; i < i1; ++i)
+              p32 += soa_mag_[i] * x[soa_row_[i]];
+            part = p32;
+          } else {
+            std::int64_t p64 = 0;
+            for (std::size_t i = i0; i < i1; ++i)
+              p64 += static_cast<std::int64_t>(soa_mag_[i]) * x[soa_row_[i]];
+            part = p64;
+          }
+          acc += pol == 0 ? part : -part;
+        }
+        yrow[static_cast<std::size_t>(soa_out_[pi])] += acc;
+      }
+    }
+  });
+  AdcCounters call_counters;
+  call_counters.conversions = batch * static_cast<std::int64_t>(npairs) * 2 *
+                              cfg.slices() * cycles;
+  merge_stats(call_counters, static_cast<std::int64_t>(cycles) * batch);
+  return y;
+}
+
+void AnalogLayerSim::merge_stats(const AdcCounters& counters,
+                                 std::int64_t dac_cycles) {
   std::lock_guard<std::mutex> lk(*stats_mu_);
   adc_.absorb(counters);
-  stats_.dac_cycles += cycles;
+  stats_.dac_cycles += dac_cycles;
   stats_.adc_conversions = adc_.conversions();
   stats_.adc_clip_events = adc_.clip_events();
 }
@@ -442,6 +928,49 @@ std::vector<float> AnalogLayerSim::mvm_real_signed(
   return yp;
 }
 
+std::vector<float> AnalogLayerSim::mvm_real_batch(
+    const std::vector<float>& xs, std::int64_t batch,
+    const xbar::QuantParams& x_quant, bool signed_input) {
+  TINYADC_CHECK(static_cast<std::int64_t>(xs.size()) == batch * layer_.rows,
+                "batched input holds " << xs.size() << " values, expected "
+                                       << batch * layer_.rows);
+  const float scale = x_quant.scale * layer_.quant.scale;
+  if (!signed_input) {
+    std::vector<std::int32_t> codes(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      codes[i] = xbar::quantize_unsigned(xs[i], x_quant);
+    const auto y = mvm_batch(codes, batch);
+    std::vector<float> out(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      out[i] = static_cast<float>(y[i]) * scale;
+    return out;
+  }
+  // Two-phase signed scheme, element-for-element the mvm_real_signed split:
+  // quantize the positive and negative parts separately, stream each, and
+  // subtract the *scaled* results (same float rounding as the per-sample
+  // path).
+  std::vector<std::int32_t> pos(xs.size()), neg(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const float v = xs[i];
+    pos[i] = xbar::quantize_unsigned(v > 0.0F ? v : 0.0F, x_quant);
+    neg[i] = xbar::quantize_unsigned(v < 0.0F ? -v : 0.0F, x_quant);
+  }
+  const auto yp = mvm_batch(pos, batch);
+  const auto yn = mvm_batch(neg, batch);
+  // Round each product through its vector store before subtracting — the
+  // per-sample path scales inside mvm_real and subtracts afterwards, so
+  // writing `p*scale - n*scale` as one expression here would let
+  // -ffp-contract=fast fuse the first product into the subtract on FMA
+  // targets and skip a rounding, breaking batched-vs-per-sample identity.
+  std::vector<float> out(yp.size()), yns(yn.size());
+  for (std::size_t i = 0; i < yp.size(); ++i)
+    out[i] = static_cast<float>(yp[i]) * scale;
+  for (std::size_t i = 0; i < yn.size(); ++i)
+    yns[i] = static_cast<float>(yn[i]) * scale;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] -= yns[i];
+  return out;
+}
+
 void AnalogLayerSim::reset_stats() {
   stats_ = MsimStats{};
   adc_.reset_stats();
@@ -458,15 +987,19 @@ AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,
       config_(config),
       adc_(restored.adc_bits),
       variation_(std::move(restored.variation)),
-      plan_pairs_(std::move(restored.pairs)),
-      plan_offsets_(std::move(restored.offsets)),
-      plan_x_(std::move(restored.x)),
-      plan_level_(std::move(restored.level)),
-      plan_var_(std::move(restored.var)),
-      plan_denom_(std::move(restored.denom)),
+      soa_out_(std::move(restored.out)),
+      soa_seg_(std::move(restored.seg)),
+      soa_row_(std::move(restored.row)),
+      soa_mag_(std::move(restored.mag)),
+      soa_level_(std::move(restored.level)),
+      soa_var_(std::move(restored.var)),
+      soa_denom_(std::move(restored.denom)),
       plan_ideal_(restored.plan_ideal),
       stats_mu_(std::make_unique<std::mutex>()) {
   check_accumulator_headroom();
+  // Path resolution and the derived views (AoS arrays, bit planes) are
+  // recomputed from the loaded streams — never a plan compilation.
+  if (config_.use_plan) finalize_plan();
 }
 
 void AnalogLayerSim::serialize(artifact::SectionWriter& w) const {
@@ -476,22 +1009,22 @@ void AnalogLayerSim::serialize(artifact::SectionWriter& w) const {
   for (const auto& v : variation_) w.vec(v);
   w.pod(static_cast<std::uint8_t>(config_.use_plan ? 1 : 0));
   if (!config_.use_plan) return;
-  w.pod(static_cast<std::uint64_t>(plan_pairs_.size()));
-  for (const auto& pair : plan_pairs_) {
-    w.pod(pair.out);
-    w.pod(static_cast<std::uint64_t>(pair.plane0));
-  }
-  w.pod(static_cast<std::uint64_t>(plan_offsets_.size()));
-  for (const auto off : plan_offsets_) w.pod(static_cast<std::uint64_t>(off));
-  w.vec(plan_x_);
-  w.vec(plan_level_);
-  w.vec(plan_var_);
-  w.vec(plan_denom_);
+  // v2 payload: the canonical SoA streams. The AoS arrays and bit planes
+  // are derived views and are rebuilt (cheap, deterministic) at load.
+  w.pod(static_cast<std::uint64_t>(soa_out_.size()));
+  for (const auto out : soa_out_) w.pod(out);
+  w.pod(static_cast<std::uint64_t>(soa_seg_.size()));
+  for (const auto off : soa_seg_) w.pod(static_cast<std::uint64_t>(off));
+  w.vec(soa_row_);
+  w.vec(soa_mag_);
+  w.vec(soa_level_);
+  w.vec(soa_var_);
+  w.vec(soa_denom_);
 }
 
 std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
     const xbar::MappedLayer& layer, MsimConfig config,
-    artifact::SectionReader& r) {
+    artifact::SectionReader& r, std::uint32_t version) {
   const auto& cfg = layer.config;
   const int slices = cfg.slices();
   RestoredState s;
@@ -549,59 +1082,202 @@ std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
                   "layer " << layer.name << ": plan has " << npairs
                            << " conversion pairs, mapping needs "
                            << npairs_expected);
-    const std::size_t planes_per_pair = 2 * static_cast<std::size_t>(slices);
-    s.pairs.reserve(static_cast<std::size_t>(npairs));
-    for (std::uint64_t pi = 0; pi < npairs; ++pi) {
-      PairRef pair;
-      pair.out = r.pod<std::int64_t>();
-      pair.plane0 = static_cast<std::size_t>(r.pod<std::uint64_t>());
-      TINYADC_CHECK(pair.out >= 0 && pair.out < layer.cols,
-                    "layer " << layer.name << ": plan pair " << pi
-                             << " targets output column " << pair.out);
-      TINYADC_CHECK(pair.plane0 == static_cast<std::size_t>(pi) *
-                                       planes_per_pair,
-                    "layer " << layer.name << ": plan pair " << pi
-                             << " has corrupt plane offset");
-      s.pairs.push_back(pair);
-    }
-    const auto noffsets = r.pod<std::uint64_t>();
-    TINYADC_CHECK(noffsets == npairs * planes_per_pair + 1,
-                  "layer " << layer.name << ": plan offset table holds "
-                           << noffsets << " entries, expected "
-                           << npairs * planes_per_pair + 1);
-    s.offsets.reserve(static_cast<std::size_t>(noffsets));
-    for (std::uint64_t i = 0; i < noffsets; ++i) {
-      const auto off = r.pod<std::uint64_t>();
-      TINYADC_CHECK((i == 0 && off == 0) ||
-                        (i > 0 && off >= s.offsets.back()),
+    if (version >= 2) {
+      // --- v2: the SoA streams verbatim. ---------------------------------
+      s.out.reserve(static_cast<std::size_t>(npairs));
+      for (std::uint64_t pi = 0; pi < npairs; ++pi) {
+        const auto out = r.pod<std::int64_t>();
+        TINYADC_CHECK(out >= 0 && out < layer.cols,
+                      "layer " << layer.name << ": plan pair " << pi
+                               << " targets output column " << out);
+        s.out.push_back(out);
+      }
+      const auto nseg = r.pod<std::uint64_t>();
+      TINYADC_CHECK(nseg == 2 * npairs + 1,
+                    "layer " << layer.name << ": plan segment table holds "
+                             << nseg << " offsets, expected "
+                             << 2 * npairs + 1);
+      s.seg.reserve(static_cast<std::size_t>(nseg));
+      for (std::uint64_t i = 0; i < nseg; ++i) {
+        const auto off = r.pod<std::uint64_t>();
+        TINYADC_CHECK((i == 0 && off == 0) ||
+                          (i > 0 && off >= s.seg.back()),
+                      "layer " << layer.name
+                               << ": plan segments are not monotone");
+        s.seg.push_back(static_cast<std::size_t>(off));
+      }
+      s.row = r.vec<std::int32_t>();
+      s.mag = r.vec<std::int32_t>();
+      s.level = r.vec<std::int32_t>();
+      s.var = r.vec<float>();
+      s.denom = r.vec<double>();
+      const std::size_t slots = s.seg.back();
+      TINYADC_CHECK(
+          s.row.size() == slots && s.mag.size() == slots &&
+              s.denom.size() == slots &&
+              s.level.size() == slots * static_cast<std::size_t>(slices) &&
+              s.var.size() == slots * static_cast<std::size_t>(slices),
+          "layer " << layer.name
+                   << ": plan stream lengths disagree with the segment "
+                      "table (" << slots << " row slots)");
+      const std::int32_t max_level = (1 << cfg.cell_bits) - 1;
+      const std::int32_t max_mag =
+          static_cast<std::int32_t>(
+              (std::int64_t{1} << (slices * cfg.cell_bits)) - 1);
+      for (std::size_t k = 0; k + 1 < s.seg.size(); ++k) {
+        const std::size_t i0 = s.seg[k], i1 = s.seg[k + 1];
+        const std::size_t len = i1 - i0;
+        const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::int32_t row = s.row[i0 + i];
+          TINYADC_CHECK(row >= 0 && static_cast<std::int64_t>(row) <
+                                        layer.rows,
+                        "layer " << layer.name << ": plan slot reads "
+                                 << "activation row " << row);
+          TINYADC_CHECK(i == 0 || s.row[i0 + i - 1] < row,
+                        "layer " << layer.name
+                                 << ": plan segment rows are not ascending");
+          const std::int32_t mag = s.mag[i0 + i];
+          TINYADC_CHECK(mag > 0 && mag <= max_mag,
+                        "layer " << layer.name
+                                 << ": plan slot holds magnitude " << mag);
+          std::int32_t recomposed = 0;
+          for (int sl = 0; sl < slices; ++sl) {
+            const std::int32_t level =
+                s.level[lbase + static_cast<std::size_t>(sl) * len + i];
+            TINYADC_CHECK(level >= 0 && level <= max_level,
+                          "layer " << layer.name
+                                   << ": plan slot holds cell level "
+                                   << level);
+            const float vf =
+                s.var[lbase + static_cast<std::size_t>(sl) * len + i];
+            TINYADC_CHECK(std::isfinite(vf) && vf > 0.0F,
+                          "layer " << layer.name
+                                   << ": non-finite plan variation factor");
+            recomposed += level << (sl * cfg.cell_bits);
+          }
+          TINYADC_CHECK(recomposed == mag,
+                        "layer " << layer.name
+                                 << ": plan slot slices recompose to "
+                                 << recomposed << ", magnitude says " << mag);
+          TINYADC_CHECK(std::isfinite(s.denom[i0 + i]) &&
+                            s.denom[i0 + i] > 0.0,
+                        "layer " << layer.name
+                                 << ": non-finite plan IR divisor");
+        }
+      }
+    } else {
+      // --- v1: the PR-3 AoS entry arrays; validate exactly as the v1
+      // reader did, then merge each (pair, polarity)'s slice planes into
+      // one SoA segment. Rows within a plane ascend, so the union of a
+      // polarity's planes (every |q| ≥ 1 weight appears in ≥ 1 plane)
+      // sorts back into the dense scan order. -----------------------------
+      const std::size_t planes_per_pair =
+          2 * static_cast<std::size_t>(slices);
+      std::vector<PairRef> pairs;
+      pairs.reserve(static_cast<std::size_t>(npairs));
+      for (std::uint64_t pi = 0; pi < npairs; ++pi) {
+        PairRef pair;
+        pair.out = r.pod<std::int64_t>();
+        pair.plane0 = static_cast<std::size_t>(r.pod<std::uint64_t>());
+        TINYADC_CHECK(pair.out >= 0 && pair.out < layer.cols,
+                      "layer " << layer.name << ": plan pair " << pi
+                               << " targets output column " << pair.out);
+        TINYADC_CHECK(pair.plane0 == static_cast<std::size_t>(pi) *
+                                         planes_per_pair,
+                      "layer " << layer.name << ": plan pair " << pi
+                               << " has corrupt plane offset");
+        pairs.push_back(pair);
+      }
+      const auto noffsets = r.pod<std::uint64_t>();
+      TINYADC_CHECK(noffsets == npairs * planes_per_pair + 1,
+                    "layer " << layer.name << ": plan offset table holds "
+                             << noffsets << " entries, expected "
+                             << npairs * planes_per_pair + 1);
+      std::vector<std::size_t> offsets;
+      offsets.reserve(static_cast<std::size_t>(noffsets));
+      for (std::uint64_t i = 0; i < noffsets; ++i) {
+        const auto off = r.pod<std::uint64_t>();
+        TINYADC_CHECK((i == 0 && off == 0) ||
+                          (i > 0 && off >= offsets.back()),
+                      "layer " << layer.name
+                               << ": plan offsets are not monotone");
+        offsets.push_back(static_cast<std::size_t>(off));
+      }
+      const auto x = r.vec<std::int32_t>();
+      const auto level = r.vec<std::int32_t>();
+      const auto var = r.vec<float>();
+      const auto denom = r.vec<double>();
+      const std::size_t entries = offsets.back();
+      TINYADC_CHECK(x.size() == entries && level.size() == entries &&
+                        var.size() == entries && denom.size() == entries,
                     "layer " << layer.name
-                             << ": plan offsets are not monotone");
-      s.offsets.push_back(static_cast<std::size_t>(off));
-    }
-    s.x = r.vec<std::int32_t>();
-    s.level = r.vec<std::int32_t>();
-    s.var = r.vec<float>();
-    s.denom = r.vec<double>();
-    const std::size_t entries = s.offsets.back();
-    TINYADC_CHECK(s.x.size() == entries && s.level.size() == entries &&
-                      s.var.size() == entries && s.denom.size() == entries,
-                  "layer " << layer.name
-                           << ": plan entry arrays disagree with the offset "
-                              "table ("
-                           << entries << " entries)");
-    const std::int32_t max_level = (1 << cfg.cell_bits) - 1;
-    for (std::size_t e = 0; e < entries; ++e) {
-      TINYADC_CHECK(s.x[e] >= 0 &&
-                        static_cast<std::int64_t>(s.x[e]) < layer.rows,
-                    "layer " << layer.name << ": plan entry " << e
-                             << " reads activation row " << s.x[e]);
-      TINYADC_CHECK(s.level[e] > 0 && s.level[e] <= max_level,
-                    "layer " << layer.name << ": plan entry " << e
-                             << " holds cell level " << s.level[e]);
-      TINYADC_CHECK(std::isfinite(s.var[e]) && s.var[e] > 0.0F &&
-                        std::isfinite(s.denom[e]) && s.denom[e] > 0.0,
-                    "layer " << layer.name << ": plan entry " << e
-                             << " holds non-finite analog factors");
+                             << ": plan entry arrays disagree with the "
+                                "offset table (" << entries << " entries)");
+      const std::int32_t max_level = (1 << cfg.cell_bits) - 1;
+      for (std::size_t e = 0; e < entries; ++e) {
+        TINYADC_CHECK(x[e] >= 0 &&
+                          static_cast<std::int64_t>(x[e]) < layer.rows,
+                      "layer " << layer.name << ": plan entry " << e
+                               << " reads activation row " << x[e]);
+        TINYADC_CHECK(level[e] > 0 && level[e] <= max_level,
+                      "layer " << layer.name << ": plan entry " << e
+                               << " holds cell level " << level[e]);
+        TINYADC_CHECK(std::isfinite(var[e]) && var[e] > 0.0F &&
+                          std::isfinite(denom[e]) && denom[e] > 0.0,
+                      "layer " << layer.name << ": plan entry " << e
+                               << " holds non-finite analog factors");
+      }
+
+      // AoS → SoA conversion.
+      s.seg.push_back(0);
+      std::vector<std::int32_t> seg_rows;
+      for (std::uint64_t pi = 0; pi < npairs; ++pi) {
+        s.out.push_back(pairs[static_cast<std::size_t>(pi)].out);
+        const std::size_t plane0 =
+            pairs[static_cast<std::size_t>(pi)].plane0;
+        for (int pol = 0; pol < 2; ++pol) {
+          const std::size_t sp0 =
+              plane0 + static_cast<std::size_t>(pol) *
+                           static_cast<std::size_t>(slices);
+          seg_rows.clear();
+          for (int sl = 0; sl < slices; ++sl)
+            for (std::size_t e = offsets[sp0 + static_cast<std::size_t>(sl)];
+                 e < offsets[sp0 + static_cast<std::size_t>(sl) + 1]; ++e)
+              seg_rows.push_back(x[e]);
+          std::sort(seg_rows.begin(), seg_rows.end());
+          seg_rows.erase(std::unique(seg_rows.begin(), seg_rows.end()),
+                         seg_rows.end());
+          const std::size_t len = seg_rows.size();
+          const std::size_t slot0 = s.row.size();
+          for (const std::int32_t row : seg_rows) {
+            s.row.push_back(row);
+            s.mag.push_back(0);
+            s.denom.push_back(1.0);
+          }
+          s.level.resize(s.level.size() +
+                             len * static_cast<std::size_t>(slices),
+                         0);
+          s.var.resize(s.var.size() + len * static_cast<std::size_t>(slices),
+                       1.0F);
+          const std::size_t lbase = slot0 * static_cast<std::size_t>(slices);
+          for (int sl = 0; sl < slices; ++sl) {
+            for (std::size_t e = offsets[sp0 + static_cast<std::size_t>(sl)];
+                 e < offsets[sp0 + static_cast<std::size_t>(sl) + 1]; ++e) {
+              const auto it = std::lower_bound(seg_rows.begin(),
+                                               seg_rows.end(), x[e]);
+              const auto li = static_cast<std::size_t>(
+                  it - seg_rows.begin());
+              s.level[lbase + static_cast<std::size_t>(sl) * len + li] =
+                  level[e];
+              s.var[lbase + static_cast<std::size_t>(sl) * len + li] = var[e];
+              s.mag[slot0 + li] += level[e] << (sl * cfg.cell_bits);
+              s.denom[slot0 + li] = denom[e];
+            }
+          }
+          s.seg.push_back(s.row.size());
+        }
+      }
     }
   }
   return std::unique_ptr<AnalogLayerSim>(

@@ -20,13 +20,32 @@
 // Execution cost: CP pruning guarantees at most l ≪ r active rows per
 // column, and the cell programming is static, so the per-column
 // decomposition (signs, slice levels, variation, IR-drop attenuation) is
-// hoisted into a packed execution plan at construction. The mvm() inner
-// loop then touches exactly the active entries — O(l) per (polarity,
-// slice, cycle) instead of the O(r) row scan — while staying bit-identical
-// to the dense datapath (same operands, same accumulation order, same ADC
-// conversion count).
+// hoisted into a packed execution plan at construction. The plan is stored
+// as column-blocked SoA streams — one contiguous segment of active rows per
+// (block, column, polarity), with separate row-index / magnitude /
+// per-slice level / variation / IR-divisor arrays — so the inner loops are
+// flat array sweeps the compiler can vectorize, instead of the PR-3
+// pointer-chasing array-of-structs gather. Four execution paths share the
+// streams (see DESIGN.md §12):
+//
+//   fused     ideal datapath whose ADC provably never clips: the
+//             shift-and-add over (slice, cycle) telescopes exactly into
+//             one sparse integer dot product Σ |q_i|·x_i per polarity.
+//   bitslice  ideal 1-bit-DAC datapath that may clip: cell levels are
+//             decomposed into bit planes packed 64 cells/word, a cycle's
+//             chunk bits pack the same way, and each plane sum becomes
+//             popcount(level_plane & chunk_word) · 2^bit.
+//   vector    ideal fallback (multi-bit DAC that may clip): per-cycle
+//             chunk gather + per-slice int64 multiply-accumulate over the
+//             rectangular level stream.
+//   general   non-ideal (variation / IR drop): ordered sweep skipping
+//             zero levels, bit-identical to the dense float accumulation.
+//
+// All paths are bit-identical — outputs AND ADC counters — to the dense
+// reference and to the retained AoS executor, at every thread count.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -41,6 +60,14 @@ class SectionReader;
 }  // namespace tinyadc::artifact
 
 namespace tinyadc::msim {
+
+/// Which executor walks the packed plan (MsimConfig::plan_kernel).
+enum class PlanKernel : std::uint8_t {
+  kAuto = 0,      ///< best eligible path: fused > bitslice > vector/general
+  kAos = 1,       ///< retained PR-3 array-of-structs entry walk
+  kSoa = 2,       ///< SoA streams without fusing (vector/general paths)
+  kBitslice = 3,  ///< packed bit-plane popcount path when eligible
+};
 
 /// Simulation knobs.
 struct MsimConfig {
@@ -61,11 +88,19 @@ struct MsimConfig {
   /// packed plan is verified against bit-for-bit (outputs *and* ADC
   /// counters) by tests/msim_plan_test.cpp.
   bool use_plan = true;
+  /// Plan executor selection. Every kernel produces bit-identical outputs
+  /// and counters; non-default values exist for benchmarking and for the
+  /// equivalence tests. Kernels degrade gracefully: kBitslice falls back to
+  /// the vector/general paths when the datapath is non-ideal or the DAC is
+  /// multi-bit.
+  PlanKernel plan_kernel = PlanKernel::kAuto;
 };
 
-/// Artifact (de)serialization of the simulation knobs.
+/// Artifact (de)serialization of the simulation knobs. `version` is the
+/// PLANS-section payload version: v1 predates plan_kernel (defaults kAuto).
 void serialize(const MsimConfig& config, artifact::SectionWriter& w);
-MsimConfig deserialize_msim_config(artifact::SectionReader& r);
+MsimConfig deserialize_msim_config(artifact::SectionReader& r,
+                                   std::uint32_t version);
 
 /// Aggregate statistics from a simulation run.
 struct MsimStats {
@@ -87,17 +122,21 @@ class AnalogLayerSim {
   AnalogLayerSim(const xbar::MappedLayer& layer, MsimConfig config);
 
   /// Writes the compiled execution state — ADC sizing, programmed variation
-  /// draws, and the packed plan arrays — into a deployment artifact, so a
-  /// redeployment can *load* the plan instead of recompiling it.
+  /// draws, and the canonical SoA plan streams — into a deployment
+  /// artifact, so a redeployment can *load* the plan instead of recompiling
+  /// it.
   void serialize(artifact::SectionWriter& w) const;
 
   /// Reconstructs a simulator from state written by serialize(). Never
   /// invokes the plan compiler (build_plan) or redraws variation: the
   /// restored sim executes exactly the serialized operands, and every
   /// structural invariant of the plan is re-validated against `layer`.
+  /// `version` selects the PLANS payload layout: v1 payloads carry the
+  /// PR-3 AoS entry arrays and are converted to the SoA streams in place;
+  /// v2 payloads carry the SoA streams directly.
   static std::unique_ptr<AnalogLayerSim> deserialize(
       const xbar::MappedLayer& layer, MsimConfig config,
-      artifact::SectionReader& r);
+      artifact::SectionReader& r, std::uint32_t version);
 
   /// Process-wide count of plan compilations (build_plan runs). Lets tests
   /// and benches prove that artifact loading touches no compilation path.
@@ -110,6 +149,15 @@ class AnalogLayerSim {
   /// thread count; concurrent mvm() calls on one sim are also safe (the
   /// statistics merge is the only shared mutation and is locked).
   std::vector<std::int64_t> mvm(const std::vector<std::int32_t>& x);
+
+  /// Batched integer MVM: `xs` holds `batch` row-major samples of
+  /// layer-rows codes each; the result holds `batch` rows of layer-cols
+  /// sums. Equivalent to `batch` mvm() calls (outputs and statistics
+  /// bit-identical, dac_cycles advances once per sample), but walks the
+  /// plan streams once per (pair, sample) tile with the samples in the
+  /// inner loop — the serve path's multi-column fast lane.
+  std::vector<std::int64_t> mvm_batch(const std::vector<std::int32_t>& xs,
+                                      std::int64_t batch);
 
   /// Real-domain MVM: quantizes `x_real` with `x_quant`, runs the analog
   /// datapath, and rescales the digital result to real units. Inputs must
@@ -124,6 +172,14 @@ class AnalogLayerSim {
   std::vector<float> mvm_real_signed(const std::vector<float>& x_real,
                                      const xbar::QuantParams& x_quant);
 
+  /// Batched real-domain MVM over `batch` row-major samples; handles the
+  /// signed two-phase split internally. Bit-identical to per-sample
+  /// mvm_real / mvm_real_signed calls.
+  std::vector<float> mvm_real_batch(const std::vector<float>& xs,
+                                    std::int64_t batch,
+                                    const xbar::QuantParams& x_quant,
+                                    bool signed_input);
+
   /// The ADC resolution in use.
   int adc_bits() const { return adc_.bits(); }
   /// Statistics accumulated over all mvm() calls. Unsynchronized view —
@@ -136,21 +192,27 @@ class AnalogLayerSim {
   void reset_stats();
 
  private:
-  // One (block, logical column) conversion unit of the packed plan.
+  // One (block, logical column) conversion unit of the retained AoS plan.
   struct PairRef {
     std::int64_t out = 0;   ///< original output column index (y slot)
     std::size_t plane0 = 0; ///< first plane slot: planes are
                             ///< [pair][polarity][slice], contiguous
   };
 
-  // Execution state restored from an artifact (see deserialize()).
+  // Which inner loop executes the plan (resolved once per layer from the
+  // configured kernel and the datapath's properties).
+  enum class ExecPath : std::uint8_t { kFused, kBitslice, kVector, kGeneral };
+
+  // Execution state restored from an artifact (see deserialize()): the
+  // canonical SoA streams, exactly as finalize_plan() documents them.
   struct RestoredState {
     int adc_bits = 0;
     bool plan_ideal = false;
     std::vector<std::vector<float>> variation;
-    std::vector<PairRef> pairs;
-    std::vector<std::size_t> offsets;
-    std::vector<std::int32_t> x;
+    std::vector<std::int64_t> out;
+    std::vector<std::size_t> seg;
+    std::vector<std::int32_t> row;
+    std::vector<std::int32_t> mag;
     std::vector<std::int32_t> level;
     std::vector<float> var;
     std::vector<double> denom;
@@ -161,9 +223,30 @@ class AnalogLayerSim {
   void check_accumulator_headroom() const;
 
   void build_plan();
+  // Resolves the execution path, derives the retained AoS arrays (kAos) and
+  // the packed bit planes (bitslice) from the SoA streams, and computes the
+  // fused-path clipping predicate. Shared by build_plan and deserialize so
+  // a loaded plan provably dispatches through the same inner loops.
+  void finalize_plan();
+  void derive_aos_from_soa();
+  void build_bit_planes();
+
+  // Per-sample executors: read layer_rows codes at `x`, add column sums
+  // into the caller's per-pair slots. All executors convert pairs
+  // [p0, p1) and accumulate that range's ADC counters.
+  void exec_pairs_soa(const std::int32_t* x, const std::int32_t* chunks,
+                      std::int64_t p0, std::int64_t p1,
+                      std::int64_t* pair_acc, AdcCounters& counters) const;
+  void exec_pairs_aos(const std::int32_t* chunks, std::int64_t p0,
+                      std::int64_t p1, std::int64_t* pair_acc,
+                      AdcCounters& counters) const;
+
   std::vector<std::int64_t> mvm_packed(const std::vector<std::int32_t>& x);
   std::vector<std::int64_t> mvm_dense(const std::vector<std::int32_t>& x);
-  void merge_stats(const AdcCounters& counters, int cycles);
+  // Validates one sample's codes and splits them into the flat per-cycle
+  // chunk buffer ([t*n + r] layout) when `chunks` is non-null.
+  void dac_split(const std::int32_t* x, std::int32_t* chunks) const;
+  void merge_stats(const AdcCounters& counters, std::int64_t dac_cycles);
 
   const xbar::MappedLayer& layer_;
   MsimConfig config_;
@@ -171,23 +254,52 @@ class AnalogLayerSim {
   // Per-block per-cell multiplicative variation factors for the magnitude
   // slices, laid out [block][r * cols * slices + c * slices + s].
   std::vector<std::vector<float>> variation_;
-  // --- Sparsity-packed execution plan (built when config_.use_plan) -------
-  // CSC-like snapshot of the mapped layer taken at construction: for every
-  // (block, column, polarity, slice) "plane", a contiguous run of active
-  // entries. plan_offsets_ is a CSR-style offset table over the entry
-  // arrays; entries within a plane are in ascending block-row order, so the
-  // packed accumulation visits exactly the operands of the dense scan in
-  // the same order (bit-identity). The per-entry variation factor and
-  // IR-drop divisor are pre-folded from the construction-time census;
-  // both default to 1.0, which multiplies/divides exactly (IEEE-754), so
-  // one general loop covers every non-ideality combination.
+
+  // --- Canonical SoA execution plan (built when config_.use_plan) ---------
+  // For every (block, logical column) conversion pair pi and polarity pol,
+  // segment k = 2·pi + pol holds that plane-group's active rows in
+  // ascending order: soa_seg_ is the CSR offset table over the row slots,
+  // soa_row_[i] the flat DAC-chunk (activation) index, soa_mag_[i] the
+  // whole weight magnitude |q| (= Σ_s level·2^{s·cell_bits}), and
+  // soa_denom_[i] the per-row IR-drop divisor. Slice-resolved streams are
+  // rectangular (zeros included) and slice-major per segment:
+  // soa_level_/soa_var_ at [soa_seg_[k]·slices + s·len_k + local_i]. The
+  // rectangle is bit-safe for the integer paths (zero levels add nothing)
+  // and lets every slice of a segment stream contiguously.
+  std::vector<std::int64_t> soa_out_;   // pair → original output column
+  std::vector<std::size_t> soa_seg_;    // 2·pairs + 1 slot offsets
+  std::vector<std::int32_t> soa_row_;   // slot → flat DAC-chunk index
+  std::vector<std::int32_t> soa_mag_;   // slot → weight magnitude |q|
+  std::vector<std::int32_t> soa_level_; // slot×slice → cell level (rect.)
+  std::vector<float> soa_var_;          // slot×slice → variation factor
+  std::vector<double> soa_denom_;       // slot → IR-drop divisor
+
+  // --- Bit-sliced levels (built for the bitslice path) --------------------
+  // Each segment's levels decompose into slices·cell_bits bit planes packed
+  // 64 cells per word: word (plane p, word w) of segment k sits at
+  // bs_words_[bs_base_[k] + p·W_k + w], W_k = ⌈len_k / 64⌉ words.
+  std::vector<std::uint64_t> bs_words_;
+  std::vector<std::size_t> bs_base_;    // 2·pairs + 1 word-range offsets
+
+  // --- Retained AoS plan (PR-3 layout; derived when plan_kernel == kAos) --
   std::vector<PairRef> plan_pairs_;
   std::vector<std::size_t> plan_offsets_;  // planes*pairs + 1 offsets
   std::vector<std::int32_t> plan_x_;       // entry → flat DAC-chunk index
   std::vector<std::int32_t> plan_level_;   // entry → cell level (this slice)
   std::vector<float> plan_var_;            // entry → variation factor
   std::vector<double> plan_denom_;         // entry → IR-drop divisor
+
   bool plan_ideal_ = false;  // no variation and no IR drop: integer datapath
+  // Fused-path predicate: the worst-case plane sum (all chunks at full
+  // scale) over every (pair, polarity, slice) plane. When it fits the
+  // ADC's full scale no conversion can ever clip, so the shift-and-add
+  // telescopes exactly (DESIGN.md §12).
+  std::int64_t worst_plane_sum_ = 0;
+  // Largest worst-case fused per-polarity partial Σ |q|·x — when it fits
+  // int32 the fused dot accumulates in 32-bit lanes (twice the SIMD width).
+  std::int64_t worst_fused_sum_ = 0;
+  ExecPath exec_path_ = ExecPath::kVector;
+
   MsimStats stats_;
   // Guards stats_/adc_ counter merges under concurrent mvm() calls (held in
   // a unique_ptr so the sim stays movable for make_network_sims).

@@ -14,7 +14,11 @@ namespace tinyadc::msim {
 
 namespace {
 
-constexpr std::uint32_t kPlansSectionVersion = 1;
+// v1 plan payloads carry the PR-3 AoS entry arrays; v2 carries the SoA
+// streams (plus MsimConfig::plan_kernel). Readers accept both — v1 converts
+// at load — and writers always emit v2.
+constexpr std::uint32_t kPlansSectionVersion = 2;
+constexpr std::uint32_t kMinPlansSectionVersion = 1;
 constexpr std::uint32_t kCalibSectionVersion = 1;
 
 std::atomic<std::int64_t> g_calibration_runs{0};
@@ -28,40 +32,41 @@ Tensor analog_conv_mvm(AnalogLayerSim& sim, const Tensor& cols,
                        std::int64_t out_ch) {
   const std::int64_t rows = cols.dim(0);
   const std::int64_t pixels = cols.dim(1);
+  // Gather the patch matrix into row-major samples and stream the whole
+  // pixel batch through the plan in one call (parallel inside, fused
+  // sample loop on the clip-free path) — bit-identical to per-pixel calls.
+  std::vector<float> xs(static_cast<std::size_t>(rows * pixels));
+  for (std::int64_t p = 0; p < pixels; ++p)
+    for (std::int64_t r = 0; r < rows; ++r)
+      xs[static_cast<std::size_t>(p * rows + r)] = cols.at(r, p);
+  const auto y = sim.mvm_real_batch(xs, pixels, quant, signed_input);
+  const auto ycols = static_cast<std::int64_t>(y.size()) / std::max<
+      std::int64_t>(pixels, 1);
   Tensor out({out_ch, pixels});
-  runtime::parallel_for(0, pixels, 1, [&](std::int64_t p0, std::int64_t p1) {
-    std::vector<float> x(static_cast<std::size_t>(rows));
-    for (std::int64_t p = p0; p < p1; ++p) {
-      for (std::int64_t r = 0; r < rows; ++r)
-        x[static_cast<std::size_t>(r)] = cols.at(r, p);
-      const auto y = signed_input ? sim.mvm_real_signed(x, quant)
-                                  : sim.mvm_real(x, quant);
-      for (std::int64_t f = 0; f < out_ch; ++f)
-        out.at(f, p) = y[static_cast<std::size_t>(f)];
-    }
-  });
+  for (std::int64_t p = 0; p < pixels; ++p)
+    for (std::int64_t f = 0; f < out_ch; ++f)
+      out.at(f, p) = y[static_cast<std::size_t>(p * ycols + f)];
   return out;
 }
 
 /// Analog execution of one linear layer: batch samples are independent
-/// MVMs — same parallel contract as the conv pixel loop.
+/// MVMs — same batched contract as the conv pixel loop.
 Tensor analog_linear_mvm(AnalogLayerSim& sim, const Tensor& input,
                          const xbar::QuantParams& quant, bool signed_input,
                          std::int64_t out_features) {
   const std::int64_t batch = input.dim(0);
   const std::int64_t in_features = input.dim(1);
+  std::vector<float> xs(static_cast<std::size_t>(batch * in_features));
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t k = 0; k < in_features; ++k)
+      xs[static_cast<std::size_t>(n * in_features + k)] = input.at(n, k);
+  const auto y = sim.mvm_real_batch(xs, batch, quant, signed_input);
+  const auto ycols = static_cast<std::int64_t>(y.size()) / std::max<
+      std::int64_t>(batch, 1);
   Tensor out({batch, out_features});
-  runtime::parallel_for(0, batch, 1, [&](std::int64_t n0, std::int64_t n1) {
-    std::vector<float> x(static_cast<std::size_t>(in_features));
-    for (std::int64_t n = n0; n < n1; ++n) {
-      for (std::int64_t k = 0; k < in_features; ++k)
-        x[static_cast<std::size_t>(k)] = input.at(n, k);
-      const auto y = signed_input ? sim.mvm_real_signed(x, quant)
-                                  : sim.mvm_real(x, quant);
-      for (std::int64_t o = 0; o < out_features; ++o)
-        out.at(n, o) = y[static_cast<std::size_t>(o)];
-    }
-  });
+  for (std::int64_t n = 0; n < batch; ++n)
+    for (std::int64_t o = 0; o < out_features; ++o)
+      out.at(n, o) = y[static_cast<std::size_t>(n * ycols + o)];
   return out;
 }
 
@@ -106,9 +111,10 @@ AnalogNetwork::AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
 
   // --- Compiled plans section: shared config + one sim per layer. ---------
   const auto plans_version = plans.pod<std::uint32_t>();
-  TINYADC_CHECK(plans_version == kPlansSectionVersion,
+  TINYADC_CHECK(plans_version >= kMinPlansSectionVersion &&
+                    plans_version <= kPlansSectionVersion,
                 "unsupported plans-section version " << plans_version);
-  config_ = deserialize_msim_config(plans);
+  config_ = deserialize_msim_config(plans, plans_version);
   const auto nsims = plans.pod<std::uint64_t>();
   TINYADC_CHECK(nsims == views.size(),
                 "artifact holds " << nsims << " compiled layers, model has "
@@ -123,8 +129,8 @@ AnalogNetwork::AnalogNetwork(nn::Model& model, const xbar::MappedNetwork& net,
                   "layer shape mismatch on " << views[i].layer_name);
     MsimConfig layer_cfg = config_;
     layer_cfg.seed = config_.seed + i * 131;  // mirrors the compile-time draw
-    sims_.push_back(
-        AnalogLayerSim::deserialize(net_.layers[i], layer_cfg, plans));
+    sims_.push_back(AnalogLayerSim::deserialize(net_.layers[i], layer_cfg,
+                                                plans, plans_version));
   }
   TINYADC_CHECK(plans.remaining() == 0,
                 "trailing bytes after the compiled plans");

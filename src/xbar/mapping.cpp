@@ -207,6 +207,13 @@ std::int64_t MappedLayer::max_active_rows() const {
   return worst;
 }
 
+std::int64_t MappedLayer::census_nonzeros() const {
+  std::int64_t total = 0;
+  for (const auto& b : blocks)
+    for (const auto n : b.col_nonzeros) total += n;
+  return total;
+}
+
 int MappedLayer::required_adc_bits() const {
   return xbar::required_adc_bits(config.dac_bits, config.cell_bits,
                                  max_active_rows());

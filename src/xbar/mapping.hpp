@@ -103,6 +103,10 @@ struct MappedLayer {
   }
   /// Worst per-block-column occupancy over active blocks (the `r` of Eq. 1).
   std::int64_t max_active_rows() const;
+  /// Total active weights over every (block, column) — the census sum. Every
+  /// active weight owns exactly one row slot in one polarity segment of the
+  /// packed execution plan, so this is the plan's exact stream length.
+  std::int64_t census_nonzeros() const;
   /// ADC resolution Eq. 1 requires for bit-exact readout (census occupancy;
   /// what the functional simulator uses).
   int required_adc_bits() const;

@@ -345,5 +345,188 @@ TEST(Artifact, CorruptionMatrixFailsWithCheckError) {
   std::remove(bad.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// PLANS-section versioning: committed v1 (PR-6 AoS payload) golden artifacts
+// must keep loading under the v2 reader — executing bit-identically to a
+// freshly compiled pipeline — and upgrade cleanly (re-save writes v2, and
+// the upgraded file round-trips byte-identically).
+
+void golden_v1_upgrade_case(const std::string& golden,
+                            const msim::MsimConfig& mcfg) {
+  ASSERT_FALSE(slurp(golden).empty()) << golden;
+  Fixture f(mcfg);
+
+  const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+  const auto calib_before = msim::AnalogNetwork::calibration_runs();
+  Deployment dep = load_artifact(golden);
+  EXPECT_EQ(msim::AnalogLayerSim::plan_compilations(), plans_before)
+      << "loading a v1 payload must convert, not recompile";
+  EXPECT_EQ(msim::AnalogNetwork::calibration_runs(), calib_before);
+
+  const Tensor batch = f.batch(6);
+  const Tensor y1 = dep.analog->forward(batch);
+#ifndef TINYADC_NATIVE
+  // The converted v1 plan executes bit-identically — outputs and per-layer
+  // ADC/DAC counters — to the freshly compiled v2 pipeline. Only checkable
+  // on the portable reference build that wrote the goldens: under
+  // -march=native, FMA contraction shifts the fixture's *training* floats,
+  // so the freshly trained weights legitimately drift from the stored ones.
+  const Tensor y0 = f.analog->forward(batch);
+  ASSERT_EQ(y0.numel(), y1.numel());
+  EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                        static_cast<std::size_t>(y0.numel()) * sizeof(float)),
+            0)
+      << golden;
+  ASSERT_EQ(f.analog->sims().size(), dep.analog->sims().size());
+  for (std::size_t i = 0; i < f.analog->sims().size(); ++i) {
+    const auto s0 = f.analog->sims()[i]->stats_snapshot();
+    const auto s1 = dep.analog->sims()[i]->stats_snapshot();
+    EXPECT_EQ(s0.adc_conversions, s1.adc_conversions) << "layer " << i;
+    EXPECT_EQ(s0.adc_clip_events, s1.adc_clip_events) << "layer " << i;
+    EXPECT_EQ(s0.dac_cycles, s1.dac_cycles) << "layer " << i;
+  }
+#endif
+
+  // Upgrade: re-save (always writes v2), reload, and prove the upgraded
+  // artifact is stable (byte-identical second save) and still executes
+  // bit-identically — outputs and counters — to the v1-converted plans.
+  // (These claims hold on any build: both deployments live in this
+  // process, so there is no cross-build float drift to absorb.)
+  const std::string up0 = "artifact_v1_upgrade0_tmp.tadc";
+  const std::string up1 = "artifact_v1_upgrade1_tmp.tadc";
+  save_artifact(up0, dep);
+  Deployment dep2 = load_artifact(up0);
+  save_artifact(up1, dep2);
+  EXPECT_TRUE(slurp(up0) == slurp(up1))
+      << "upgraded artifact must round-trip byte-identically";
+  const Tensor y2 = dep2.analog->forward(batch);
+  ASSERT_EQ(y1.numel(), y2.numel());
+  EXPECT_EQ(std::memcmp(y1.data(), y2.data(),
+                        static_cast<std::size_t>(y1.numel()) * sizeof(float)),
+            0);
+  ASSERT_EQ(dep.analog->sims().size(), dep2.analog->sims().size());
+  for (std::size_t i = 0; i < dep.analog->sims().size(); ++i) {
+    const auto s1 = dep.analog->sims()[i]->stats_snapshot();
+    const auto s2 = dep2.analog->sims()[i]->stats_snapshot();
+    EXPECT_EQ(s1.adc_conversions, s2.adc_conversions) << "layer " << i;
+    EXPECT_EQ(s1.adc_clip_events, s2.adc_clip_events) << "layer " << i;
+    EXPECT_EQ(s1.dac_cycles, s2.dac_cycles) << "layer " << i;
+  }
+  std::remove(up0.c_str());
+  std::remove(up1.c_str());
+}
+
+TEST(ArtifactVersioning, GoldenV1IdealLoadsExecutesAndUpgrades) {
+  golden_v1_upgrade_case(
+      std::string(TINYADC_TEST_DATA_DIR) + "/golden_plans_v1_ideal.tadc", {});
+}
+
+TEST(ArtifactVersioning, GoldenV1NonIdealLoadsExecutesAndUpgrades) {
+  msim::MsimConfig mcfg;
+  mcfg.variation_sigma = 0.1;
+  mcfg.ir_drop_alpha = 0.3;
+  golden_v1_upgrade_case(
+      std::string(TINYADC_TEST_DATA_DIR) + "/golden_plans_v1_nonideal.tadc",
+      mcfg);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix over the v2 SoA plan streams: tamper one field at a
+// time in a single layer's serialized payload and require CheckError from
+// the stream validators (never garbage execution or bad_alloc).
+
+TEST(ArtifactVersioning, CorruptV2PlanStreamsRaiseCheckError) {
+  Fixture f;
+  const auto& layer = f.net.layers.front();
+  msim::MsimConfig mcfg;  // defaults: use_plan, kAuto, ideal datapath
+  msim::AnalogLayerSim sim(layer, mcfg);
+  SectionWriter w;
+  sim.serialize(w);
+  const std::vector<char> base = w.bytes();
+
+  // Fixed offsets of the v2 layer payload (ideal fixture: no variation
+  // blocks): i32 adc_bits, u8 plan_ideal, u64 nvar, u8 use_plan,
+  // u64 npairs, npairs×i64 outs, u64 nseg, nseg×u64 segs, then the five
+  // vec() streams (row/mag i32, level i32, var f32, denom f64).
+  auto read_u64 = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, base.data() + off, sizeof(v));
+    return v;
+  };
+  const std::size_t off_npairs = 4 + 1 + 8 + 1;
+  const std::uint64_t npairs = read_u64(off_npairs);
+  ASSERT_GE(npairs, 1U);
+  const std::size_t off_outs = off_npairs + 8;
+  const std::size_t off_nseg = off_outs + 8 * static_cast<std::size_t>(npairs);
+  ASSERT_EQ(read_u64(off_nseg), 2 * npairs + 1);
+  const std::size_t off_seg = off_nseg + 8;
+  const std::size_t off_rowcnt =
+      off_seg + 8 * static_cast<std::size_t>(2 * npairs + 1);
+  const std::uint64_t slots = read_u64(off_rowcnt);
+  ASSERT_GE(slots, 2U);
+  const int slices = layer.config.slices();
+  const std::size_t off_row = off_rowcnt + 8;
+  const std::size_t off_mag = off_row + 4 * slots + 8;
+  const std::size_t off_level = off_mag + 4 * slots + 8;
+  const std::size_t off_var =
+      off_level + 4 * slots * static_cast<std::size_t>(slices) + 8;
+  const std::size_t off_denom =
+      off_var + 4 * slots * static_cast<std::size_t>(slices) + 8;
+
+  auto expect_throws = [&](const std::vector<char>& bytes, const char* what) {
+    SectionReader r(bytes.data(), bytes.size(), "PLANS");
+    EXPECT_THROW(
+        (void)msim::AnalogLayerSim::deserialize(layer, mcfg, r,
+                                                /*version=*/2),
+        CheckError)
+        << what;
+  };
+  auto tampered = [&](std::size_t off, const auto& v) {
+    auto b = base;
+    std::memcpy(b.data() + off, &v, sizeof(v));
+    return b;
+  };
+
+  // Sanity: the untampered payload deserializes and executes.
+  {
+    SectionReader r(base.data(), base.size(), "PLANS");
+    auto restored = msim::AnalogLayerSim::deserialize(layer, mcfg, r, 2);
+    EXPECT_EQ(r.remaining(), 0U);
+    std::vector<std::int32_t> x(static_cast<std::size_t>(layer.rows), 3);
+    EXPECT_EQ(restored->mvm(x), sim.mvm(x));
+  }
+
+  expect_throws(tampered(off_outs, std::int64_t{-2}),
+                "negative output column");
+  expect_throws(tampered(off_outs, layer.cols + 7),
+                "output column past the layer");
+  expect_throws(tampered(off_seg + 8, std::uint64_t{0xFFFFFFFFU}),
+                "non-monotone segment table");
+  expect_throws(tampered(off_row, std::int32_t{-1}),
+                "negative activation row");
+  expect_throws(
+      tampered(off_row, static_cast<std::int32_t>(layer.rows + 13)),
+      "activation row past the layer");
+  expect_throws(tampered(off_mag, std::int32_t{0}), "zero magnitude");
+  expect_throws(tampered(off_level, std::int32_t{1 << layer.config.cell_bits}),
+                "cell level past the MLC range");
+  {
+    // An in-range level that no longer recomposes to the stored magnitude.
+    std::int32_t lv = 0;
+    std::memcpy(&lv, base.data() + off_level, sizeof(lv));
+    expect_throws(tampered(off_level,
+                           lv == 0 ? std::int32_t{1} : std::int32_t{0}),
+                  "slice/magnitude cross-check");
+  }
+  expect_throws(tampered(off_var, -1.0F), "negative variation factor");
+  expect_throws(tampered(off_denom, 0.0), "zero IR divisor");
+  // Truncation inside each stream: the vec() budget guard must fire.
+  for (const std::size_t cut : {off_row + 3, off_level + 5, off_denom + 1})
+    expect_throws(std::vector<char>(base.begin(),
+                                    base.begin() +
+                                        static_cast<std::ptrdiff_t>(cut)),
+                  "truncated stream");
+}
+
 }  // namespace
 }  // namespace tinyadc::artifact

@@ -203,6 +203,210 @@ TEST(BatchInvariance, EvaluateIndependentOfBatchSize) {
   }
 }
 
+/// Every plan kernel — retained AoS walk, un-fused SoA streams, bit-sliced
+/// popcount path, and the kAuto dispatcher — must reproduce the dense
+/// reference bit for bit (outputs AND ADC counters) for every CP rate,
+/// thread count and non-ideality combination. Kernels that are ineligible
+/// for a configuration (bitslice under variation, fused under clipping)
+/// must degrade to an eligible path, not diverge.
+class KernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {
+ protected:
+  void TearDown() override { runtime::set_thread_count(0); }
+};
+
+TEST_P(KernelEquivalence, AllKernelsMatchDenseBitForBit) {
+  const auto [keep, threads] = GetParam();
+  runtime::set_thread_count(threads);
+  const Tensor m = cp_matrix(keep, static_cast<std::uint64_t>(keep) + 1);
+  xbar::MappingConfig map_cfg;
+  const auto layer = xbar::map_matrix(m, "l", map_cfg);
+
+  MsimConfig variants[4];
+  variants[1].variation_sigma = 0.1;
+  variants[2].ir_drop_alpha = 0.3;
+  variants[3].variation_sigma = 0.1;
+  variants[3].ir_drop_alpha = 0.3;
+  for (const MsimConfig& base : variants) {
+    MsimConfig dense_cfg = base;
+    dense_cfg.use_plan = false;
+    AnalogLayerSim dense(layer, dense_cfg);
+    const auto x = random_codes(layer.rows, map_cfg.input_bits, 21);
+    const auto y_ref = dense.mvm(x);
+    for (const PlanKernel kernel :
+         {PlanKernel::kAuto, PlanKernel::kAos, PlanKernel::kSoa,
+          PlanKernel::kBitslice}) {
+      MsimConfig cfg = base;
+      cfg.plan_kernel = kernel;
+      AnalogLayerSim sim(layer, cfg);
+      EXPECT_EQ(sim.mvm(x), y_ref)
+          << "kernel=" << static_cast<int>(kernel) << " keep=" << keep
+          << " threads=" << threads << " sigma=" << base.variation_sigma
+          << " alpha=" << base.ir_drop_alpha;
+      EXPECT_EQ(sim.stats().adc_conversions, dense.stats().adc_conversions)
+          << "kernel=" << static_cast<int>(kernel);
+      EXPECT_EQ(sim.stats().adc_clip_events, dense.stats().adc_clip_events)
+          << "kernel=" << static_cast<int>(kernel);
+      EXPECT_EQ(sim.stats().dac_cycles, dense.stats().dac_cycles)
+          << "kernel=" << static_cast<int>(kernel);
+    }
+    dense.reset_stats();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndThreads, KernelEquivalence,
+    ::testing::Combine(::testing::Values<std::int64_t>(4, 16, 128),
+                       ::testing::Values(1, 4)));
+
+TEST(KernelEquivalence, MultiBitDacFallsBackBitExactly) {
+  // dac_bits == 2 disqualifies the bitslice packing; every kernel must
+  // land on the vector path and still match dense.
+  const Tensor m = cp_matrix(16, 99);
+  xbar::MappingConfig map_cfg;
+  map_cfg.dac_bits = 2;
+  const auto layer = xbar::map_matrix(m, "l", map_cfg);
+  MsimConfig dense_cfg;
+  dense_cfg.use_plan = false;
+  AnalogLayerSim dense(layer, dense_cfg);
+  const auto x = random_codes(layer.rows, map_cfg.input_bits, 31);
+  const auto y_ref = dense.mvm(x);
+  for (const PlanKernel kernel : {PlanKernel::kAos, PlanKernel::kSoa,
+                                  PlanKernel::kBitslice}) {
+    MsimConfig cfg;
+    cfg.plan_kernel = kernel;
+    AnalogLayerSim sim(layer, cfg);
+    EXPECT_EQ(sim.mvm(x), y_ref) << "kernel=" << static_cast<int>(kernel);
+    EXPECT_EQ(sim.stats().adc_conversions, dense.stats().adc_conversions);
+    EXPECT_EQ(sim.stats().adc_clip_events, dense.stats().adc_clip_events);
+  }
+}
+
+TEST(KernelEquivalence, UnderProvisionedAdcClipsIdenticallyAcrossKernels) {
+  // A 2-bit ADC saturates constantly: the fused path must disqualify
+  // itself (its predicate requires clip-free conversion) and every kernel
+  // must reproduce the dense clipping pattern exactly.
+  const Tensor m = cp_matrix(128, 42);
+  const auto layer = xbar::map_matrix(m, "l", xbar::MappingConfig{});
+  MsimConfig base;
+  base.adc_bits_override = 2;
+  MsimConfig dense_cfg = base;
+  dense_cfg.use_plan = false;
+  AnalogLayerSim dense(layer, dense_cfg);
+  std::vector<std::int32_t> x(static_cast<std::size_t>(layer.rows), 255);
+  const auto y_ref = dense.mvm(x);
+  EXPECT_GT(dense.stats().adc_clip_events, 0);
+  for (const PlanKernel kernel : {PlanKernel::kAuto, PlanKernel::kAos,
+                                  PlanKernel::kSoa, PlanKernel::kBitslice}) {
+    MsimConfig cfg = base;
+    cfg.plan_kernel = kernel;
+    AnalogLayerSim sim(layer, cfg);
+    EXPECT_EQ(sim.mvm(x), y_ref) << "kernel=" << static_cast<int>(kernel);
+    EXPECT_EQ(sim.stats().adc_clip_events, dense.stats().adc_clip_events)
+        << "kernel=" << static_cast<int>(kernel);
+  }
+}
+
+TEST(KernelEquivalence, FullyPrunedLayerDegeneratesToZero) {
+  // bits == 0 ADCs (a fully-pruned mapping) must output zeros on every
+  // kernel without tripping the fused predicate (full_scale == 0).
+  Tensor m({16, 4});
+  const auto layer = xbar::map_matrix(m, "l", xbar::MappingConfig{});
+  std::vector<std::int32_t> x(static_cast<std::size_t>(layer.rows), 200);
+  for (const PlanKernel kernel : {PlanKernel::kAuto, PlanKernel::kAos,
+                                  PlanKernel::kSoa, PlanKernel::kBitslice}) {
+    MsimConfig cfg;
+    cfg.plan_kernel = kernel;
+    AnalogLayerSim sim(layer, cfg);
+    const auto y = sim.mvm(x);
+    for (const auto v : y) EXPECT_EQ(v, 0);
+  }
+}
+
+/// The batched entry points must be indistinguishable from per-sample
+/// calls: outputs, ADC counters and DAC cycle counts, on every kernel,
+/// for the integer API and both real-domain input modes.
+class BatchApiEquivalence : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { runtime::set_thread_count(0); }
+};
+
+TEST_P(BatchApiEquivalence, BatchedMatchesPerSample) {
+  runtime::set_thread_count(GetParam());
+  const Tensor m = cp_matrix(16, 5);
+  xbar::MappingConfig map_cfg;
+  const auto layer = xbar::map_matrix(m, "l", map_cfg);
+  constexpr std::int64_t kBatch = 5;
+
+  MsimConfig variants[2];
+  variants[1].variation_sigma = 0.1;  // forces the non-fused batch fallback
+  for (const MsimConfig& base : variants) {
+    for (const PlanKernel kernel :
+         {PlanKernel::kAuto, PlanKernel::kAos, PlanKernel::kSoa,
+          PlanKernel::kBitslice}) {
+      MsimConfig cfg = base;
+      cfg.plan_kernel = kernel;
+      AnalogLayerSim batched(layer, cfg);
+      AnalogLayerSim serial(layer, cfg);
+
+      // Integer API.
+      std::vector<std::int32_t> xs;
+      for (std::int64_t s = 0; s < kBatch; ++s) {
+        const auto x = random_codes(layer.rows, map_cfg.input_bits,
+                                    100 + static_cast<std::uint64_t>(s));
+        xs.insert(xs.end(), x.begin(), x.end());
+      }
+      const auto yb = batched.mvm_batch(xs, kBatch);
+      ASSERT_EQ(yb.size(), static_cast<std::size_t>(kBatch * layer.cols));
+      for (std::int64_t s = 0; s < kBatch; ++s) {
+        const std::vector<std::int32_t> x(
+            xs.begin() + s * layer.rows, xs.begin() + (s + 1) * layer.rows);
+        const auto y = serial.mvm(x);
+        const std::vector<std::int64_t> row(yb.begin() + s * layer.cols,
+                                            yb.begin() + (s + 1) * layer.cols);
+        EXPECT_EQ(row, y) << "sample " << s << " kernel="
+                          << static_cast<int>(kernel);
+      }
+      EXPECT_EQ(batched.stats().adc_conversions,
+                serial.stats().adc_conversions);
+      EXPECT_EQ(batched.stats().adc_clip_events,
+                serial.stats().adc_clip_events);
+      EXPECT_EQ(batched.stats().dac_cycles, serial.stats().dac_cycles);
+
+      // Real-domain API, unsigned and signed (two-phase split).
+      xbar::QuantParams q;
+      q.bits = map_cfg.input_bits;
+      q.scale = 0.043F;
+      tinyadc::Rng rng(7);
+      std::vector<float> xr(static_cast<std::size_t>(kBatch * layer.rows));
+      for (auto& v : xr) v = rng.normal(0.0F, 2.0F);
+      for (const bool signed_input : {false, true}) {
+        std::vector<float> xin = xr;
+        if (!signed_input)
+          for (auto& v : xin) v = v < 0.0F ? -v : v;  // post-ReLU domain
+        const auto yb_real =
+            batched.mvm_real_batch(xin, kBatch, q, signed_input);
+        for (std::int64_t s = 0; s < kBatch; ++s) {
+          const std::vector<float> x(xin.begin() + s * layer.rows,
+                                     xin.begin() + (s + 1) * layer.rows);
+          const auto y = signed_input ? serial.mvm_real_signed(x, q)
+                                      : serial.mvm_real(x, q);
+          const std::vector<float> row(
+              yb_real.begin() + s * layer.cols,
+              yb_real.begin() + (s + 1) * layer.cols);
+          EXPECT_EQ(row, y) << "signed=" << signed_input << " sample " << s;
+        }
+      }
+      EXPECT_EQ(batched.stats().adc_conversions,
+                serial.stats().adc_conversions);
+      EXPECT_EQ(batched.stats().dac_cycles, serial.stats().dac_cycles);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchApiEquivalence, ::testing::Values(1,
+                                                                         4));
+
 TEST(OverflowGuard, AcceptsPaperConfiguration) {
   tinyadc::Rng rng(2);
   Tensor m = Tensor::randn({128, 16}, rng);
