@@ -18,6 +18,15 @@
 #define TINYADC_PREFETCH(addr) ((void)0)
 #endif
 
+// Vectorized popcount for the bitslice path: TINYADC_NATIVE=ON builds on
+// AVX-512 VPOPCNTDQ hardware (Ice Lake+) get the intrinsic lane below.
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+#include <immintrin.h>
+#define TINYADC_HAS_VPOPCNTQ 1
+#else
+#define TINYADC_HAS_VPOPCNTQ 0
+#endif
+
 namespace tinyadc::msim {
 
 namespace {
@@ -52,6 +61,34 @@ inline std::int64_t adc_code_int(std::int64_t isum, int bits,
     return full_scale;
   }
   return isum;
+}
+
+/// Population count of `a[i] & b[i]` over `n` words — the bitslice path's
+/// plane reduction. Dispatch is compile-time: eligibility is a property of
+/// the target ISA, not the input. On AVX-512 VPOPCNTDQ targets the AND and
+/// popcount of eight words fuse into two instructions per 512-bit lane;
+/// elsewhere std::popcount lowers to hardware POPCNT (-march=native) or the
+/// portable SWAR sequence. Bit-exact either way: both sides count the same
+/// set bits, and the int64 accumulator cannot overflow (≤ 64 per word).
+inline std::int64_t popcount_and_words(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t n) {
+#if TINYADC_HAS_VPOPCNTQ
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  std::int64_t pc = _mm512_reduce_add_epi64(acc);
+  for (; i < n; ++i) pc += std::popcount(a[i] & b[i]);
+  return pc;
+#else
+  std::int64_t pc = 0;
+  for (std::size_t i = 0; i < n; ++i) pc += std::popcount(a[i] & b[i]);
+  return pc;
+#endif
 }
 
 }  // namespace
@@ -491,10 +528,7 @@ void AnalogLayerSim::exec_pairs_soa(const std::int32_t* x,
                 const std::uint64_t* pw =
                     plane0 +
                     static_cast<std::size_t>(sshift + b) * words;
-                std::int64_t pc = 0;
-                for (std::size_t w = 0; w < words; ++w)
-                  pc += std::popcount(pw[w] & ct[w]);
-                isum += pc << b;
+                isum += popcount_and_words(pw, ct, words) << b;
               }
               const std::int64_t code =
                   adc_code_int(isum, bits, full_scale, counters.clip_events);
@@ -979,6 +1013,30 @@ void AnalogLayerSim::reset_stats() {
 MsimStats AnalogLayerSim::stats_snapshot() const {
   std::lock_guard<std::mutex> lk(*stats_mu_);
   return stats_;
+}
+
+void AnalogLayerSim::prefetch_plan() const {
+  // Touch the first cache lines of the streams the layer's execution path
+  // sweeps first; the hardware prefetcher picks up the sequential walk from
+  // there. Stride by one cache line (8 words / 16 int32) over a small head
+  // window so the hint stays cheap even for large layers.
+  constexpr std::size_t kHeadSlots = 512;   // ~2-4 KiB per stream
+  const std::size_t slots = std::min(kHeadSlots, soa_row_.size());
+  for (std::size_t i = 0; i < slots; i += 16) {
+    TINYADC_PREFETCH(soa_row_.data() + i);
+    TINYADC_PREFETCH(soa_mag_.data() + i);
+  }
+  if (exec_path_ == ExecPath::kBitslice) {
+    const std::size_t words = std::min(kHeadSlots, bs_words_.size());
+    for (std::size_t w = 0; w < words; w += 8)
+      TINYADC_PREFETCH(bs_words_.data() + w);
+  } else if (exec_path_ == ExecPath::kVector ||
+             exec_path_ == ExecPath::kGeneral) {
+    const std::size_t lv = std::min(kHeadSlots, soa_level_.size());
+    for (std::size_t i = 0; i < lv; i += 16)
+      TINYADC_PREFETCH(soa_level_.data() + i);
+  }
+  if (!soa_seg_.empty()) TINYADC_PREFETCH(soa_seg_.data());
 }
 
 AnalogLayerSim::AnalogLayerSim(const xbar::MappedLayer& layer,

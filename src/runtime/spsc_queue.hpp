@@ -1,0 +1,89 @@
+// Bounded single-producer/single-consumer handoff queue.
+//
+// The inter-stage primitive of the serving pipeline (serve/pipeline.hpp):
+// each stage thread pops from its input queue and pushes into the next
+// stage's queue, so every queue has exactly one producer and one consumer.
+// The implementation is a mutex + two condition variables rather than a
+// lock-free ring: a pipeline stage's unit of work is a whole model-stage
+// forward (tens of microseconds to milliseconds), so handoff cost is noise
+// and the blocking semantics are what the executor actually wants —
+// `push` into a full queue is the pipeline's backpressure (the in-flight
+// window is the queue capacities plus one job per stage), and `pop` on an
+// empty queue is the stage's idle wait. Both return false only when the
+// queue has been closed and (for pop) fully drained, which is how a
+// shutdown propagates stage by stage without a sentinel value.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace tinyadc::runtime {
+
+/// Bounded blocking FIFO for exactly one producer and one consumer thread.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is the number of items the queue buffers (>= 1).
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) if the
+  /// queue was closed before space became available.
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns false once the queue is
+  /// closed *and* drained; items pushed before close() are still delivered.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wakes both sides; subsequent push() calls fail, pop() drains then
+  /// fails. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Items currently buffered (diagnostic; racy by nature).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tinyadc::runtime

@@ -31,8 +31,18 @@ InferenceEngine::InferenceEngine(const msim::AnalogNetwork& compiled,
                 "InferenceEngine requires a calibrated AnalogNetwork");
   TINYADC_CHECK(config_.workers >= 1, "need at least one worker");
   TINYADC_CHECK(config_.max_batch >= 1, "max_batch must be >= 1");
+  TINYADC_CHECK(config_.pipeline_stages >= 0,
+                "pipeline_stages must be >= 0");
   sims_baseline_ = sims_total(compiled_);
   batch_hist_.assign(config_.max_batch + 1, 0);
+  if (config_.pipeline_stages > 0) {
+    // Pipeline mode: one batching dispatcher feeds the stage threads (the
+    // PipelineExecutor itself is built lazily, on the first batch). The
+    // dispatcher is the queues' single producer, which also pins batch
+    // composition exactly like a 1-worker engine.
+    threads_.emplace_back([this] { dispatcher_main(); });
+    return;
+  }
   sessions_.reserve(static_cast<std::size_t>(config_.workers));
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w)
@@ -75,55 +85,103 @@ std::future<InferenceResult> InferenceEngine::submit(Tensor image) {
   return future;
 }
 
+bool InferenceEngine::take_batch(std::vector<Pending>& batch,
+                                 std::uint64_t& batch_seq) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // only possible when stopping
+    if (queue_.size() >= config_.max_batch || stop_ || drain_waiters_ > 0)
+      break;  // full batch ready, or flushing partials
+    if (config_.deterministic) {
+      // Deterministic mode: release only full consecutive batches;
+      // partials wait for a drain or shutdown, never for a clock.
+      cv_.wait(lk, [this] {
+        return stop_ || drain_waiters_ > 0 ||
+               queue_.size() >= config_.max_batch;
+      });
+    } else {
+      // Dynamic batching: hold the partial batch until the oldest
+      // request's deadline, waking early if the batch fills up or
+      // another worker empties the queue.
+      const auto deadline = queue_.front().t_submit +
+                            std::chrono::microseconds(config_.max_wait_us);
+      cv_.wait_until(lk, deadline, [this] {
+        return stop_ || drain_waiters_ > 0 || queue_.empty() ||
+               queue_.size() >= config_.max_batch;
+      });
+    }
+    if (!queue_.empty()) break;  // take whatever is there now
+  }
+  const std::size_t take = std::min(config_.max_batch, queue_.size());
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  batch_seq = next_batch_seq_++;
+  inflight_ += batch.size();
+  lk.unlock();
+  cv_.notify_all();  // more work may remain for other takers
+  return true;
+}
+
 void InferenceEngine::worker_main(msim::AnalogSession& session) {
   for (;;) {
     std::vector<Pending> batch;
     std::uint64_t batch_seq = 0;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      for (;;) {
-        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // only possible when stopping
-        if (queue_.size() >= config_.max_batch || stop_ ||
-            drain_waiters_ > 0)
-          break;  // full batch ready, or flushing partials
-        if (config_.deterministic) {
-          // Deterministic mode: release only full consecutive batches;
-          // partials wait for a drain or shutdown, never for a clock.
-          cv_.wait(lk, [this] {
-            return stop_ || drain_waiters_ > 0 ||
-                   queue_.size() >= config_.max_batch;
-          });
-        } else {
-          // Dynamic batching: hold the partial batch until the oldest
-          // request's deadline, waking early if the batch fills up or
-          // another worker empties the queue.
-          const auto deadline =
-              queue_.front().t_submit +
-              std::chrono::microseconds(config_.max_wait_us);
-          cv_.wait_until(lk, deadline, [this] {
-            return stop_ || drain_waiters_ > 0 || queue_.empty() ||
-                   queue_.size() >= config_.max_batch;
-          });
-        }
-        if (!queue_.empty()) break;  // take whatever is there now
-      }
-      const std::size_t take = std::min(config_.max_batch, queue_.size());
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      batch_seq = next_batch_seq_++;
-      inflight_ += batch.size();
-    }
-    cv_.notify_all();  // more work may remain for other workers
+    if (!take_batch(batch, batch_seq)) return;
     run_batch(session, batch, batch_seq);
     {
       std::lock_guard<std::mutex> lk(mu_);
       inflight_ -= batch.size();
       if (inflight_ == 0 && queue_.empty()) idle_cv_.notify_all();
     }
+  }
+}
+
+void InferenceEngine::dispatcher_main() {
+  for (;;) {
+    std::vector<Pending> batch;
+    std::uint64_t batch_seq = 0;
+    if (!take_batch(batch, batch_seq)) return;
+
+    const auto b = static_cast<std::int64_t>(batch.size());
+    const Tensor& first = batch.front().image;
+    const std::int64_t chw = first.numel();
+    Tensor images({b, first.dim(0), first.dim(1), first.dim(2)});
+    for (std::int64_t i = 0; i < b; ++i)
+      std::memcpy(images.data() + i * chw,
+                  batch[static_cast<std::size_t>(i)].image.data(),
+                  static_cast<std::size_t>(chw) * sizeof(float));
+
+    if (!executor_) {
+      // First batch: build the pipeline, using this batch as the timing
+      // probe's sample, and fold the probe's ADC/DAC activity into the
+      // baseline — served-traffic deltas stay byte-identical to the
+      // sequential engine's.
+      auto executor = std::make_unique<PipelineExecutor>(
+          compiled_, config_.pipeline_stages, images);
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      const msim::MsimStats& probe = executor->probe_stats();
+      sims_baseline_.adc_conversions += probe.adc_conversions;
+      sims_baseline_.adc_clip_events += probe.adc_clip_events;
+      sims_baseline_.dac_cycles += probe.dac_cycles;
+      executor_ = std::move(executor);
+    }
+
+    // The completion runs on the last stage's thread; promises are
+    // move-only, so the batch travels in a shared_ptr (std::function
+    // requires a copyable callable).
+    auto shared = std::make_shared<std::vector<Pending>>(std::move(batch));
+    executor_->submit(
+        std::move(images),
+        [this, shared, batch_seq](Tensor logits, std::exception_ptr error) {
+          finish_batch(*shared, batch_seq, logits, error);
+          std::lock_guard<std::mutex> lk(mu_);
+          inflight_ -= shared->size();
+          if (inflight_ == 0 && queue_.empty()) idle_cv_.notify_all();
+        });
   }
 }
 
@@ -140,13 +198,24 @@ void InferenceEngine::run_batch(msim::AnalogSession& session,
                 static_cast<std::size_t>(chw) * sizeof(float));
 
   Tensor logits;
+  std::exception_ptr error;
   try {
     logits = session.forward(images);
   } catch (...) {
-    const auto error = std::current_exception();
+    error = std::current_exception();
+  }
+  finish_batch(batch, batch_seq, logits, error);
+}
+
+void InferenceEngine::finish_batch(std::vector<Pending>& batch,
+                                   std::uint64_t batch_seq,
+                                   const Tensor& logits,
+                                   std::exception_ptr error) {
+  if (error) {
     for (Pending& p : batch) p.promise.set_exception(error);
     return;
   }
+  const auto b = static_cast<std::int64_t>(batch.size());
   const auto t_done = Clock::now();
   const std::int64_t k = logits.dim(1);
 
@@ -190,6 +259,10 @@ void InferenceEngine::shutdown() {
   cv_.notify_all();
   for (std::thread& t : threads_) t.join();
   threads_.clear();
+  // Pipeline mode: the dispatcher has exited, so no more submits; drain
+  // the stage threads (batches already in the pipeline still complete).
+  // The executor itself stays alive for post-shutdown stage_stats().
+  if (executor_) executor_->shutdown();
 }
 
 ServeStats InferenceEngine::stats() const {
@@ -215,9 +288,17 @@ ServeStats InferenceEngine::stats() const {
   s.mean_batch =
       s.batches ? static_cast<double>(s.requests) / s.batches : 0.0;
   const msim::MsimStats now = sims_total(compiled_);
-  s.adc_conversions = now.adc_conversions - sims_baseline_.adc_conversions;
-  s.adc_clip_events = now.adc_clip_events - sims_baseline_.adc_clip_events;
-  s.dac_cycles = now.dac_cycles - sims_baseline_.dac_cycles;
+  {
+    // The baseline moves once more when the pipeline's timing probe runs;
+    // the executor pointer appears at the same moment (both under
+    // stats_mu_, written by the dispatcher).
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s.adc_conversions = now.adc_conversions - sims_baseline_.adc_conversions;
+    s.adc_clip_events = now.adc_clip_events - sims_baseline_.adc_clip_events;
+    s.dac_cycles = now.dac_cycles - sims_baseline_.dac_cycles;
+    s.pipeline_stages = config_.pipeline_stages;
+    if (executor_) s.stages = executor_->stage_stats();
+  }
   return s;
 }
 

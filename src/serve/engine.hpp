@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "msim/analog_network.hpp"
+#include "serve/pipeline.hpp"
 #include "serve/stats.hpp"
 
 namespace tinyadc::serve {
@@ -46,6 +47,14 @@ struct ServeConfig {
   std::int64_t max_wait_us = 1000;  ///< partial-batch flush deadline
   bool deterministic = false;    ///< pin batch composition by arrival order
   std::size_t max_queue = 0;     ///< 0 = unbounded; else reject when full
+  /// Third execution mode: > 0 splits the model into that many
+  /// pipeline-parallel stages (see serve/pipeline.hpp) fed by a single
+  /// batching dispatcher; `workers` is ignored. 0 keeps the sequential /
+  /// replicated-worker modes above. Composes with dynamic batching and
+  /// the determinism contract: in deterministic mode outputs, counter
+  /// deltas and digests are byte-identical across stage counts and vs
+  /// the sequential engine.
+  int pipeline_stages = 0;
 };
 
 /// Outcome of one served request.
@@ -100,16 +109,26 @@ class InferenceEngine {
     std::promise<InferenceResult> promise;
   };
 
+  /// Pops the next batch under the batching policy; false when stopping.
+  bool take_batch(std::vector<Pending>& batch, std::uint64_t& batch_seq);
   void worker_main(msim::AnalogSession& session);
+  /// Pipeline mode's single batching thread: forms batches exactly like a
+  /// worker, then hands them to the stage pipeline instead of running
+  /// them inline. Builds the PipelineExecutor lazily on the first batch
+  /// (the micro-calibration probe needs a real input batch).
+  void dispatcher_main();
   void run_batch(msim::AnalogSession& session, std::vector<Pending>& batch,
                  std::uint64_t batch_seq);
+  /// Shared completion tail: fulfills every promise of `batch` from
+  /// `logits` (or `error`) and merges the latency/batch statistics.
+  void finish_batch(std::vector<Pending>& batch, std::uint64_t batch_seq,
+                    const Tensor& logits, std::exception_ptr error);
 
   const msim::AnalogNetwork& compiled_;
   const ServeConfig config_;
   std::vector<std::unique_ptr<msim::AnalogSession>> sessions_;
   std::vector<std::thread> threads_;
   Clock::time_point t_start_;
-  msim::MsimStats sims_baseline_;  ///< counters at engine start (deltas)
 
   mutable std::mutex mu_;  ///< guards the queue block below
   std::condition_variable cv_;       ///< work available / drain / stop
@@ -129,6 +148,11 @@ class InferenceEngine {
   std::uint64_t completed_ = 0;
   std::uint64_t batches_done_ = 0;
   std::vector<std::uint64_t> batch_hist_;
+  /// Counters at engine start (stats() reports deltas). Mutated once more
+  /// by the dispatcher when the pipeline's timing probe runs — guarded by
+  /// stats_mu_ alongside the executor pointer.
+  msim::MsimStats sims_baseline_;
+  std::unique_ptr<PipelineExecutor> executor_;  ///< pipeline mode only
 };
 
 }  // namespace tinyadc::serve

@@ -1,0 +1,273 @@
+#include "serve/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t us_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
+
+/// Sum of the locked per-layer counter snapshots of a compiled network.
+msim::MsimStats sims_total(const msim::AnalogNetwork& compiled) {
+  msim::MsimStats total;
+  for (const auto& sim : compiled.sims()) {
+    const msim::MsimStats s = sim->stats_snapshot();
+    total.adc_conversions += s.adc_conversions;
+    total.adc_clip_events += s.adc_clip_events;
+    total.dac_cycles += s.dac_cycles;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<StageSpan> partition_stages(const std::vector<double>& costs,
+                                        int stages) {
+  const std::size_t n = costs.size();
+  TINYADC_CHECK(n > 0, "partition_stages needs at least one unit");
+  const auto k = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(stages, 1, static_cast<std::int64_t>(n)));
+
+  // prefix[i] = cost of units [0, i).
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + costs[i];
+  const auto span_cost = [&prefix](std::size_t b, std::size_t e) {
+    return prefix[e] - prefix[b];
+  };
+
+  // best[j][i]: minimal bottleneck splitting units [0, i) into j spans;
+  // cut[j][i]: start of the last span in that optimum. O(n²·k) — unit
+  // counts are tens, not thousands, so the quadratic scan is fine and the
+  // result is exactly optimal (no heuristic balance gap to reason about).
+  constexpr double kInf = 1e300;
+  std::vector<std::vector<double>> best(k + 1,
+                                        std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<std::size_t>> cut(
+      k + 1, std::vector<std::size_t>(n + 1, 0));
+  best[0][0] = 0.0;
+  for (std::size_t j = 1; j <= k; ++j) {
+    for (std::size_t i = j; i <= n; ++i) {
+      for (std::size_t s = j - 1; s < i; ++s) {
+        if (best[j - 1][s] >= kInf) continue;
+        const double bottleneck =
+            std::max(best[j - 1][s], span_cost(s, i));
+        if (bottleneck < best[j][i]) {
+          best[j][i] = bottleneck;
+          cut[j][i] = s;
+        }
+      }
+    }
+  }
+
+  std::vector<StageSpan> spans(k);
+  std::size_t end = n;
+  for (std::size_t j = k; j >= 1; --j) {
+    const std::size_t begin = cut[j][end];
+    spans[j - 1] = {begin, end, span_cost(begin, end)};
+    end = begin;
+  }
+  TINYADC_CHECK(end == 0, "partition did not cover every unit");
+  return spans;
+}
+
+PipelineExecutor::PipelineExecutor(const msim::AnalogNetwork& compiled,
+                                   int stages, const Tensor& sample)
+    : compiled_(compiled) {
+  TINYADC_CHECK(stages >= 1, "pipeline needs at least one stage");
+  TINYADC_CHECK(sample.ndim() == 4, "pipeline sample must be (N, C, H, W)");
+
+  // Sessions first: the partitioner's timing probe and the unit census
+  // both read a session replica's layer tree.
+  const auto want = static_cast<std::size_t>(stages);
+  std::vector<std::unique_ptr<msim::AnalogSession>> sessions;
+  sessions.reserve(want);
+  for (std::size_t s = 0; s < want; ++s)
+    sessions.push_back(std::make_unique<msim::AnalogSession>(compiled_));
+
+  auto units = sessions.front()->model().stage_units();
+  TINYADC_CHECK(!units.empty(), "model has no stage units");
+
+  // Static prior: the mapping's occupancy census per unit — exactly the
+  // packed plan's row-slot count, i.e. the analog work per sample pixel.
+  std::vector<double> census(units.size(), 0.0);
+  double census_total = 0.0;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (const std::size_t p : units[u].prunable)
+      census[u] += static_cast<double>(
+          compiled_.net().layers[p].census_nonzeros());
+    census_total += census[u];
+  }
+
+  // One-shot micro-calibration: forward the sample through each unit once,
+  // timing the unit boundaries. Sees what the census cannot — digital
+  // layers, spatial extents, im2col overhead — at the cost of noise and of
+  // polluting the shared sims' counters; the exact pollution is recorded
+  // for the owning engine's baseline (probe_stats()).
+  const msim::MsimStats before = sims_total(compiled_);
+  std::vector<double> timing(units.size(), 0.0);
+  double timing_total = 0.0;
+  {
+    nn::Sequential& root = sessions.front()->model().root();
+    Tensor x = sample;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto t0 = Clock::now();
+      x = root.forward_range(x, u, u + 1, /*training=*/false);
+      timing[u] = std::chrono::duration<double>(Clock::now() - t0).count();
+      timing_total += timing[u];
+    }
+  }
+  const msim::MsimStats after = sims_total(compiled_);
+  probe_stats_.adc_conversions =
+      after.adc_conversions - before.adc_conversions;
+  probe_stats_.adc_clip_events =
+      after.adc_clip_events - before.adc_clip_events;
+  probe_stats_.dac_cycles = after.dac_cycles - before.dac_cycles;
+
+  // Blend the normalized prior and measurement half-and-half: the census
+  // anchors the partition against timing jitter, the timing pass prices
+  // the census-invisible work. Degenerate totals (all-digital model, or a
+  // clock too coarse to see any unit) drop that term.
+  std::vector<double> costs(units.size(), 0.0);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    double c = 0.0;
+    int terms = 0;
+    if (census_total > 0.0) {
+      c += census[u] / census_total;
+      ++terms;
+    }
+    if (timing_total > 0.0) {
+      c += timing[u] / timing_total;
+      ++terms;
+    }
+    costs[u] = terms ? c / terms : 1.0;  // uniform fallback
+  }
+  spans_ = partition_stages(costs, stages);
+
+  // Wire the stages: queue capacity 1 per stage bounds the in-flight
+  // window to one queued + one executing batch per stage (2K total).
+  stages_.resize(spans_.size());
+  for (std::size_t s = 0; s < spans_.size(); ++s) {
+    Stage& st = stages_[s];
+    st.begin = spans_[s].begin;
+    st.end = spans_[s].end;
+    st.session = std::move(sessions[s]);
+    st.in = std::make_unique<runtime::SpscQueue<Job>>(1);
+    if (s + 1 < spans_.size()) {
+      // Up to the successor's first few shared sims, in execution order.
+      for (std::size_t u = spans_[s + 1].begin;
+           u < spans_[s + 1].end && st.next_sims.size() < 4; ++u)
+        for (const std::size_t p : units[u].prunable) {
+          if (st.next_sims.size() >= 4) break;
+          st.next_sims.push_back(compiled_.sims()[p].get());
+        }
+    }
+  }
+  for (std::size_t s = 0; s < stages_.size(); ++s)
+    stages_[s].thread = std::thread([this, s] { stage_main(s); });
+}
+
+PipelineExecutor::~PipelineExecutor() { shutdown(); }
+
+void PipelineExecutor::submit(Tensor images, Done done) {
+  TINYADC_CHECK(!down_, "submit after pipeline shutdown");
+  Job job;
+  job.x = std::move(images);
+  job.done = std::move(done);
+  const bool ok = stages_.front().in->push(std::move(job));
+  TINYADC_CHECK(ok, "pipeline input queue closed under the producer");
+}
+
+void PipelineExecutor::shutdown() {
+  if (down_) return;
+  down_ = true;
+  // Closing the head queue cascades: each stage drains its input, closes
+  // its successor's queue on exit, so every submitted batch completes.
+  stages_.front().in->close();
+  for (Stage& st : stages_)
+    if (st.thread.joinable()) st.thread.join();
+}
+
+void PipelineExecutor::stage_main(std::size_t k) {
+  Stage& st = stages_[k];
+  const bool last = k + 1 == stages_.size();
+  nn::Sequential& root = st.session->model().root();
+  for (;;) {
+    Job job;
+    const auto t_pop = Clock::now();
+    if (!st.in->pop(job)) break;  // closed and drained
+    const std::int64_t stall_in = us_since(t_pop);
+
+    std::int64_t busy = 0;
+    if (!job.error) {
+      const auto t_run = Clock::now();
+      try {
+        job.x = root.forward_range(job.x, st.begin, st.end,
+                                   /*training=*/false);
+      } catch (...) {
+        // Sticky error: later stages pass the job straight through so the
+        // completion still fires, in order, on the last stage's thread.
+        job.error = std::current_exception();
+        job.x = Tensor();
+      }
+      busy = us_since(t_run);
+    }
+
+    // Count the batch BEFORE handing it off: by the time a batch's
+    // completion fires on the last stage, every stage it crossed has
+    // already recorded it, so a stats() snapshot taken right after a
+    // completion sees per-stage batch counts that match the number of
+    // completed batches.
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++st.batches;
+      st.busy_us += busy;
+      st.stall_in_us += stall_in;
+    }
+
+    if (last) {
+      job.done(std::move(job.x), job.error);
+    } else {
+      const auto t_push = Clock::now();
+      const bool ok = stages_[k + 1].in->push(std::move(job));
+      const std::int64_t stall_out = us_since(t_push);
+      TINYADC_CHECK(ok, "pipeline inter-stage queue closed while running");
+      // The successor's plan streams are about to be swept by its thread;
+      // warm their heads from here while it may still be busy.
+      for (const msim::AnalogLayerSim* sim : st.next_sims)
+        sim->prefetch_plan();
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      st.stall_out_us += stall_out;
+    }
+  }
+  if (!last) stages_[k + 1].in->close();
+}
+
+std::vector<PipelineStageStats> PipelineExecutor::stage_stats() const {
+  std::vector<PipelineStageStats> out;
+  out.reserve(stages_.size());
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  for (const Stage& st : stages_) {
+    PipelineStageStats s;
+    s.begin = st.begin;
+    s.end = st.end;
+    s.batches = st.batches;
+    s.busy_us = st.busy_us;
+    s.stall_in_us = st.stall_in_us;
+    s.stall_out_us = st.stall_out_us;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace tinyadc::serve

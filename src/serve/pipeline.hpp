@@ -1,0 +1,137 @@
+// Pipeline-parallel stage execution over one compiled analog network.
+//
+// Full-width models (resnet50/vgg16 at width 1.0) are deep chains of
+// layers whose analog cost the mapping already knows exactly — each
+// layer's packed plan sweeps census_nonzeros() row slots per sample. A
+// replicated-worker engine scales throughput but never batch-1 latency;
+// pipelining does: the root Sequential's child list splits into K
+// contiguous *stages*, each stage runs on its own thread with its own
+// Model::clone() session (private Conv2d workspaces and Residual state —
+// the shared compiled AnalogLayerSims are concurrency-safe by design),
+// and bounded SPSC queues hand each batch from stage k to stage k+1. Up
+// to K batches are then in flight at once, so steady-state batch latency
+// approaches the slowest stage instead of the whole network.
+//
+// Stage boundaries come from a DP-optimal minimize-the-maximum
+// contiguous partition of per-unit costs (StagePartition below). A unit
+// is one direct child of the root chain — a stem conv, a whole residual
+// block, a pool, the classifier head — so splitting can never reorder or
+// split a fused block. Unit costs blend two sources:
+//   * the mapping's occupancy census (census_nonzeros summed over the
+//     unit's prunable layers) — the static analog-work prior, exact in
+//     plan row-slots but blind to digital layers and per-pixel counts;
+//   * a one-shot micro-calibration timing pass (one forward through each
+//     unit on a sample batch) — noisy but sees everything.
+// The probe's forward pollutes the shared sims' ADC counters; the
+// executor records the exact delta (probe_stats) so the owning engine
+// can fold it into its baseline and keep counter deltas byte-identical
+// to the sequential path.
+//
+// Determinism: stage boundaries never change what each child layer
+// computes (Sequential::forward_range composes to forward), batches flow
+// through the queues in submit order, and the shared sims' counter
+// merges are locked commutative integer adds — so in deterministic
+// batching mode outputs, counter deltas and serve digests are
+// byte-identical across stage counts and vs the sequential engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "msim/analog_network.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "serve/stats.hpp"
+
+namespace tinyadc::serve {
+
+/// One pipeline stage's contiguous unit range and cost estimate.
+struct StageSpan {
+  std::size_t begin = 0;   ///< first root-child index (inclusive)
+  std::size_t end = 0;     ///< last root-child index (exclusive)
+  double cost = 0.0;       ///< summed unit cost of the span
+};
+
+/// Minimize-the-maximum contiguous partition of `costs` into `stages`
+/// spans (classic linear-partition DP, O(n²·K)). Every span is non-empty
+/// while units remain; `stages` is clamped to [1, costs.size()]. The
+/// returned bottleneck satisfies max_span ≤ total/K + max_unit, which for
+/// bounded unit-cost spread keeps the partition within 2× of the mean
+/// (tests/serve_pipeline_test.cpp checks the property on random censuses).
+std::vector<StageSpan> partition_stages(const std::vector<double>& costs,
+                                        int stages);
+
+/// Runs batches through K stage threads connected by bounded SPSC queues.
+///
+/// `submit` is single-producer (one dispatcher thread): it blocks while
+/// the pipeline's in-flight window (one queued + one executing batch per
+/// stage) is full — that backpressure is the latency/memory bound. The
+/// completion callback fires on the *last* stage's thread, in submit
+/// order; keep it cheap and never call back into submit from it.
+class PipelineExecutor {
+ public:
+  /// Builds stage spans from the compiled network's census blended with a
+  /// one-shot timing probe over `sample` (any calibrated input batch,
+  /// e.g. the first real batch), then starts the stage threads.
+  PipelineExecutor(const msim::AnalogNetwork& compiled, int stages,
+                   const Tensor& sample);
+  ~PipelineExecutor();
+  PipelineExecutor(const PipelineExecutor&) = delete;
+  PipelineExecutor& operator=(const PipelineExecutor&) = delete;
+
+  /// Completion: logits (empty on error) plus the error, if any.
+  using Done = std::function<void(Tensor logits, std::exception_ptr error)>;
+
+  /// Enqueues one (N, C, H, W) batch; blocks while the window is full.
+  /// Single producer only. Throws after shutdown().
+  void submit(Tensor images, Done done);
+
+  /// Drains in-flight batches, closes the queues and joins the stage
+  /// threads. Idempotent; also run by the destructor. Batches already
+  /// submitted are always completed, never dropped.
+  void shutdown();
+
+  /// The partition in use (after census/timing blending).
+  const std::vector<StageSpan>& spans() const { return spans_; }
+  /// ADC/DAC counters the construction-time timing probe added to the
+  /// shared sims — the owning engine folds this into its baseline so
+  /// served-traffic deltas stay byte-identical to the sequential path.
+  const msim::MsimStats& probe_stats() const { return probe_stats_; }
+  /// Per-stage counters snapshot (approximate while running).
+  std::vector<PipelineStageStats> stage_stats() const;
+
+ private:
+  struct Job {
+    Tensor x;
+    Done done;
+    std::exception_ptr error;  ///< sticky: set once, later stages skip
+  };
+  struct Stage {
+    std::size_t begin = 0, end = 0;
+    std::unique_ptr<msim::AnalogSession> session;
+    std::unique_ptr<runtime::SpscQueue<Job>> in;  ///< stage's input queue
+    // Shared sims of the *next* stage's first prunable layers, prefetched
+    // after each downstream push so the successor finds its plan streams
+    // warm (DESIGN.md §13).
+    std::vector<const msim::AnalogLayerSim*> next_sims;
+    std::thread thread;
+    // Counters (relaxed atomics would do; a dedicated mutex keeps TSan
+    // conversations short and the hot path is milliseconds per batch).
+    std::uint64_t batches = 0;
+    std::int64_t busy_us = 0, stall_in_us = 0, stall_out_us = 0;
+  };
+
+  void stage_main(std::size_t k);
+
+  const msim::AnalogNetwork& compiled_;
+  std::vector<StageSpan> spans_;
+  std::vector<Stage> stages_;
+  msim::MsimStats probe_stats_;
+  mutable std::mutex stats_mu_;  ///< guards the per-stage counters
+  bool down_ = false;
+};
+
+}  // namespace tinyadc::serve

@@ -45,6 +45,18 @@ class LatencyHistogram {
   double max_us_ = 0.0;
 };
 
+/// Per-stage execution counters of the pipeline executor (microseconds;
+/// timing-dependent, outside the determinism contract). Defined here so
+/// the serve and loadgen JSON reports share one stats schema.
+struct PipelineStageStats {
+  std::size_t begin = 0;          ///< stage's unit range, for reporting
+  std::size_t end = 0;
+  std::uint64_t batches = 0;      ///< batches this stage processed
+  std::int64_t busy_us = 0;       ///< time inside forward_range
+  std::int64_t stall_in_us = 0;   ///< blocked popping the input queue
+  std::int64_t stall_out_us = 0;  ///< blocked pushing the output queue
+};
+
 /// Point-in-time snapshot of an InferenceEngine's counters.
 struct ServeStats {
   std::uint64_t requests = 0;   ///< completed requests
@@ -67,6 +79,10 @@ struct ServeStats {
   std::int64_t adc_conversions = 0;
   std::int64_t adc_clip_events = 0;
   std::int64_t dac_cycles = 0;
+  /// Pipeline mode only: configured stage count (0 = sequential/replicated)
+  /// and the per-stage occupancy/stall counters.
+  int pipeline_stages = 0;
+  std::vector<PipelineStageStats> stages;
 
   /// Human-readable stats table (the `serve`/`loadgen` CLI output).
   std::string to_table() const;

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""bench_compare must fail cleanly — one diagnostic line, no traceback —
+when the candidate JSON is malformed or truncated (e.g. a bench binary
+killed mid-write). Usage: bench_compare_malformed_test.py BENCH_COMPARE
+BASELINE.json
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_case(script, baseline, content, expect_phrase):
+    fd, path = tempfile.mkstemp(suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(content)
+        proc = subprocess.run(
+            [sys.executable, script, baseline, path],
+            capture_output=True, text=True, check=False)
+        combined = proc.stdout + proc.stderr
+        if proc.returncode == 0:
+            print(f"FAIL: exit 0 on malformed input {content!r}")
+            return False
+        if "Traceback" in combined:
+            print(f"FAIL: traceback leaked for input {content!r}:\n{combined}")
+            return False
+        if expect_phrase not in combined:
+            print(f"FAIL: diagnostic {expect_phrase!r} missing for input "
+                  f"{content!r}; got:\n{combined}")
+            return False
+        return True
+    finally:
+        os.unlink(path)
+
+
+def main():
+    script, baseline = sys.argv[1], sys.argv[2]
+    cases = [
+        # Truncated mid-array: the interrupted-bench shape.
+        ('{"results": [{"kernel": "x", "threads": 1, "ms": 1.0',
+         "not valid JSON"),
+        # Not JSON at all.
+        ("hello world", "not valid JSON"),
+        # Valid JSON, wrong shape.
+        ('{"rows": []}', "not a bench report"),
+        ('[1, 2, 3]', "not a bench report"),
+        # Bench report with a broken row.
+        ('{"results": [{"kernel": "x"}]}', "malformed results row"),
+    ]
+    ok = all(run_case(script, baseline, content, phrase)
+             for content, phrase in cases)
+    if ok:
+        print("OK: all malformed inputs fail with clean diagnostics")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,315 @@
+// Pipeline-parallel stage execution: determinism matrix across stage and
+// worker counts (outputs, ADC/DAC counter deltas and digests byte-identical
+// to the sequential engine), partitioner balance and structure properties,
+// per-stage stats plumbing, and a concurrent-submitter soak (run under TSan
+// in CI at TINYADC_THREADS=4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <thread>
+
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/pipeline.hpp"
+#include "xbar/mapping.hpp"
+
+namespace tinyadc::serve {
+namespace {
+
+/// Tiny untrained network + synthetic data (serving determinism does not
+/// depend on trained weights); shared across tests — read-only after
+/// construction, sims only accumulate commutative counters.
+struct Fixture {
+  std::unique_ptr<nn::Model> model;
+  data::DatasetPair data;
+  xbar::MappedNetwork net;
+  std::unique_ptr<msim::AnalogNetwork> analog;
+
+  Fixture() {
+    nn::ModelConfig mc;
+    mc.num_classes = 4;
+    mc.image_size = 8;
+    mc.width_mult = 0.0625F;
+    model = nn::resnet18(mc);
+
+    data::SyntheticSpec spec;
+    spec.num_classes = 4;
+    spec.image_size = 8;
+    spec.train_per_class = 8;
+    spec.test_per_class = 6;
+    spec.seed = 137;
+    data = data::make_synthetic(spec);
+
+    xbar::MappingConfig cfg;
+    cfg.dims = {16, 16};
+    net = xbar::map_model(*model, cfg);
+    analog = std::make_unique<msim::AnalogNetwork>(*model, net,
+                                                   msim::MsimConfig{});
+    analog->calibrate(data.train, 8);
+  }
+
+  Tensor image(std::int64_t i) const {
+    const Tensor& all = data.test.images;
+    const std::int64_t chw = all.numel() / all.dim(0);
+    Tensor img({all.dim(1), all.dim(2), all.dim(3)});
+    std::memcpy(img.data(), all.data() + i * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+    return img;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+std::vector<InferenceResult> serve_stream(InferenceEngine& engine,
+                                          std::int64_t n) {
+  const Fixture& f = fixture();
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    futures.push_back(engine.submit(f.image(i % f.data.test.size())));
+  engine.wait_idle();
+  std::vector<InferenceResult> results;
+  results.reserve(futures.size());
+  for (auto& fut : futures) results.push_back(fut.get());
+  return results;
+}
+
+std::uint64_t digest_results(const std::vector<InferenceResult>& results) {
+  std::uint64_t h = fnv1a(nullptr, 0);
+  for (const auto& r : results) {
+    h = fnv1a(r.logits.data(), r.logits.size() * sizeof(float), h);
+    h = fnv1a(&r.label, sizeof(r.label), h);
+  }
+  return h;
+}
+
+TEST(Partitioner, CoversUnitsContiguouslyAndClampsStageCount) {
+  const std::vector<double> costs = {3, 1, 4, 1, 5, 9, 2, 6};
+  for (int k : {1, 2, 3, 8, 100}) {
+    const auto spans = partition_stages(costs, k);
+    const auto expect =
+        static_cast<std::size_t>(std::min<std::size_t>(
+            static_cast<std::size_t>(k), costs.size()));
+    ASSERT_EQ(spans.size(), expect) << "k=" << k;
+    std::size_t at = 0;
+    double total = 0.0;
+    for (const StageSpan& s : spans) {
+      EXPECT_EQ(s.begin, at);
+      EXPECT_LT(s.begin, s.end);  // non-empty
+      at = s.end;
+      total += s.cost;
+    }
+    EXPECT_EQ(at, costs.size());
+    EXPECT_NEAR(total, 31.0, 1e-9);
+  }
+}
+
+TEST(Partitioner, IsOptimalOnAKnownInstance) {
+  // Classic instance: {1,2,3,4,5,6,7,8,9} into 3 spans → bottleneck 17
+  // ({1..5 | 6,7 | 8,9} = 15/13/17; no contiguous 3-split does better).
+  const std::vector<double> costs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto spans = partition_stages(costs, 3);
+  double bottleneck = 0.0;
+  for (const StageSpan& s : spans) bottleneck = std::max(bottleneck, s.cost);
+  EXPECT_NEAR(bottleneck, 17.0, 1e-9);
+}
+
+TEST(Partitioner, BalancePropertyOnRandomCensuses) {
+  // For unit costs with bounded spread (uniform in [50, 150], the shape of
+  // a real census across comparable blocks) and n ≥ 8K units, the DP's
+  // provable bound max_span ≤ total/K + max_unit implies every stage stays
+  // under 2× the mean stage cost.
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> unit(50.0, 150.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int k = 2 + static_cast<int>(rng() % 5);  // 2..6 stages
+    const std::size_t n =
+        static_cast<std::size_t>(8 * k) + rng() % 32;
+    std::vector<double> costs(n);
+    double total = 0.0;
+    for (double& c : costs) {
+      c = unit(rng);
+      total += c;
+    }
+    const auto spans = partition_stages(costs, k);
+    ASSERT_EQ(spans.size(), static_cast<std::size_t>(k));
+    const double mean = total / k;
+    for (const StageSpan& s : spans)
+      EXPECT_LE(s.cost, 2.0 * mean)
+          << "trial " << trial << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(PipelineServe, DeterministicMatrixMatchesSequentialEngine) {
+  Fixture& f = fixture();
+  constexpr std::int64_t kRequests = 20;
+
+  struct Run {
+    int workers;
+    int stages;
+  };
+  // The matrix: sequential / replicated workers (stages = 0) and the
+  // pipeline at 1, 2 and 4 stages. Every cell must produce byte-identical
+  // results, digests and counter deltas.
+  const Run runs[] = {{1, 0}, {4, 0}, {1, 1}, {1, 2}, {1, 4}};
+  std::uint64_t digests[std::size(runs)];
+  ServeStats stats[std::size(runs)];
+  std::vector<InferenceResult> first_results;
+
+  for (std::size_t r = 0; r < std::size(runs); ++r) {
+    ServeConfig cfg;
+    cfg.workers = runs[r].workers;
+    cfg.pipeline_stages = runs[r].stages;
+    cfg.max_batch = 8;
+    cfg.deterministic = true;
+    InferenceEngine engine(*f.analog, cfg);
+    const auto results = serve_stream(engine, kRequests);
+    digests[r] = digest_results(results);
+    stats[r] = engine.stats();
+    // Batch composition pinned by arrival order: two full batches of 8
+    // plus the drained partial of 4, in every mode.
+    ASSERT_LT(8U, stats[r].batch_hist.size());
+    EXPECT_EQ(stats[r].batch_hist[8], 2U);
+    EXPECT_EQ(stats[r].batch_hist[4], 1U);
+    for (std::size_t i = 0; i < results.size(); ++i)
+      EXPECT_EQ(results[i].seq, i);
+    if (r == 0) first_results = results;
+  }
+  for (std::size_t r = 1; r < std::size(runs); ++r) {
+    EXPECT_EQ(digests[r], digests[0])
+        << "workers=" << runs[r].workers << " stages=" << runs[r].stages;
+    EXPECT_EQ(stats[r].adc_conversions, stats[0].adc_conversions)
+        << "stages=" << runs[r].stages;
+    EXPECT_EQ(stats[r].adc_clip_events, stats[0].adc_clip_events);
+    EXPECT_EQ(stats[r].dac_cycles, stats[0].dac_cycles);
+    EXPECT_EQ(stats[r].requests, stats[0].requests);
+  }
+  // And the sequential engine's outputs equal the plain forward pass.
+  const Tensor img0 = f.image(0);
+  Tensor batch({1, img0.dim(0), img0.dim(1), img0.dim(2)});
+  std::memcpy(batch.data(), img0.data(),
+              static_cast<std::size_t>(img0.numel()) * sizeof(float));
+  const Tensor logits = f.analog->forward(batch);
+  ASSERT_EQ(first_results[0].logits.size(),
+            static_cast<std::size_t>(logits.numel()));
+  EXPECT_EQ(std::memcmp(first_results[0].logits.data(), logits.data(),
+                        first_results[0].logits.size() * sizeof(float)),
+            0);
+}
+
+TEST(PipelineServe, StageStatsFlowIntoServeStatsAndJson) {
+  Fixture& f = fixture();
+  ServeConfig cfg;
+  cfg.pipeline_stages = 3;
+  cfg.max_batch = 4;
+  cfg.deterministic = true;
+  InferenceEngine engine(*f.analog, cfg);
+  (void)serve_stream(engine, 12);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.pipeline_stages, 3);
+  ASSERT_EQ(stats.stages.size(), 3U);
+  std::size_t at = 0;
+  for (const PipelineStageStats& st : stats.stages) {
+    EXPECT_EQ(st.begin, at);  // contiguous cover of the unit chain
+    EXPECT_LT(st.begin, st.end);
+    at = st.end;
+    // Every stage sees every batch.
+    EXPECT_EQ(st.batches, stats.batches);
+  }
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"pipeline_stages\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_in_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"busy_us\""), std::string::npos);
+  const std::string table = stats.to_table();
+  EXPECT_NE(table.find("pipeline stages"), std::string::npos);
+}
+
+TEST(PipelineServe, ShutdownServesInflightRequests) {
+  Fixture& f = fixture();
+  ServeConfig cfg;
+  cfg.pipeline_stages = 2;
+  cfg.max_batch = 4;
+  cfg.deterministic = true;  // nothing flushes until shutdown drains
+  InferenceEngine engine(*f.analog, cfg);
+  std::vector<std::future<InferenceResult>> futures;
+  for (std::int64_t i = 0; i < 18; ++i)
+    futures.push_back(engine.submit(f.image(i % f.data.test.size())));
+  engine.shutdown();  // in-flight batches drain through the stages
+  for (auto& fut : futures) EXPECT_NO_THROW((void)fut.get());
+  EXPECT_EQ(engine.stats().requests, 18U);
+  EXPECT_THROW((void)engine.submit(f.image(0)), CheckError);
+}
+
+TEST(PipelineServe, LoadgenJsonSharesTheStatsSchema) {
+  Fixture& f = fixture();
+  ServeConfig cfg;
+  cfg.pipeline_stages = 2;
+  cfg.max_batch = 4;
+  InferenceEngine engine(*f.analog, cfg);
+  LoadgenConfig lc;
+  lc.requests = 16;
+  const LoadgenReport report = run_loadgen(engine, f.data.test, lc);
+  EXPECT_EQ(report.stats.requests, 16U);
+  const std::string json = report.to_json();
+  // One schema: percentiles, the batch-size histogram and the per-stage
+  // counters all come from ServeStats::to_json, extended by loadgen.
+  EXPECT_NE(json.find("\"p50_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline_stages\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\": [{"), std::string::npos);
+  EXPECT_NE(json.find("\"accuracy\""), std::string::npos);
+}
+
+/// Concurrent submitters + a stats poller against a 2-stage pipeline.
+/// Run under TSan in CI (TINYADC_THREADS=4) to shake out races between
+/// the dispatcher, the stage threads, the SPSC queues, the shared sims
+/// and the stats path.
+TEST(PipelineServe, SoakConcurrentSubmittersAndStats) {
+  Fixture& f = fixture();
+  ServeConfig cfg;
+  cfg.pipeline_stages = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100;
+  InferenceEngine engine(*f.analog, cfg);
+  constexpr int kSubmitters = 3;
+  constexpr int kPerSubmitter = 24;
+  std::atomic<int> completed{0};
+  std::atomic<bool> polling{true};
+  std::thread poller([&] {
+    while (polling.load()) {
+      const ServeStats s = engine.stats();
+      ASSERT_LE(s.requests,
+                static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        auto fut = engine.submit(
+            f.image((t * kPerSubmitter + i) % f.data.test.size()));
+        const InferenceResult r = fut.get();  // closed loop per submitter
+        ASSERT_EQ(r.logits.size(), 4U);
+        completed.fetch_add(1);
+      }
+    });
+  for (auto& t : submitters) t.join();
+  polling.store(false);
+  poller.join();
+  engine.wait_idle();
+  EXPECT_EQ(completed.load(), kSubmitters * kPerSubmitter);
+  EXPECT_EQ(engine.stats().requests,
+            static_cast<std::uint64_t>(kSubmitters * kPerSubmitter));
+}
+
+}  // namespace
+}  // namespace tinyadc::serve

@@ -330,6 +330,8 @@ serve::ServeConfig serve_config(const Args& args) {
   cfg.max_wait_us = args.get_int("max-wait-us", 1000);
   cfg.deterministic = args.has("deterministic");
   cfg.max_queue = static_cast<std::size_t>(args.get_int("max-queue", 0));
+  cfg.pipeline_stages =
+      static_cast<int>(args.get_int("pipeline-stages", 0));
   return cfg;
 }
 
@@ -397,8 +399,9 @@ int run_serving(const Args& args, double target_qps,
 }
 
 const std::vector<std::string> kServeFlags = {
-    "sigma",   "workers",     "max-batch",   "max-wait-us", "deterministic",
-    "max-queue", "requests",  "outstanding", "json",        "artifact"};
+    "sigma",     "workers",  "max-batch",   "max-wait-us", "deterministic",
+    "max-queue", "requests", "outstanding", "json",        "artifact",
+    "pipeline-stages"};
 
 int cmd_serve(const Args& args) {
   args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags +
@@ -432,6 +435,7 @@ void usage() {
       "fault flags   : --rate R  --sa0-fraction F  --trials N  --remap\n"
       "serve flags   : --workers N  --max-batch B  --max-wait-us T  "
       "--deterministic\n"
+      "                --pipeline-stages K (stage-parallel execution)\n"
       "                --requests N  --qps Q (loadgen)  --json [path]\n"
       "artifact flags: --save-artifact out.tadc (train|prune|map: write a "
       "deployment\n"
