@@ -1,0 +1,82 @@
+// ArrayRef<T>: a read-mostly array that either owns its elements (a plain
+// std::vector<T>) or borrows them as a read-only view into a mapped
+// artifact, with the mapping's lifetime pinned by a shared keeper handle.
+//
+// This is the storage type behind the zero-copy load path (DESIGN.md §14):
+// hot payloads — the SoA plan streams and the crossbar mapping grids — are
+// ArrayRefs so a deployment restored via load_artifact_mapped() can point
+// straight into the page cache, while the training/mutation paths promote
+// to owned storage on first write (`mut()` is copy-on-write).
+//
+// The read API is deliberately vector-shaped (data/size/operator[]/
+// begin/end/back/==) so kernel code and tests are storage-agnostic; only
+// writers must go through mut(), which makes every mutation of a mapped
+// view an explicit private copy instead of a SIGSEGV on read-only pages.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace tinyadc::artifact {
+
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+
+  /// Owning constructor: adopts the vector.
+  ArrayRef(std::vector<T> v)  // NOLINT(google-explicit-constructor)
+      : storage_(std::move(v)) {}
+
+  /// Borrowing constructor: views `n` elements at `p`; `keeper` pins the
+  /// backing storage (e.g. a MappedFile) for the view's lifetime.
+  ArrayRef(const T* p, std::size_t n, std::shared_ptr<const void> keeper)
+      : keeper_(std::move(keeper)), view_(p), view_size_(n) {}
+
+  const T* data() const { return owned() ? storage_.data() : view_; }
+  std::size_t size() const { return owned() ? storage_.size() : view_size_; }
+  bool empty() const { return size() == 0; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+
+  /// True when the elements live in owned storage (mutable in place).
+  bool owned() const { return keeper_ == nullptr; }
+
+  /// Mutable access; a borrowed view is first promoted to an owned copy
+  /// (copy-on-write), so mapped pages are never written through.
+  std::vector<T>& mut() {
+    if (!owned()) {
+      storage_.assign(view_, view_ + view_size_);
+      keeper_.reset();
+      view_ = nullptr;
+      view_size_ = 0;
+    }
+    return storage_;
+  }
+
+  /// A detached owned copy of the contents.
+  std::vector<T> to_vector() const { return std::vector<T>(begin(), end()); }
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (!(a[i] == b[i])) return false;
+    return true;
+  }
+  friend bool operator!=(const ArrayRef& a, const ArrayRef& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::shared_ptr<const void> keeper_;
+  const T* view_ = nullptr;
+  std::size_t view_size_ = 0;
+};
+
+}  // namespace tinyadc::artifact

@@ -1,6 +1,9 @@
 #include "artifact/artifact.hpp"
 
+#include <chrono>
 #include <cmath>
+
+#include <unistd.h>
 
 #include "artifact/format.hpp"
 #include "tensor/check.hpp"
@@ -130,8 +133,13 @@ void save_artifact(const std::string& path, const Deployment& deployment) {
                  *deployment.analog);
 }
 
-Deployment load_artifact(const std::string& path) {
-  ArtifactFile file(path);
+namespace {
+
+/// Section restoration shared by the copied and mapped load paths. On a
+/// mapped ArtifactFile the MAPPING code grids and PLANS streams come back
+/// as zero-copy spans (the SectionReaders carry the mapping's keeper); on a
+/// copied file the identical code restores owned vectors.
+Deployment load_from(const ArtifactFile& file, const std::string& path) {
   for (const char* tag : {kTagMeta, kTagWeights, kTagMapping, kTagPlans,
                           kTagCalib})
     TINYADC_CHECK(file.has(tag),
@@ -142,6 +150,17 @@ Deployment load_artifact(const std::string& path) {
   {
     auto r = file.section(kTagMeta);
     dep.meta = read_meta(r);
+  }
+  // Hot sections first: the mapped load's async streamer pages the cold
+  // sections (WEIGHTS, PRUNE, CALIB) in behind this validation pass, so by
+  // the time deserialize_state runs its pages are (mostly) resident. The
+  // order is irrelevant to the copied path — sections are independent.
+  {
+    auto r = file.section(kTagMapping);
+    dep.mapping = std::make_unique<xbar::MappedNetwork>(
+        xbar::deserialize_mapped_network(r));
+    TINYADC_CHECK(r.remaining() == 0,
+                  "trailing bytes after the MAPPING section");
   }
   dep.model = nn::build_model(dep.meta.arch, dep.meta.model_config);
   TINYADC_CHECK(dep.model->name() == dep.meta.model_name,
@@ -159,17 +178,102 @@ Deployment load_artifact(const std::string& path) {
     auto r = file.section(kTagPrune);
     read_prune(r, dep.specs, dep.selections);
   }
-  {
-    auto r = file.section(kTagMapping);
-    dep.mapping = std::make_unique<xbar::MappedNetwork>(
-        xbar::deserialize_mapped_network(r));
-    TINYADC_CHECK(r.remaining() == 0,
-                  "trailing bytes after the MAPPING section");
-  }
   auto plans = file.section(kTagPlans);
   auto calib = file.section(kTagCalib);
   dep.analog = std::make_unique<msim::AnalogNetwork>(*dep.model, *dep.mapping,
                                                      plans, calib);
+  return dep;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SectionStreamer::SectionStreamer(
+    std::shared_ptr<MappedFile> map,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> extents)
+    : map_(std::move(map)), extents_(std::move(extents)) {
+  thread_ = std::thread([this] {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& [off, len] : extents_)
+      map_->advise_willneed(off, len);
+    // MADV_WILLNEED is only a hint; touching one byte per page forces the
+    // pages resident. Reads only — the mapping is PROT_READ anyway — and
+    // the XOR sink keeps the loop from being optimized away.
+    const auto page = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+    const char* base = map_->data();
+    const std::uint64_t file_size = map_->size();
+    unsigned char sink = 0;
+    for (const auto& [off, len] : extents_) {
+      const std::uint64_t end = std::min(off + len, file_size);
+      for (std::uint64_t p = off; p < end; p += page)
+        sink ^= static_cast<unsigned char>(base[p]);
+      if (end > off) sink ^= static_cast<unsigned char>(base[end - 1]);
+    }
+    volatile unsigned char guard = sink;
+    (void)guard;
+    elapsed_ms_ = ms_since(t0);
+  });
+}
+
+SectionStreamer::~SectionStreamer() {
+  if (thread_.joinable()) thread_.join();
+}
+
+double SectionStreamer::wait_ms() {
+  if (thread_.joinable()) thread_.join();
+  return elapsed_ms_;
+}
+
+void Deployment::finish_streaming() {
+  if (streamer != nullptr) {
+    load_phases.stream_ms = streamer->wait_ms();
+    streamer.reset();
+  }
+}
+
+namespace {
+const char* const kColdTags[] = {kTagWeights, kTagPrune, kTagCalib};
+}  // namespace
+
+Deployment load_artifact(const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ArtifactFile file(path);
+  const double map_ms = ms_since(t0);
+  const auto t1 = std::chrono::steady_clock::now();
+  Deployment dep = load_from(file, path);
+  dep.load_phases.map_ms = map_ms;
+  dep.load_phases.validate_ms = ms_since(t1);
+  return dep;
+}
+
+Deployment load_artifact_mapped(const std::string& path, bool async_stream) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto map = MappedFile::open(path);
+  ArtifactFile file(map);
+  const double map_ms = ms_since(t0);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Kick the cold sections' page-in off before the hot-section validation
+  // pass, so the two overlap (the staged cold-start's io stage).
+  std::shared_ptr<SectionStreamer> streamer;
+  if (async_stream) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+    for (const char* tag : kColdTags)
+      if (file.has(tag)) extents.push_back(file.extent(tag));
+    streamer =
+        std::make_shared<SectionStreamer>(map, std::move(extents));
+  }
+
+  Deployment dep = load_from(file, path);
+  dep.mapped = std::move(map);
+  dep.streamer = std::move(streamer);
+  dep.load_phases.map_ms = map_ms;
+  dep.load_phases.validate_ms = ms_since(t1);
   return dep;
 }
 

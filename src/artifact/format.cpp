@@ -3,19 +3,23 @@
 #include <algorithm>
 #include <fstream>
 
+#include "artifact/mmap_file.hpp"
 #include "tensor/check.hpp"
 
 namespace tinyadc::artifact {
 
 namespace {
 
+// Minimum alignment the *reader* enforces on section offsets — kept at the
+// original 8 so pre-v3 files (written with 8-byte section alignment) still
+// validate. The writer now lays sections out at kPayloadAlign (64).
 constexpr std::size_t kAlign = 8;
 constexpr std::uint64_t kMaxStringBytes = 1ULL << 20;
 constexpr std::uint64_t kMaxTensorRank = 8;
 constexpr std::uint64_t kMaxTensorExtent = 1ULL << 32;
 
 std::size_t align_up(std::size_t n) {
-  return (n + kAlign - 1) / kAlign * kAlign;
+  return (n + kPayloadAlign - 1) / kPayloadAlign * kPayloadAlign;
 }
 
 }  // namespace
@@ -45,8 +49,13 @@ void SectionWriter::tensor(const Tensor& t) {
 // --- SectionReader ---------------------------------------------------------
 
 SectionReader::SectionReader(const char* data, std::size_t size,
-                             std::string name)
-    : data_(data), size_(size), name_(std::move(name)) {}
+                             std::string name, std::uint64_t abs_offset,
+                             std::shared_ptr<const void> keeper)
+    : data_(data),
+      size_(size),
+      name_(std::move(name)),
+      abs_offset_(abs_offset),
+      keeper_(std::move(keeper)) {}
 
 void SectionReader::need(std::size_t n, const char* what) const {
   TINYADC_CHECK(n <= size_ - pos_, "section '" << name_ << "' truncated: "
@@ -63,6 +72,38 @@ std::size_t SectionReader::checked_count(std::size_t elem_size,
                             << " count " << count << " (only "
                             << (size_ - pos_) << " bytes remain)");
   return static_cast<std::size_t>(count);
+}
+
+std::size_t SectionReader::aligned_count(std::size_t elem_size,
+                                         std::size_t elem_align,
+                                         const char* what) {
+  const std::size_t count = checked_count(elem_size, what);
+  // Skip the writer's zero pad up to the next 64-byte *file* boundary.
+  const std::uint64_t file_pos = abs_offset_ + pos_;
+  const auto pad = static_cast<std::size_t>(
+      (kPayloadAlign - file_pos % kPayloadAlign) % kPayloadAlign);
+  need(pad, "alignment padding");
+  for (std::size_t i = 0; i < pad; ++i)
+    TINYADC_CHECK(data_[pos_ + i] == '\0',
+                  "section '" << name_ << "': non-zero byte in the " << what
+                              << " alignment padding (corrupt or misaligned "
+                                 "payload)");
+  pos_ += pad;
+  // Re-validate the element budget against what the pad consumed.
+  TINYADC_CHECK(elem_size == 0 || count <= (size_ - pos_) / elem_size,
+                "section '" << name_ << "': " << what << " count " << count
+                            << " overruns the payload after alignment");
+  if (keeper_ != nullptr) {
+    // Mapped mode: the span pointer must genuinely be aligned — a tampered
+    // section offset (8- but not 64-aligned) must fail here, cleanly,
+    // rather than ever handing out a misaligned view.
+    const auto addr = reinterpret_cast<std::uintptr_t>(data_ + pos_);
+    TINYADC_CHECK(addr % kPayloadAlign == 0 && addr % elem_align == 0,
+                  "section '" << name_ << "': " << what
+                              << " payload is not 64-byte aligned in the "
+                                 "mapping (corrupt section offset?)");
+  }
+  return count;
 }
 
 std::string SectionReader::str() {
@@ -136,8 +177,9 @@ void ArtifactWriter::finish() {
   os.write(reinterpret_cast<const char*>(&version), sizeof(version));
   os.write(reinterpret_cast<const char*>(&count), sizeof(count));
 
-  // Table: offsets assigned in order, each aligned up. The header itself is
-  // 8-byte aligned (16 + n·24), so the first payload needs no padding.
+  // Table: offsets assigned in order, each aligned up to kPayloadAlign so
+  // mapped section payloads (and the vec_aligned arrays inside them, whose
+  // padding is defined relative to the file) start on 64-byte boundaries.
   std::size_t cursor = align_up(header);
   for (const auto& [tag, writer] : sections_) {
     char tag8[8] = {};
@@ -151,7 +193,7 @@ void ArtifactWriter::finish() {
   }
 
   std::size_t written = header;
-  const char pad[kAlign] = {};
+  const char pad[kPayloadAlign] = {};
   for (const auto& [tag, writer] : sections_) {
     const std::size_t aligned = align_up(written);
     os.write(pad, static_cast<std::streamsize>(aligned - written));
@@ -175,47 +217,68 @@ ArtifactFile::ArtifactFile(const std::string& path) : path_(path) {
   is.seekg(0);
   is.read(data_.data(), end);
   TINYADC_CHECK(static_cast<bool>(is), "read failure on " << path);
+  parse(data_.data(), data_.size());
+}
 
-  TINYADC_CHECK(std::memcmp(data_.data(), kMagic, sizeof(kMagic)) == 0,
-                "bad artifact magic in " << path);
-  std::memcpy(&version_, data_.data() + 8, sizeof(version_));
+ArtifactFile::ArtifactFile(std::shared_ptr<MappedFile> map)
+    : map_(std::move(map)), path_(map_->path()) {
+  TINYADC_CHECK(map_->size() >= 16, "artifact " << path_ << " too small ("
+                                                << map_->size()
+                                                << " bytes) for a header");
+  parse(map_->data(), map_->size());
+}
+
+void ArtifactFile::parse(const char* base, std::size_t size) {
+  base_ = base;
+  size_ = size;
+  TINYADC_CHECK(std::memcmp(base, kMagic, sizeof(kMagic)) == 0,
+                "bad artifact magic in " << path_);
+  std::memcpy(&version_, base + 8, sizeof(version_));
   TINYADC_CHECK(version_ == kFormatVersion,
-                "unsupported artifact version " << version_ << " in " << path
+                "unsupported artifact version " << version_ << " in " << path_
                                                 << " (reader supports "
                                                 << kFormatVersion << ")");
   std::uint32_t count = 0;
-  std::memcpy(&count, data_.data() + 12, sizeof(count));
+  std::memcpy(&count, base + 12, sizeof(count));
   TINYADC_CHECK(count <= kMaxSections,
-                "implausible section count " << count << " in " << path);
+                "implausible section count " << count << " in " << path_);
   const std::uint64_t header = 16 + std::uint64_t{count} * 24;
-  TINYADC_CHECK(header <= data_.size(),
-                "artifact " << path << " truncated inside the section table");
+  TINYADC_CHECK(header <= size,
+                "artifact " << path_ << " truncated inside the section table");
 
   entries_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    const char* e = data_.data() + 16 + std::size_t{i} * 24;
+    const char* e = base + 16 + std::size_t{i} * 24;
     Entry entry;
     const char* tag_end = std::find(e, e + 8, '\0');
     entry.tag.assign(e, tag_end);
     std::memcpy(&entry.offset, e + 8, sizeof(entry.offset));
     std::memcpy(&entry.length, e + 16, sizeof(entry.length));
     TINYADC_CHECK(!entry.tag.empty(),
-                  "empty section tag at table index " << i << " in " << path);
+                  "empty section tag at table index " << i << " in " << path_);
     TINYADC_CHECK(entry.offset % kAlign == 0,
                   "section '" << entry.tag << "' offset " << entry.offset
-                              << " is not 8-byte aligned in " << path);
-    TINYADC_CHECK(entry.offset >= header &&
-                      entry.offset <= data_.size() &&
-                      entry.length <= data_.size() - entry.offset,
+                              << " is not 8-byte aligned in " << path_);
+    TINYADC_CHECK(entry.offset >= header && entry.offset <= size &&
+                      entry.length <= size - entry.offset,
                   "section '" << entry.tag << "' ["
                               << entry.offset << ", +" << entry.length
-                              << ") overruns " << path << " ("
-                              << data_.size() << " bytes)");
+                              << ") overruns " << path_ << " ("
+                              << size << " bytes)");
     for (const auto& prev : entries_)
       TINYADC_CHECK(prev.tag != entry.tag,
-                    "duplicate section tag '" << entry.tag << "' in " << path);
+                    "duplicate section tag '" << entry.tag << "' in "
+                                              << path_);
     entries_.push_back(std::move(entry));
   }
+}
+
+const ArtifactFile::Entry& ArtifactFile::find(const std::string& tag) const {
+  for (const auto& e : entries_)
+    if (e.tag == tag) return e;
+  TINYADC_CHECK(false, "artifact " << path_ << " has no '" << tag
+                                   << "' section");
+  std::abort();  // unreachable (TINYADC_CHECK throws)
 }
 
 bool ArtifactFile::has(const std::string& tag) const {
@@ -225,13 +288,16 @@ bool ArtifactFile::has(const std::string& tag) const {
 }
 
 SectionReader ArtifactFile::section(const std::string& tag) const {
-  for (const auto& e : entries_)
-    if (e.tag == tag)
-      return SectionReader(data_.data() + e.offset,
-                           static_cast<std::size_t>(e.length), tag);
-  TINYADC_CHECK(false, "artifact " << path_ << " has no '" << tag
-                                   << "' section");
-  std::abort();  // unreachable (TINYADC_CHECK throws)
+  const Entry& e = find(tag);
+  return SectionReader(base_ + e.offset, static_cast<std::size_t>(e.length),
+                       tag, e.offset,
+                       map_ ? std::shared_ptr<const void>(map_) : nullptr);
+}
+
+std::pair<std::uint64_t, std::uint64_t> ArtifactFile::extent(
+    const std::string& tag) const {
+  const Entry& e = find(tag);
+  return {e.offset, e.length};
 }
 
 std::vector<std::string> ArtifactFile::tags() const {

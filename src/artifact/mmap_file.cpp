@@ -1,0 +1,61 @@
+#include "artifact/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "tensor/check.hpp"
+
+namespace tinyadc::artifact {
+
+std::shared_ptr<MappedFile> MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  TINYADC_CHECK(fd >= 0, "cannot open " << path << " for mapping: "
+                                        << std::strerror(errno));
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    TINYADC_CHECK(false, "cannot stat " << path << ": " << std::strerror(err));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    TINYADC_CHECK(false, "artifact " << path << " is empty, cannot map");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  TINYADC_CHECK(base != MAP_FAILED, "mmap of " << path << " (" << size
+                                               << " bytes) failed: "
+                                               << std::strerror(map_err));
+  auto f = std::shared_ptr<MappedFile>(new MappedFile());
+  f->base_ = base;
+  f->size_ = size;
+  f->path_ = path;
+  return f;
+}
+
+MappedFile::~MappedFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+void MappedFile::advise_willneed(std::uint64_t offset,
+                                 std::uint64_t length) const {
+  if (base_ == nullptr || offset >= size_) return;
+  length = std::min<std::uint64_t>(length, size_ - offset);
+  if (length == 0) return;
+  // madvise wants page-aligned addresses; round the range outward.
+  const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  const std::uint64_t begin = offset / page * page;
+  const std::uint64_t end = offset + length;
+  ::madvise(static_cast<char*>(base_) + begin,
+            static_cast<std::size_t>(end - begin), MADV_WILLNEED);
+}
+
+}  // namespace tinyadc::artifact

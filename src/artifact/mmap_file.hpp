@@ -1,0 +1,46 @@
+// Read-only memory-mapped file handle — the backing store of the
+// zero-copy artifact load path (DESIGN.md §14).
+//
+// A MappedFile maps the whole artifact once (PROT_READ, MAP_PRIVATE) and
+// is shared (shared_ptr) into every ArrayRef view handed out by the
+// section readers, so the mapping outlives the Deployment's last borrowed
+// span no matter how ownership is shuffled. Page residency is advisory:
+// advise_willneed() issues madvise(MADV_WILLNEED) for a byte range so a
+// background streamer can overlap page-in with plan validation and the
+// first batches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace tinyadc::artifact {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only; throws CheckError on open/stat/mmap failure
+  /// (including empty files, which cannot be mapped).
+  static std::shared_ptr<MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(base_); }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Advises the kernel to page in [offset, offset+length); best-effort,
+  /// clamped to the mapping, never throws.
+  void advise_willneed(std::uint64_t offset, std::uint64_t length) const;
+
+ private:
+  MappedFile() = default;
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace tinyadc::artifact

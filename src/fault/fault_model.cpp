@@ -50,7 +50,7 @@ FaultStats inject_faults(xbar::MappedLayer& layer, const FaultSpec& spec,
             xbar::unslice_magnitude(pos, layer.config.cell_bits) -
             xbar::unslice_magnitude(neg, layer.config.cell_bits);
         if (new_q != q) {
-          block.q[static_cast<std::size_t>(r * block.cols + c)] = new_q;
+          block.q.mut()[static_cast<std::size_t>(r * block.cols + c)] = new_q;
           ++stats.weights_changed;
         }
       }

@@ -123,7 +123,7 @@ FaultStats apply_fault_map(xbar::MappedLayer& layer, const FaultMap& map,
             faulted_code(q, faults, layer.config.cell_bits, slices,
                          max_level);
         if (new_q != q) {
-          block.q[static_cast<std::size_t>(r * block.cols + c)] = new_q;
+          block.q.mut()[static_cast<std::size_t>(r * block.cols + c)] = new_q;
           ++stats.weights_changed;
         }
       }

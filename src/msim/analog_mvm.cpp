@@ -33,6 +33,15 @@ namespace {
 
 std::atomic<std::int64_t> g_plan_compilations{0};
 
+// Minimum per-call plan work (weighted row slots, see finalize_plan) before
+// the pair sweep is worth handing to the thread pool. Below this the pool's
+// wake + chunk dispatch costs more than the sweep itself — the packed-plan
+// bench showed a small CP-16 plan at 0.16 ms serial but 0.39 ms on two
+// threads — so tiny plans run the sweep inline. The inline sweep is the
+// runtime's serial reference path, so outputs and counters stay
+// bit-identical either way.
+constexpr std::int64_t kMinParallelPlanWork = 1 << 15;
+
 /// The ideal-datapath predicate of build_plan, shared with deserialize so
 /// a loaded plan provably dispatches through the same inner loop.
 bool plan_ideal_for(const xbar::MappedLayer& layer, const MsimConfig& config,
@@ -199,26 +208,35 @@ void AnalogLayerSim::build_plan() {
   // Stream sizing straight from the mapping's per-column occupancy census:
   // every active weight owns exactly one row slot in one polarity segment,
   // so the census sum is the exact stream length (not an upper bound).
+  // Compilation accumulates into local vectors and assigns the ArrayRef
+  // members once at the end (compiled plans always own their storage).
   const auto slots = static_cast<std::size_t>(layer_.census_nonzeros());
-  soa_row_.reserve(slots);
-  soa_mag_.reserve(slots);
-  soa_denom_.reserve(slots);
-  soa_level_.reserve(slots * static_cast<std::size_t>(slices));
-  soa_var_.reserve(slots * static_cast<std::size_t>(slices));
+  std::vector<std::int32_t> soa_row;
+  std::vector<std::int32_t> soa_mag;
+  std::vector<std::int32_t> soa_level;
+  std::vector<float> soa_var;
+  std::vector<double> soa_denom;
+  soa_row.reserve(slots);
+  soa_mag.reserve(slots);
+  soa_denom.reserve(slots);
+  soa_level.reserve(slots * static_cast<std::size_t>(slices));
+  soa_var.reserve(slots * static_cast<std::size_t>(slices));
 
   std::size_t npairs = 0;
   for (const auto& b : layer_.blocks)
     npairs += static_cast<std::size_t>(b.cols);
-  soa_out_.reserve(npairs);
-  soa_seg_.reserve(2 * npairs + 1);
-  soa_seg_.push_back(0);
+  std::vector<std::int64_t> soa_out;
+  std::vector<std::uint64_t> soa_seg;
+  soa_out.reserve(npairs);
+  soa_seg.reserve(2 * npairs + 1);
+  soa_seg.push_back(0);
 
   std::vector<std::int64_t> seg_rows;  // block-local rows of one segment
   for (std::size_t bi = 0; bi < layer_.blocks.size(); ++bi) {
     const auto& b = layer_.blocks[bi];
     const float* var = variation_.empty() ? nullptr : variation_[bi].data();
     for (std::int64_t c = 0; c < b.cols; ++c) {
-      soa_out_.push_back(
+      soa_out.push_back(
           layer_.kept_cols[static_cast<std::size_t>(b.col0 + c)]);
 
       // Column load for the IR-drop model, from the live codes (matches the
@@ -241,16 +259,16 @@ void AnalogLayerSim::build_plan() {
           const std::int32_t q = b.at(r, c);
           if (q == 0 || (q > 0 ? 1 : -1) != polarity) continue;
           seg_rows.push_back(r);
-          soa_row_.push_back(static_cast<std::int32_t>(layer_.kept_rows[
+          soa_row.push_back(static_cast<std::int32_t>(layer_.kept_rows[
               static_cast<std::size_t>(b.row0 + r)]));
-          soa_mag_.push_back(std::abs(q));
+          soa_mag.push_back(std::abs(q));
           double denom = 1.0;
           if (config_.ir_drop_alpha > 0.0) {
             const double depth = static_cast<double>(r + 1) /
                                  static_cast<double>(b.rows);
             denom = 1.0 + config_.ir_drop_alpha * depth * column_load;
           }
-          soa_denom_.push_back(denom);
+          soa_denom.push_back(denom);
         }
         // Slice-resolved rectangle, slice-major within the segment. Zero
         // levels are kept (they add nothing to the integer paths; the
@@ -262,18 +280,25 @@ void AnalogLayerSim::build_plan() {
             const auto sl = xbar::slice_magnitude(std::abs(b.at(r, c)),
                                                   cfg.cell_bits, slices);
             const std::int32_t level = sl[static_cast<std::size_t>(s)];
-            soa_level_.push_back(level);
-            soa_var_.push_back(
+            soa_level.push_back(level);
+            soa_var.push_back(
                 var == nullptr || level == 0
                     ? 1.0F
                     : var[static_cast<std::size_t>((r * b.cols + c) * slices +
                                                    s)]);
           }
         }
-        soa_seg_.push_back(soa_row_.size());
+        soa_seg.push_back(soa_row.size());
       }
     }
   }
+  soa_out_ = std::move(soa_out);
+  soa_seg_ = std::move(soa_seg);
+  soa_row_ = std::move(soa_row);
+  soa_mag_ = std::move(soa_mag);
+  soa_level_ = std::move(soa_level);
+  soa_var_ = std::move(soa_var);
+  soa_denom_ = std::move(soa_denom);
   finalize_plan();
 }
 
@@ -332,6 +357,19 @@ void AnalogLayerSim::finalize_plan() {
       break;
   }
   if (exec_path_ == ExecPath::kBitslice) build_bit_planes();
+
+  // Per-MVM work estimate for the parallel dispatch threshold: row slots,
+  // weighted by the per-slot inner-loop cost of the resolved path. The
+  // fused path touches each slot about once per polarity sweep; the other
+  // paths revisit each slot per (slice, cycle) plane.
+  const auto total_slots =
+      soa_seg_.empty() ? std::uint64_t{0} : soa_seg_.back();
+  const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
+  const std::int64_t per_slot =
+      exec_path_ == ExecPath::kFused
+          ? 1
+          : static_cast<std::int64_t>(slices) * cycles;
+  plan_work_ = static_cast<std::int64_t>(total_slots) * per_slot;
 }
 
 void AnalogLayerSim::derive_aos_from_soa() {
@@ -708,17 +746,29 @@ std::vector<std::int64_t> AnalogLayerSim::mvm_packed(
   // slots; counters accumulate per worker chunk and merge under a local
   // mutex (integer sums, so the grand total is partition-independent).
   AdcCounters call_counters;
-  std::mutex counters_mu;
-  runtime::parallel_for(0, npairs, 1, [&](std::int64_t p0, std::int64_t p1) {
-    AdcCounters local;
+  const auto run_range = [&](std::int64_t p0, std::int64_t p1,
+                             AdcCounters& counters) {
     if (aos)
-      exec_pairs_aos(chunks.data(), p0, p1, pair_acc.data(), local);
+      exec_pairs_aos(chunks.data(), p0, p1, pair_acc.data(), counters);
     else
-      exec_pairs_soa(x.data(), chunks.data(), p0, p1, pair_acc.data(), local);
-    std::lock_guard<std::mutex> lk(counters_mu);
-    call_counters.conversions += local.conversions;
-    call_counters.clip_events += local.clip_events;
-  });
+      exec_pairs_soa(x.data(), chunks.data(), p0, p1, pair_acc.data(),
+                     counters);
+  };
+  if (plan_work_ < kMinParallelPlanWork) {
+    // Tiny plan: the sweep costs less than waking the pool. Run it inline
+    // (the exact serial path, so bit-identical to any partitioning).
+    run_range(0, npairs, call_counters);
+  } else {
+    std::mutex counters_mu;
+    runtime::parallel_for(0, npairs, 1,
+                          [&](std::int64_t p0, std::int64_t p1) {
+                            AdcCounters local;
+                            run_range(p0, p1, local);
+                            std::lock_guard<std::mutex> lk(counters_mu);
+                            call_counters.conversions += local.conversions;
+                            call_counters.clip_events += local.clip_events;
+                          });
+  }
 
   std::vector<std::int64_t> y(static_cast<std::size_t>(layer_.cols), 0);
   for (std::size_t pi = 0; pi < soa_out_.size(); ++pi)
@@ -858,12 +908,21 @@ std::vector<std::int64_t> AnalogLayerSim::mvm_batch(
   const bool fused_batch = config_.use_plan &&
                            config_.plan_kernel != PlanKernel::kAos &&
                            exec_path_ == ExecPath::kFused;
+  // Sample-parallel dispatch threshold: a batch of tiny plans is still
+  // tiny work overall, and each per-sample mvm() already bypasses its own
+  // inner parallel_for, so fan the samples out only when the whole batch
+  // clears the plan-work threshold. Dense (use_plan == false) batches have
+  // no plan estimate and always fan out — the dense scan is O(rows·cols)
+  // per sample and dwarfs the dispatch cost.
+  const bool batch_serial =
+      config_.use_plan && batch * plan_work_ < kMinParallelPlanWork;
+
   if (!fused_batch) {
     // Generic fallback: per-sample executors run inline under a
     // sample-parallel loop (nested parallel_for serializes). Each sample
     // merges its own statistics — integer counter sums, so the totals are
     // identical to `batch` sequential mvm() calls at any thread count.
-    runtime::parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+    const auto run_samples = [&](std::int64_t b0, std::int64_t b1) {
       std::vector<std::int32_t> x(n);
       for (std::int64_t si = b0; si < b1; ++si) {
         const std::int32_t* src = xs.data() + static_cast<std::size_t>(si) * n;
@@ -873,7 +932,11 @@ std::vector<std::int64_t> AnalogLayerSim::mvm_batch(
                   y.begin() + static_cast<std::ptrdiff_t>(
                                   static_cast<std::size_t>(si) * cols));
       }
-    });
+    };
+    if (batch_serial)
+      run_samples(0, batch);
+    else
+      runtime::parallel_for(0, batch, 1, run_samples);
     return y;
   }
 
@@ -885,7 +948,7 @@ std::vector<std::int64_t> AnalogLayerSim::mvm_batch(
   const int cycles = dac_cycles(cfg.input_bits, cfg.dac_bits);
   const auto npairs = soa_out_.size();
   const bool narrow = worst_fused_sum_ <= INT32_MAX;
-  runtime::parallel_for(0, batch, 1, [&](std::int64_t b0, std::int64_t b1) {
+  const auto run_samples = [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t si = b0; si < b1; ++si) {
       const std::int32_t* x = xs.data() + static_cast<std::size_t>(si) * n;
       std::int64_t* yrow = y.data() + static_cast<std::size_t>(si) * cols;
@@ -919,7 +982,11 @@ std::vector<std::int64_t> AnalogLayerSim::mvm_batch(
         yrow[static_cast<std::size_t>(soa_out_[pi])] += acc;
       }
     }
-  });
+  };
+  if (batch_serial)
+    run_samples(0, batch);
+  else
+    runtime::parallel_for(0, batch, 1, run_samples);
   AdcCounters call_counters;
   call_counters.conversions = batch * static_cast<std::int64_t>(npairs) * 2 *
                               cfg.slices() * cycles;
@@ -1067,17 +1134,18 @@ void AnalogLayerSim::serialize(artifact::SectionWriter& w) const {
   for (const auto& v : variation_) w.vec(v);
   w.pod(static_cast<std::uint8_t>(config_.use_plan ? 1 : 0));
   if (!config_.use_plan) return;
-  // v2 payload: the canonical SoA streams. The AoS arrays and bit planes
-  // are derived views and are rebuilt (cheap, deterministic) at load.
+  // v3 payload: the canonical SoA streams as 64-byte-aligned arrays
+  // (vec_aligned), so a mapped load can hand the executors read-only spans
+  // over the file instead of copies. The AoS arrays and bit planes are
+  // derived views and are rebuilt (cheap, deterministic) at load.
   w.pod(static_cast<std::uint64_t>(soa_out_.size()));
-  for (const auto out : soa_out_) w.pod(out);
-  w.pod(static_cast<std::uint64_t>(soa_seg_.size()));
-  for (const auto off : soa_seg_) w.pod(static_cast<std::uint64_t>(off));
-  w.vec(soa_row_);
-  w.vec(soa_mag_);
-  w.vec(soa_level_);
-  w.vec(soa_var_);
-  w.vec(soa_denom_);
+  w.vec_aligned(soa_out_);
+  w.vec_aligned(soa_seg_);
+  w.vec_aligned(soa_row_);
+  w.vec_aligned(soa_mag_);
+  w.vec_aligned(soa_level_);
+  w.vec_aligned(soa_var_);
+  w.vec_aligned(soa_denom_);
 }
 
 std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
@@ -1140,90 +1208,41 @@ std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
                   "layer " << layer.name << ": plan has " << npairs
                            << " conversion pairs, mapping needs "
                            << npairs_expected);
-    if (version >= 2) {
-      // --- v2: the SoA streams verbatim. ---------------------------------
-      s.out.reserve(static_cast<std::size_t>(npairs));
-      for (std::uint64_t pi = 0; pi < npairs; ++pi) {
-        const auto out = r.pod<std::int64_t>();
-        TINYADC_CHECK(out >= 0 && out < layer.cols,
-                      "layer " << layer.name << ": plan pair " << pi
-                               << " targets output column " << out);
-        s.out.push_back(out);
-      }
+    if (version >= 3) {
+      // --- v3: 64-byte-aligned SoA streams. On a mapped artifact these
+      // come back as borrowed spans over the file (zero-copy); on a copied
+      // load arr_aligned degrades to an owned copy. Either way the shared
+      // validation below re-checks every structural invariant — and, on a
+      // mapped load, doubles as the page-touch warm-up of the hot streams.
+      s.out = r.arr_aligned<std::int64_t>("plan outs");
+      s.seg = r.arr_aligned<std::uint64_t>("plan segment table");
+      s.row = r.arr_aligned<std::int32_t>("plan row stream");
+      s.mag = r.arr_aligned<std::int32_t>("plan magnitude stream");
+      s.level = r.arr_aligned<std::int32_t>("plan level stream");
+      s.var = r.arr_aligned<float>("plan variation stream");
+      s.denom = r.arr_aligned<double>("plan IR-divisor stream");
+    } else if (version == 2) {
+      // --- v2: the SoA streams as plain (unaligned) arrays; always copied.
+      std::vector<std::int64_t> out;
+      out.reserve(static_cast<std::size_t>(npairs));
+      for (std::uint64_t pi = 0; pi < npairs; ++pi)
+        out.push_back(r.pod<std::int64_t>());
+      s.out = std::move(out);
       const auto nseg = r.pod<std::uint64_t>();
       TINYADC_CHECK(nseg == 2 * npairs + 1,
                     "layer " << layer.name << ": plan segment table holds "
                              << nseg << " offsets, expected "
                              << 2 * npairs + 1);
-      s.seg.reserve(static_cast<std::size_t>(nseg));
-      for (std::uint64_t i = 0; i < nseg; ++i) {
-        const auto off = r.pod<std::uint64_t>();
-        TINYADC_CHECK((i == 0 && off == 0) ||
-                          (i > 0 && off >= s.seg.back()),
-                      "layer " << layer.name
-                               << ": plan segments are not monotone");
-        s.seg.push_back(static_cast<std::size_t>(off));
-      }
+      std::vector<std::uint64_t> seg;
+      seg.reserve(static_cast<std::size_t>(nseg));
+      for (std::uint64_t i = 0; i < nseg; ++i)
+        seg.push_back(r.pod<std::uint64_t>());
+      s.seg = std::move(seg);
       s.row = r.vec<std::int32_t>();
       s.mag = r.vec<std::int32_t>();
       s.level = r.vec<std::int32_t>();
       s.var = r.vec<float>();
       s.denom = r.vec<double>();
-      const std::size_t slots = s.seg.back();
-      TINYADC_CHECK(
-          s.row.size() == slots && s.mag.size() == slots &&
-              s.denom.size() == slots &&
-              s.level.size() == slots * static_cast<std::size_t>(slices) &&
-              s.var.size() == slots * static_cast<std::size_t>(slices),
-          "layer " << layer.name
-                   << ": plan stream lengths disagree with the segment "
-                      "table (" << slots << " row slots)");
-      const std::int32_t max_level = (1 << cfg.cell_bits) - 1;
-      const std::int32_t max_mag =
-          static_cast<std::int32_t>(
-              (std::int64_t{1} << (slices * cfg.cell_bits)) - 1);
-      for (std::size_t k = 0; k + 1 < s.seg.size(); ++k) {
-        const std::size_t i0 = s.seg[k], i1 = s.seg[k + 1];
-        const std::size_t len = i1 - i0;
-        const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
-        for (std::size_t i = 0; i < len; ++i) {
-          const std::int32_t row = s.row[i0 + i];
-          TINYADC_CHECK(row >= 0 && static_cast<std::int64_t>(row) <
-                                        layer.rows,
-                        "layer " << layer.name << ": plan slot reads "
-                                 << "activation row " << row);
-          TINYADC_CHECK(i == 0 || s.row[i0 + i - 1] < row,
-                        "layer " << layer.name
-                                 << ": plan segment rows are not ascending");
-          const std::int32_t mag = s.mag[i0 + i];
-          TINYADC_CHECK(mag > 0 && mag <= max_mag,
-                        "layer " << layer.name
-                                 << ": plan slot holds magnitude " << mag);
-          std::int32_t recomposed = 0;
-          for (int sl = 0; sl < slices; ++sl) {
-            const std::int32_t level =
-                s.level[lbase + static_cast<std::size_t>(sl) * len + i];
-            TINYADC_CHECK(level >= 0 && level <= max_level,
-                          "layer " << layer.name
-                                   << ": plan slot holds cell level "
-                                   << level);
-            const float vf =
-                s.var[lbase + static_cast<std::size_t>(sl) * len + i];
-            TINYADC_CHECK(std::isfinite(vf) && vf > 0.0F,
-                          "layer " << layer.name
-                                   << ": non-finite plan variation factor");
-            recomposed += level << (sl * cfg.cell_bits);
-          }
-          TINYADC_CHECK(recomposed == mag,
-                        "layer " << layer.name
-                                 << ": plan slot slices recompose to "
-                                 << recomposed << ", magnitude says " << mag);
-          TINYADC_CHECK(std::isfinite(s.denom[i0 + i]) &&
-                            s.denom[i0 + i] > 0.0,
-                        "layer " << layer.name
-                                 << ": non-finite plan IR divisor");
-        }
-      }
     } else {
       // --- v1: the PR-3 AoS entry arrays; validate exactly as the v1
       // reader did, then merge each (pair, polarity)'s slice planes into
@@ -1287,11 +1306,17 @@ std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
                                << " holds non-finite analog factors");
       }
 
-      // AoS → SoA conversion.
-      s.seg.push_back(0);
+      // AoS → SoA conversion (into owned vectors; the ArrayRef members
+      // adopt them below).
+      std::vector<std::int64_t> c_out;
+      std::vector<std::uint64_t> c_seg;
+      std::vector<std::int32_t> c_row, c_mag, c_level;
+      std::vector<float> c_var;
+      std::vector<double> c_denom;
+      c_seg.push_back(0);
       std::vector<std::int32_t> seg_rows;
       for (std::uint64_t pi = 0; pi < npairs; ++pi) {
-        s.out.push_back(pairs[static_cast<std::size_t>(pi)].out);
+        c_out.push_back(pairs[static_cast<std::size_t>(pi)].out);
         const std::size_t plane0 =
             pairs[static_cast<std::size_t>(pi)].plane0;
         for (int pol = 0; pol < 2; ++pol) {
@@ -1307,16 +1332,16 @@ std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
           seg_rows.erase(std::unique(seg_rows.begin(), seg_rows.end()),
                          seg_rows.end());
           const std::size_t len = seg_rows.size();
-          const std::size_t slot0 = s.row.size();
+          const std::size_t slot0 = c_row.size();
           for (const std::int32_t row : seg_rows) {
-            s.row.push_back(row);
-            s.mag.push_back(0);
-            s.denom.push_back(1.0);
+            c_row.push_back(row);
+            c_mag.push_back(0);
+            c_denom.push_back(1.0);
           }
-          s.level.resize(s.level.size() +
+          c_level.resize(c_level.size() +
                              len * static_cast<std::size_t>(slices),
                          0);
-          s.var.resize(s.var.size() + len * static_cast<std::size_t>(slices),
+          c_var.resize(c_var.size() + len * static_cast<std::size_t>(slices),
                        1.0F);
           const std::size_t lbase = slot0 * static_cast<std::size_t>(slices);
           for (int sl = 0; sl < slices; ++sl) {
@@ -1326,15 +1351,100 @@ std::unique_ptr<AnalogLayerSim> AnalogLayerSim::deserialize(
                                                seg_rows.end(), x[e]);
               const auto li = static_cast<std::size_t>(
                   it - seg_rows.begin());
-              s.level[lbase + static_cast<std::size_t>(sl) * len + li] =
+              c_level[lbase + static_cast<std::size_t>(sl) * len + li] =
                   level[e];
-              s.var[lbase + static_cast<std::size_t>(sl) * len + li] = var[e];
-              s.mag[slot0 + li] += level[e] << (sl * cfg.cell_bits);
-              s.denom[slot0 + li] = denom[e];
+              c_var[lbase + static_cast<std::size_t>(sl) * len + li] = var[e];
+              c_mag[slot0 + li] += level[e] << (sl * cfg.cell_bits);
+              c_denom[slot0 + li] = denom[e];
             }
           }
-          s.seg.push_back(s.row.size());
+          c_seg.push_back(c_row.size());
         }
+      }
+      s.out = std::move(c_out);
+      s.seg = std::move(c_seg);
+      s.row = std::move(c_row);
+      s.mag = std::move(c_mag);
+      s.level = std::move(c_level);
+      s.var = std::move(c_var);
+      s.denom = std::move(c_denom);
+    }
+
+    // --- Shared structural validation over the restored streams, for
+    // every payload version (v3 spans, v2 copies, v1 conversions alike).
+    // Anything inconsistent with the mapping is a CheckError, never UB.
+    TINYADC_CHECK(s.out.size() == npairs,
+                  "layer " << layer.name << ": plan out table holds "
+                           << s.out.size() << " pairs, expected " << npairs);
+    for (std::size_t pi = 0; pi < s.out.size(); ++pi)
+      TINYADC_CHECK(s.out[pi] >= 0 && s.out[pi] < layer.cols,
+                    "layer " << layer.name << ": plan pair " << pi
+                             << " targets output column " << s.out[pi]);
+    TINYADC_CHECK(s.seg.size() == 2 * npairs + 1,
+                  "layer " << layer.name << ": plan segment table holds "
+                           << s.seg.size() << " offsets, expected "
+                           << 2 * npairs + 1);
+    TINYADC_CHECK(s.seg[0] == 0,
+                  "layer " << layer.name
+                           << ": plan segment table does not start at 0");
+    for (std::size_t i = 1; i < s.seg.size(); ++i)
+      TINYADC_CHECK(s.seg[i] >= s.seg[i - 1],
+                    "layer " << layer.name
+                             << ": plan segments are not monotone");
+    const auto slots = static_cast<std::size_t>(s.seg[s.seg.size() - 1]);
+    TINYADC_CHECK(
+        s.row.size() == slots && s.mag.size() == slots &&
+            s.denom.size() == slots &&
+            s.level.size() == slots * static_cast<std::size_t>(slices) &&
+            s.var.size() == slots * static_cast<std::size_t>(slices),
+        "layer " << layer.name
+                 << ": plan stream lengths disagree with the segment "
+                    "table (" << slots << " row slots)");
+    const std::int32_t max_level = (1 << cfg.cell_bits) - 1;
+    const std::int32_t max_mag =
+        static_cast<std::int32_t>(
+            (std::int64_t{1} << (slices * cfg.cell_bits)) - 1);
+    for (std::size_t k = 0; k + 1 < s.seg.size(); ++k) {
+      const auto i0 = static_cast<std::size_t>(s.seg[k]);
+      const auto i1 = static_cast<std::size_t>(s.seg[k + 1]);
+      const std::size_t len = i1 - i0;
+      const std::size_t lbase = i0 * static_cast<std::size_t>(slices);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::int32_t row = s.row[i0 + i];
+        TINYADC_CHECK(row >= 0 && static_cast<std::int64_t>(row) <
+                                      layer.rows,
+                      "layer " << layer.name << ": plan slot reads "
+                               << "activation row " << row);
+        TINYADC_CHECK(i == 0 || s.row[i0 + i - 1] < row,
+                      "layer " << layer.name
+                               << ": plan segment rows are not ascending");
+        const std::int32_t mag = s.mag[i0 + i];
+        TINYADC_CHECK(mag > 0 && mag <= max_mag,
+                      "layer " << layer.name
+                               << ": plan slot holds magnitude " << mag);
+        std::int32_t recomposed = 0;
+        for (int sl = 0; sl < slices; ++sl) {
+          const std::int32_t level =
+              s.level[lbase + static_cast<std::size_t>(sl) * len + i];
+          TINYADC_CHECK(level >= 0 && level <= max_level,
+                        "layer " << layer.name
+                                 << ": plan slot holds cell level "
+                                 << level);
+          const float vf =
+              s.var[lbase + static_cast<std::size_t>(sl) * len + i];
+          TINYADC_CHECK(std::isfinite(vf) && vf > 0.0F,
+                        "layer " << layer.name
+                                 << ": non-finite plan variation factor");
+          recomposed += level << (sl * cfg.cell_bits);
+        }
+        TINYADC_CHECK(recomposed == mag,
+                      "layer " << layer.name
+                               << ": plan slot slices recompose to "
+                               << recomposed << ", magnitude says " << mag);
+        TINYADC_CHECK(std::isfinite(s.denom[i0 + i]) &&
+                          s.denom[i0 + i] > 0.0,
+                      "layer " << layer.name
+                               << ": non-finite plan IR divisor");
       }
     }
   }

@@ -50,6 +50,7 @@
 #include <mutex>
 #include <vector>
 
+#include "artifact/array_ref.hpp"
 #include "msim/adc.hpp"
 #include "msim/dac.hpp"
 #include "xbar/mapping.hpp"
@@ -209,18 +210,23 @@ class AnalogLayerSim {
   enum class ExecPath : std::uint8_t { kFused, kBitslice, kVector, kGeneral };
 
   // Execution state restored from an artifact (see deserialize()): the
-  // canonical SoA streams, exactly as finalize_plan() documents them.
+  // canonical SoA streams, exactly as finalize_plan() documents them. The
+  // stream arrays are ArrayRefs: a v3 payload read from a mapped artifact
+  // restores them as borrowed spans over the mapping (zero-copy — the
+  // SectionReader's keeper holds the MappedFile alive), while copied loads
+  // and pre-v3 payloads restore owned vectors. Either way the executors see
+  // the same bytes.
   struct RestoredState {
     int adc_bits = 0;
     bool plan_ideal = false;
     std::vector<std::vector<float>> variation;
-    std::vector<std::int64_t> out;
-    std::vector<std::size_t> seg;
-    std::vector<std::int32_t> row;
-    std::vector<std::int32_t> mag;
-    std::vector<std::int32_t> level;
-    std::vector<float> var;
-    std::vector<double> denom;
+    artifact::ArrayRef<std::int64_t> out;
+    artifact::ArrayRef<std::uint64_t> seg;
+    artifact::ArrayRef<std::int32_t> row;
+    artifact::ArrayRef<std::int32_t> mag;
+    artifact::ArrayRef<std::int32_t> level;
+    artifact::ArrayRef<float> var;
+    artifact::ArrayRef<double> denom;
   };
 
   AnalogLayerSim(const xbar::MappedLayer& layer, MsimConfig config,
@@ -271,13 +277,18 @@ class AnalogLayerSim {
   // soa_level_/soa_var_ at [soa_seg_[k]·slices + s·len_k + local_i]. The
   // rectangle is bit-safe for the integer paths (zero levels add nothing)
   // and lets every slice of a segment stream contiguously.
-  std::vector<std::int64_t> soa_out_;   // pair → original output column
-  std::vector<std::size_t> soa_seg_;    // 2·pairs + 1 slot offsets
-  std::vector<std::int32_t> soa_row_;   // slot → flat DAC-chunk index
-  std::vector<std::int32_t> soa_mag_;   // slot → weight magnitude |q|
-  std::vector<std::int32_t> soa_level_; // slot×slice → cell level (rect.)
-  std::vector<float> soa_var_;          // slot×slice → variation factor
-  std::vector<double> soa_denom_;       // slot → IR-drop divisor
+  // The streams are ArrayRefs (artifact/array_ref.hpp): plan compilation
+  // produces owned vectors, while a mapped v3 artifact load restores them
+  // as read-only spans over the file mapping (zero-copy; the ArrayRef's
+  // keeper pins the MappedFile). Executors only read, so both storage
+  // modes run the same inner loops on the same bytes.
+  artifact::ArrayRef<std::int64_t> soa_out_;   // pair → original output col
+  artifact::ArrayRef<std::uint64_t> soa_seg_;  // 2·pairs + 1 slot offsets
+  artifact::ArrayRef<std::int32_t> soa_row_;   // slot → flat DAC-chunk index
+  artifact::ArrayRef<std::int32_t> soa_mag_;   // slot → weight magnitude |q|
+  artifact::ArrayRef<std::int32_t> soa_level_; // slot×slice → level (rect.)
+  artifact::ArrayRef<float> soa_var_;          // slot×slice → variation
+  artifact::ArrayRef<double> soa_denom_;       // slot → IR-drop divisor
 
   // --- Bit-sliced levels (built for the bitslice path) --------------------
   // Each segment's levels decompose into slices·cell_bits bit planes packed
@@ -304,6 +315,11 @@ class AnalogLayerSim {
   // int32 the fused dot accumulates in 32-bit lanes (twice the SIMD width).
   std::int64_t worst_fused_sum_ = 0;
   ExecPath exec_path_ = ExecPath::kVector;
+  // Approximate per-MVM inner-loop work (weighted row slots; see
+  // finalize_plan). Plans below the parallel threshold execute their pair
+  // sweep inline — the pool's dispatch overhead dominates tiny plans, and
+  // the serial sweep is the reference path, so results stay bit-identical.
+  std::int64_t plan_work_ = 0;
 
   MsimStats stats_;
   // Guards stats_/adc_ counter merges under concurrent mvm() calls (held in

@@ -299,6 +299,7 @@ ServeStats InferenceEngine::stats() const {
     s.pipeline_stages = config_.pipeline_stages;
     if (executor_) s.stages = executor_->stage_stats();
   }
+  s.peak_rss_kb = peak_rss_kb();
   return s;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include <sys/resource.h>
+
 namespace tinyadc::serve {
 
 namespace {
@@ -92,6 +94,18 @@ std::string ServeStats::to_table() const {
                 static_cast<long long>(adc_clip_events),
                 static_cast<long long>(dac_cycles));
   out += line;
+  if (peak_rss_kb > 0) {
+    std::snprintf(line, sizeof(line), "%-22s %12lld\n", "peak rss (kb)",
+                  static_cast<long long>(peak_rss_kb));
+    out += line;
+  }
+  if (load_map_ms > 0.0 || load_validate_ms > 0.0 || load_stream_ms > 0.0) {
+    std::snprintf(line, sizeof(line),
+                  "%-22s map %.2f  validate %.2f  stream %.2f\n",
+                  "artifact load (ms)", load_map_ms, load_validate_ms,
+                  load_stream_ms);
+    out += line;
+  }
   if (pipeline_stages > 0) {
     std::snprintf(line, sizeof(line), "%-22s %12d\n", "pipeline stages",
                   pipeline_stages);
@@ -123,7 +137,11 @@ std::string ServeStats::to_json() const {
       << ", \"max_queue_depth\": " << max_queue_depth
       << ", \"adc_conversions\": " << adc_conversions
       << ", \"adc_clip_events\": " << adc_clip_events
-      << ", \"dac_cycles\": " << dac_cycles << ", \"batch_hist\": [";
+      << ", \"dac_cycles\": " << dac_cycles
+      << ", \"peak_rss_kb\": " << peak_rss_kb
+      << ", \"load_map_ms\": " << load_map_ms
+      << ", \"load_validate_ms\": " << load_validate_ms
+      << ", \"load_stream_ms\": " << load_stream_ms << ", \"batch_hist\": [";
   for (std::size_t b = 0; b < batch_hist.size(); ++b)
     out << (b ? ", " : "") << batch_hist[b];
   out << "], \"pipeline_stages\": " << pipeline_stages << ", \"stages\": [";
@@ -143,6 +161,12 @@ std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
   const auto* p = static_cast<const unsigned char*>(data);
   for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * 1099511628211ULL;
   return h;
+}
+
+std::int64_t peak_rss_kb() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // Linux reports KiB
 }
 
 }  // namespace tinyadc::serve

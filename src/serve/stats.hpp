@@ -83,6 +83,14 @@ struct ServeStats {
   /// and the per-stage occupancy/stall counters.
   int pipeline_stages = 0;
   std::vector<PipelineStageStats> stages;
+  /// Process peak resident set (ru_maxrss), snapshotted with the stats.
+  std::int64_t peak_rss_kb = 0;
+  /// Artifact load-phase breakdown (artifact::LoadPhases), injected by the
+  /// serving entry points when the engine was cold-started from an
+  /// artifact; all zero for in-process construction.
+  double load_map_ms = 0.0;
+  double load_validate_ms = 0.0;
+  double load_stream_ms = 0.0;
 
   /// Human-readable stats table (the `serve`/`loadgen` CLI output).
   std::string to_table() const;
@@ -93,5 +101,9 @@ struct ServeStats {
 /// FNV-1a digest of raw bytes; `h` chains calls (pass the previous digest).
 std::uint64_t fnv1a(const void* data, std::size_t n,
                     std::uint64_t h = 1469598103934665603ULL);
+
+/// Peak resident-set size of this process in KiB (getrusage ru_maxrss);
+/// 0 if the platform cannot report it.
+std::int64_t peak_rss_kb();
 
 }  // namespace tinyadc::serve

@@ -9,7 +9,10 @@ namespace tinyadc::xbar {
 
 namespace {
 
-constexpr std::uint32_t kMappingSectionVersion = 1;
+// v1: block codes as plain vec(); v2 (this writer): block codes as
+// vec_aligned() so a mapped load views them in place. Both load.
+constexpr std::uint32_t kMappingSectionVersion = 2;
+constexpr std::uint32_t kMinMappingSectionVersion = 1;
 
 void serialize_config(const MappingConfig& cfg, artifact::SectionWriter& w) {
   w.pod(cfg.dims.rows);
@@ -68,14 +71,15 @@ void serialize_layer(const MappedLayer& layer, artifact::SectionWriter& w) {
     w.pod(b.col0);
     w.pod(b.rows);
     w.pod(b.cols);
-    w.vec(b.q);
+    w.vec_aligned(b.q);
     w.vec(b.col_nonzeros);
     w.pod(b.max_col_nonzeros);
   }
 }
 
 MappedLayer deserialize_layer(artifact::SectionReader& r,
-                              const MappingConfig& config) {
+                              const MappingConfig& config,
+                              std::uint32_t version) {
   MappedLayer layer;
   layer.config = config;
   layer.name = r.str();
@@ -131,7 +135,9 @@ MappedLayer deserialize_layer(artifact::SectionReader& r,
                                          compact_cols - b.col0),
                   "layer " << layer.name << ": block " << i
                            << " geometry disagrees with the grid");
-    b.q = r.vec<std::int32_t>();
+    b.q = version >= 2 ? r.arr_aligned<std::int32_t>("block codes")
+                       : artifact::ArrayRef<std::int32_t>(
+                             r.vec<std::int32_t>());
     TINYADC_CHECK(b.q.size() == static_cast<std::size_t>(b.rows * b.cols),
                   "layer " << layer.name << ": block " << i << " holds "
                            << b.q.size() << " codes, expected "
@@ -176,7 +182,8 @@ void serialize(const MappedNetwork& net, artifact::SectionWriter& w) {
 
 MappedNetwork deserialize_mapped_network(artifact::SectionReader& r) {
   const auto version = r.pod<std::uint32_t>();
-  TINYADC_CHECK(version == kMappingSectionVersion,
+  TINYADC_CHECK(version >= kMinMappingSectionVersion &&
+                    version <= kMappingSectionVersion,
                 "unsupported mapping section version " << version);
   MappedNetwork net;
   net.config = deserialize_config(r);
@@ -185,7 +192,7 @@ MappedNetwork deserialize_mapped_network(artifact::SectionReader& r) {
                 "implausible mapped-layer count " << count);
   net.layers.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i)
-    net.layers.push_back(deserialize_layer(r, net.config));
+    net.layers.push_back(deserialize_layer(r, net.config, version));
   return net;
 }
 
@@ -338,17 +345,19 @@ MappedLayer map_matrix(const Tensor& matrix, const std::string& name,
       block.col0 = bc * config.dims.cols;
       block.rows = std::min(config.dims.rows, compact_rows - block.row0);
       block.cols = std::min(config.dims.cols, compact_cols - block.col0);
-      block.q.resize(static_cast<std::size_t>(block.rows * block.cols));
+      std::vector<std::int32_t> codes(
+          static_cast<std::size_t>(block.rows * block.cols));
       for (std::int64_t r = 0; r < block.rows; ++r) {
         const std::int64_t orig_r =
             layer.kept_rows[static_cast<std::size_t>(block.row0 + r)];
         for (std::int64_t c = 0; c < block.cols; ++c) {
           const std::int64_t orig_c =
               layer.kept_cols[static_cast<std::size_t>(block.col0 + c)];
-          block.q[static_cast<std::size_t>(r * block.cols + c)] =
+          codes[static_cast<std::size_t>(r * block.cols + c)] =
               quantize_signed(m[orig_r * layer.cols + orig_c], layer.quant);
         }
       }
+      block.q = std::move(codes);
       block.col_nonzeros.assign(static_cast<std::size_t>(block.cols), 0);
       for (std::int64_t c = 0; c < block.cols; ++c) {
         std::int64_t nz = 0;

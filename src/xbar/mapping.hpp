@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact/array_ref.hpp"
 #include "core/layout.hpp"
 #include "core/prune_spec.hpp"
 #include "nn/model.hpp"
@@ -47,7 +48,10 @@ struct MappingConfig {
 struct CrossbarBlock {
   std::int64_t row0 = 0, col0 = 0;  ///< block origin in the 2-D matrix
   std::int64_t rows = 0, cols = 0;  ///< actual extent (≤ dims at edges)
-  std::vector<std::int32_t> q;      ///< signed codes, row-major (rows × cols)
+  /// Signed codes, row-major (rows × cols). An ArrayRef so a mapped
+  /// artifact load can view the codes in place (zero-copy); mutators
+  /// (fault injection, remap) go through q.mut(), which copies on write.
+  artifact::ArrayRef<std::int32_t> q;
   /// Per-column occupancy census from map time: col_nonzeros[c] is the
   /// number of rows with a non-zero code in block-local column c (the `l`
   /// of the paper's CP constraint). Consumers that mutate `q` afterwards

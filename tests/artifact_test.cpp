@@ -431,11 +431,13 @@ TEST(ArtifactVersioning, GoldenV1NonIdealLoadsExecutesAndUpgrades) {
 }
 
 // ---------------------------------------------------------------------------
-// Corruption matrix over the v2 SoA plan streams: tamper one field at a
-// time in a single layer's serialized payload and require CheckError from
-// the stream validators (never garbage execution or bad_alloc).
+// Corruption matrix over the v3 aligned SoA plan streams: tamper one field
+// at a time in a single layer's serialized payload and require CheckError
+// from the stream validators (never garbage execution or bad_alloc). Also
+// covers the alignment-specific failure modes: non-zero padding bytes and
+// a mapped payload whose pointer is 8- but not 64-byte aligned.
 
-TEST(ArtifactVersioning, CorruptV2PlanStreamsRaiseCheckError) {
+TEST(ArtifactVersioning, CorruptV3PlanStreamsRaiseCheckError) {
   Fixture f;
   const auto& layer = f.net.layers.front();
   msim::MsimConfig mcfg;  // defaults: use_plan, kAuto, ideal datapath
@@ -444,40 +446,49 @@ TEST(ArtifactVersioning, CorruptV2PlanStreamsRaiseCheckError) {
   sim.serialize(w);
   const std::vector<char> base = w.bytes();
 
-  // Fixed offsets of the v2 layer payload (ideal fixture: no variation
-  // blocks): i32 adc_bits, u8 plan_ideal, u64 nvar, u8 use_plan,
-  // u64 npairs, npairs×i64 outs, u64 nseg, nseg×u64 segs, then the five
-  // vec() streams (row/mag i32, level i32, var f32, denom f64).
+  // v3 layer payload (ideal fixture: no variation blocks): i32 adc_bits,
+  // u8 plan_ideal, u64 nvar, u8 use_plan, u64 npairs, then seven aligned
+  // arrays — u64 count, zero pad to the next 64-byte boundary, raw data —
+  // out i64, seg u64, row/mag i32, level i32, var f32, denom f64. A
+  // standalone payload starts at file offset 0, so payload-relative
+  // padding equals the file-relative padding the writer laid down.
   auto read_u64 = [&](std::size_t off) {
     std::uint64_t v = 0;
     std::memcpy(&v, base.data() + off, sizeof(v));
     return v;
   };
-  const std::size_t off_npairs = 4 + 1 + 8 + 1;
+  std::size_t pos = 4 + 1 + 8 + 1;
+  const std::size_t off_npairs = pos;
   const std::uint64_t npairs = read_u64(off_npairs);
   ASSERT_GE(npairs, 1U);
-  const std::size_t off_outs = off_npairs + 8;
-  const std::size_t off_nseg = off_outs + 8 * static_cast<std::size_t>(npairs);
-  ASSERT_EQ(read_u64(off_nseg), 2 * npairs + 1);
-  const std::size_t off_seg = off_nseg + 8;
-  const std::size_t off_rowcnt =
-      off_seg + 8 * static_cast<std::size_t>(2 * npairs + 1);
-  const std::uint64_t slots = read_u64(off_rowcnt);
+  pos += 8;
+  // Walks one aligned array with the writer's own arithmetic: verify the
+  // count field, skip the pad, return the data offset, advance past the
+  // elements.
+  auto aligned_array = [&](std::uint64_t count, std::size_t elem) {
+    EXPECT_EQ(read_u64(pos), count);
+    pos = (pos + 8 + kPayloadAlign - 1) / kPayloadAlign * kPayloadAlign;
+    const std::size_t off = pos;
+    pos += static_cast<std::size_t>(count) * elem;
+    return off;
+  };
+  const std::size_t off_out = aligned_array(npairs, 8);
+  const std::size_t off_seg = aligned_array(2 * npairs + 1, 8);
+  const std::uint64_t slots = read_u64(pos);
   ASSERT_GE(slots, 2U);
-  const int slices = layer.config.slices();
-  const std::size_t off_row = off_rowcnt + 8;
-  const std::size_t off_mag = off_row + 4 * slots + 8;
-  const std::size_t off_level = off_mag + 4 * slots + 8;
-  const std::size_t off_var =
-      off_level + 4 * slots * static_cast<std::size_t>(slices) + 8;
-  const std::size_t off_denom =
-      off_var + 4 * slots * static_cast<std::size_t>(slices) + 8;
+  const auto slices = static_cast<std::uint64_t>(layer.config.slices());
+  const std::size_t off_row = aligned_array(slots, 4);
+  const std::size_t off_mag = aligned_array(slots, 4);
+  const std::size_t off_level = aligned_array(slots * slices, 4);
+  const std::size_t off_var = aligned_array(slots * slices, 4);
+  const std::size_t off_denom = aligned_array(slots, 8);
+  ASSERT_EQ(pos, base.size()) << "layout walk must land on the payload end";
 
   auto expect_throws = [&](const std::vector<char>& bytes, const char* what) {
     SectionReader r(bytes.data(), bytes.size(), "PLANS");
     EXPECT_THROW(
         (void)msim::AnalogLayerSim::deserialize(layer, mcfg, r,
-                                                /*version=*/2),
+                                                /*version=*/3),
         CheckError)
         << what;
   };
@@ -490,15 +501,15 @@ TEST(ArtifactVersioning, CorruptV2PlanStreamsRaiseCheckError) {
   // Sanity: the untampered payload deserializes and executes.
   {
     SectionReader r(base.data(), base.size(), "PLANS");
-    auto restored = msim::AnalogLayerSim::deserialize(layer, mcfg, r, 2);
+    auto restored = msim::AnalogLayerSim::deserialize(layer, mcfg, r, 3);
     EXPECT_EQ(r.remaining(), 0U);
     std::vector<std::int32_t> x(static_cast<std::size_t>(layer.rows), 3);
     EXPECT_EQ(restored->mvm(x), sim.mvm(x));
   }
 
-  expect_throws(tampered(off_outs, std::int64_t{-2}),
+  expect_throws(tampered(off_out, std::int64_t{-2}),
                 "negative output column");
-  expect_throws(tampered(off_outs, layer.cols + 7),
+  expect_throws(tampered(off_out, layer.cols + 7),
                 "output column past the layer");
   expect_throws(tampered(off_seg + 8, std::uint64_t{0xFFFFFFFFU}),
                 "non-monotone segment table");
@@ -520,12 +531,263 @@ TEST(ArtifactVersioning, CorruptV2PlanStreamsRaiseCheckError) {
   }
   expect_throws(tampered(off_var, -1.0F), "negative variation factor");
   expect_throws(tampered(off_denom, 0.0), "zero IR divisor");
-  // Truncation inside each stream: the vec() budget guard must fire.
+  // Truncation inside each stream: the element-budget guard must fire.
   for (const std::size_t cut : {off_row + 3, off_level + 5, off_denom + 1})
     expect_throws(std::vector<char>(base.begin(),
                                     base.begin() +
                                         static_cast<std::ptrdiff_t>(cut)),
                   "truncated stream");
+
+  // A non-zero byte inside the out array's alignment padding — the v3
+  // reader verifies every pad byte, so silent payload shifts cannot hide.
+  ASSERT_GT(off_out, off_npairs + 16) << "out array must have a pad region";
+  expect_throws(tampered(off_out - 1, std::uint8_t{1}),
+                "non-zero alignment padding");
+
+  // Mapped mode with a payload that lands 8- but not 64-byte aligned (a
+  // tampered section offset): the reader must refuse to hand out the
+  // misaligned span. The keeper marks the buffer as mapped; the pad walk
+  // still matches the writer's (abs_offset 0), so the pointer check is
+  // exactly what fires.
+  {
+    std::vector<char> arena(base.size() + 2 * kPayloadAlign);
+    const auto addr = reinterpret_cast<std::uintptr_t>(arena.data());
+    const std::size_t skew =
+        (kPayloadAlign - addr % kPayloadAlign) % kPayloadAlign + 8;
+    std::memcpy(arena.data() + skew, base.data(), base.size());
+    const auto keeper = std::make_shared<int>(0);
+    SectionReader r(arena.data() + skew, base.size(), "PLANS",
+                    /*abs_offset=*/0, keeper);
+    EXPECT_THROW(
+        (void)msim::AnalogLayerSim::deserialize(layer, mcfg, r, 3),
+        CheckError)
+        << "misaligned mapped payload must be rejected";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy mapped loading: load_artifact_mapped must be observably
+// zero-copy (spans point into the mapping) yet bit-identical — outputs,
+// per-layer counters, serve digests — to the copied load path, with and
+// without async section streaming, and must never compile or calibrate.
+
+TEST(Artifact, MappedLoadBitIdenticalToCopiedLoad) {
+  Fixture f;
+  const std::string path = "artifact_mapped_tmp.tadc";
+  save_artifact(path, f.inputs());
+
+  const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+  const auto calib_before = msim::AnalogNetwork::calibration_runs();
+  Deployment copied = load_artifact(path);
+  Deployment mapped = load_artifact_mapped(path);
+  Deployment streamed = load_artifact_mapped(path, /*async_stream=*/true);
+  streamed.finish_streaming();
+  EXPECT_EQ(msim::AnalogLayerSim::plan_compilations(), plans_before)
+      << "no load path may invoke the plan compiler";
+  EXPECT_EQ(msim::AnalogNetwork::calibration_runs(), calib_before);
+  ASSERT_NE(mapped.mapped, nullptr);
+  EXPECT_EQ(copied.mapped, nullptr);
+  EXPECT_GT(streamed.load_phases.stream_ms, 0.0)
+      << "finish_streaming must record the streamer's elapsed time";
+  EXPECT_GT(mapped.load_phases.map_ms + mapped.load_phases.validate_ms, 0.0);
+
+  // Observable zero-copy: the mapped deployment's crossbar code grids are
+  // borrowed views into the mapping, not owned copies.
+  const char* lo = mapped.mapped->data();
+  const char* hi = lo + mapped.mapped->size();
+  const auto& q = mapped.mapping->layers.front().blocks.front().q;
+  ASSERT_FALSE(q.empty());
+  EXPECT_FALSE(q.owned()) << "mapped MAPPING grids must be borrowed spans";
+  const char* qp = reinterpret_cast<const char*>(q.data());
+  EXPECT_TRUE(qp >= lo && qp < hi) << "span must point into the mapping";
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(qp) % kPayloadAlign, 0U);
+  EXPECT_TRUE(copied.mapping->layers.front().blocks.front().q.owned());
+
+  // Bit-identical forward outputs and per-layer counter deltas across all
+  // three load paths.
+  const Tensor batch = f.batch(8);
+  const Tensor y0 = copied.analog->forward(batch);
+  const Tensor y1 = mapped.analog->forward(batch);
+  const Tensor y2 = streamed.analog->forward(batch);
+  ASSERT_EQ(y0.numel(), y1.numel());
+  ASSERT_EQ(y0.numel(), y2.numel());
+  const auto nbytes = static_cast<std::size_t>(y0.numel()) * sizeof(float);
+  EXPECT_EQ(std::memcmp(y0.data(), y1.data(), nbytes), 0)
+      << "mapped forward must be byte-identical to copied";
+  EXPECT_EQ(std::memcmp(y0.data(), y2.data(), nbytes), 0)
+      << "streamed forward must be byte-identical to copied";
+  ASSERT_EQ(copied.analog->sims().size(), mapped.analog->sims().size());
+  for (std::size_t i = 0; i < copied.analog->sims().size(); ++i) {
+    const auto s0 = copied.analog->sims()[i]->stats_snapshot();
+    const auto s1 = mapped.analog->sims()[i]->stats_snapshot();
+    const auto s2 = streamed.analog->sims()[i]->stats_snapshot();
+    EXPECT_EQ(s0.adc_conversions, s1.adc_conversions) << "layer " << i;
+    EXPECT_EQ(s0.adc_clip_events, s1.adc_clip_events) << "layer " << i;
+    EXPECT_EQ(s0.dac_cycles, s1.dac_cycles) << "layer " << i;
+    EXPECT_EQ(s0.adc_conversions, s2.adc_conversions) << "layer " << i;
+    EXPECT_EQ(s0.dac_cycles, s2.dac_cycles) << "layer " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, MappedServeDigestIdenticalAcrossWorkerCounts) {
+  Fixture f;
+  const std::string path = "artifact_mapped_serve_tmp.tadc";
+  save_artifact(path, f.inputs());
+  const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+  const auto calib_before = msim::AnalogNetwork::calibration_runs();
+  Deployment copied = load_artifact(path);
+  Deployment mapped = load_artifact_mapped(path);
+  Deployment streamed = load_artifact_mapped(path, /*async_stream=*/true);
+  streamed.finish_streaming();
+
+  std::uint64_t digests[6];
+  msim::MsimStats deltas[6];
+  int slot = 0;
+  for (const int workers : {1, 4})
+    for (msim::AnalogNetwork* analog :
+         {copied.analog.get(), mapped.analog.get(), streamed.analog.get()}) {
+      digests[slot] = serve_digest(f, *analog, workers, &deltas[slot]);
+      ++slot;
+    }
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_EQ(digests[i], digests[0]) << "run " << i;
+    EXPECT_EQ(deltas[i].adc_conversions, deltas[0].adc_conversions) << i;
+    EXPECT_EQ(deltas[i].adc_clip_events, deltas[0].adc_clip_events) << i;
+    EXPECT_EQ(deltas[i].dac_cycles, deltas[0].dac_cycles) << i;
+  }
+  EXPECT_EQ(msim::AnalogLayerSim::plan_compilations(), plans_before);
+  EXPECT_EQ(msim::AnalogNetwork::calibration_runs(), calib_before);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, MappedLoadResaveIsByteIdentical) {
+  Fixture f;
+  const std::string path0 = "artifact_mapped_resave0_tmp.tadc";
+  const std::string path1 = "artifact_mapped_resave1_tmp.tadc";
+  save_artifact(path0, f.inputs());
+  Deployment dep = load_artifact_mapped(path0, /*async_stream=*/true);
+  dep.finish_streaming();
+  save_artifact(path1, dep);
+  const auto b0 = slurp(path0);
+  const auto b1 = slurp(path1);
+  ASSERT_FALSE(b0.empty());
+  EXPECT_EQ(b0.size(), b1.size());
+  EXPECT_TRUE(b0 == b1)
+      << "save → mapped load → save must reproduce the file byte-for-byte";
+  std::remove(path0.c_str());
+  std::remove(path1.c_str());
+}
+
+TEST(Artifact, MappedLoadRejectsMisalignedSectionOffset) {
+  Fixture f;
+  const std::string path = "artifact_misaligned_src_tmp.tadc";
+  const std::string bad = "artifact_misaligned_tmp.tadc";
+  save_artifact(path, f.inputs());
+  auto bytes = slurp(path);
+  // Shift the PLANS table entry's offset by 8: still 8-byte aligned (the
+  // container minimum, so the table parses) but no longer 64 — both load
+  // paths must fail with CheckError, never misread or hand out a
+  // misaligned span.
+  std::uint32_t nsections = 0;
+  std::memcpy(&nsections, bytes.data() + 12, sizeof(nsections));
+  bool patched = false;
+  for (std::uint32_t i = 0; i < nsections; ++i) {
+    char* entry = bytes.data() + 16 + static_cast<std::size_t>(i) * 24;
+    if (std::memcmp(entry, "PLANS\0\0\0", 8) != 0) continue;
+    std::uint64_t offset = 0;
+    std::memcpy(&offset, entry + 8, sizeof(offset));
+    ASSERT_EQ(offset % kPayloadAlign, 0U);
+    offset += 8;
+    std::memcpy(entry + 8, &offset, sizeof(offset));
+    patched = true;
+  }
+  ASSERT_TRUE(patched);
+  spit(bad, bytes);
+  EXPECT_THROW((void)load_artifact_mapped(bad), CheckError);
+  EXPECT_THROW((void)load_artifact(bad), CheckError);
+  std::remove(path.c_str());
+  std::remove(bad.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// v2 (PR-8 unaligned SoA) golden artifacts: the copy-fallback path must
+// keep loading them — through both load_artifact and load_artifact_mapped,
+// bit-identically to each other — and re-saving upgrades them to a
+// byte-stable v3 file. (Written before the v3 alignment change; the
+// fixture recipe matches struct Fixture above.)
+
+Tensor golden_batch(std::int64_t n) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.image_size = 8;
+  spec.train_per_class = 8;
+  spec.test_per_class = 6;
+  spec.seed = 17;
+  const data::DatasetPair data = data::make_synthetic(spec);
+  const Tensor& all = data.test.images;
+  Tensor b({n, all.dim(1), all.dim(2), all.dim(3)});
+  std::memcpy(b.data(), all.data(),
+              static_cast<std::size_t>(b.numel()) * sizeof(float));
+  return b;
+}
+
+void golden_v2_fallback_case(const std::string& golden) {
+  ASSERT_FALSE(slurp(golden).empty()) << golden;
+  const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+  const auto calib_before = msim::AnalogNetwork::calibration_runs();
+  Deployment copied = load_artifact(golden);
+  Deployment mapped = load_artifact_mapped(golden, /*async_stream=*/true);
+  mapped.finish_streaming();
+  EXPECT_EQ(msim::AnalogLayerSim::plan_compilations(), plans_before)
+      << "loading a v2 payload must copy-convert, not recompile";
+  EXPECT_EQ(msim::AnalogNetwork::calibration_runs(), calib_before);
+
+  // v2 arrays are unaligned in the file, so even the mapped load falls
+  // back to owned copies — and the two paths stay bit-identical.
+  const Tensor batch = golden_batch(6);
+  const Tensor y0 = copied.analog->forward(batch);
+  const Tensor y1 = mapped.analog->forward(batch);
+  ASSERT_EQ(y0.numel(), y1.numel());
+  EXPECT_EQ(std::memcmp(y0.data(), y1.data(),
+                        static_cast<std::size_t>(y0.numel()) * sizeof(float)),
+            0)
+      << golden;
+  ASSERT_EQ(copied.analog->sims().size(), mapped.analog->sims().size());
+  for (std::size_t i = 0; i < copied.analog->sims().size(); ++i) {
+    const auto s0 = copied.analog->sims()[i]->stats_snapshot();
+    const auto s1 = mapped.analog->sims()[i]->stats_snapshot();
+    EXPECT_EQ(s0.adc_conversions, s1.adc_conversions) << "layer " << i;
+    EXPECT_EQ(s0.adc_clip_events, s1.adc_clip_events) << "layer " << i;
+    EXPECT_EQ(s0.dac_cycles, s1.dac_cycles) << "layer " << i;
+  }
+
+  // Upgrade: re-save (always writes v3 aligned), mapped-reload, re-save —
+  // byte-stable, and still executing bit-identically to the v2 copies.
+  const std::string up0 = "artifact_v2_upgrade0_tmp.tadc";
+  const std::string up1 = "artifact_v2_upgrade1_tmp.tadc";
+  save_artifact(up0, copied);
+  Deployment dep2 = load_artifact_mapped(up0);
+  save_artifact(up1, dep2);
+  EXPECT_TRUE(slurp(up0) == slurp(up1))
+      << "upgraded artifact must round-trip byte-identically";
+  const Tensor y2 = dep2.analog->forward(batch);
+  ASSERT_EQ(y1.numel(), y2.numel());
+  EXPECT_EQ(std::memcmp(y1.data(), y2.data(),
+                        static_cast<std::size_t>(y1.numel()) * sizeof(float)),
+            0);
+  std::remove(up0.c_str());
+  std::remove(up1.c_str());
+}
+
+TEST(ArtifactVersioning, GoldenV2IdealLoadsCopiedAndMapped) {
+  golden_v2_fallback_case(std::string(TINYADC_TEST_DATA_DIR) +
+                          "/golden_plans_v2_ideal.tadc");
+}
+
+TEST(ArtifactVersioning, GoldenV2NonIdealLoadsCopiedAndMapped) {
+  golden_v2_fallback_case(std::string(TINYADC_TEST_DATA_DIR) +
+                          "/golden_plans_v2_nonideal.tadc");
 }
 
 }  // namespace

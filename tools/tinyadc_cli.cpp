@@ -349,8 +349,14 @@ int run_serving(const Args& args, double target_qps,
   msim::AnalogNetwork* analog = nullptr;
   if (args.has("artifact")) {
     const std::string path = args.get("artifact", "deploy.tadc");
+    const bool mmap_load = args.has("mmap");
     const auto t0 = std::chrono::steady_clock::now();
-    dep.emplace(artifact::load_artifact(path));
+    // --mmap: zero-copy load with async cold-section streaming; the plan
+    // streams execute straight out of the page cache (DESIGN.md §14).
+    dep.emplace(mmap_load
+                    ? artifact::load_artifact_mapped(path,
+                                                     /*async_stream=*/true)
+                    : artifact::load_artifact(path));
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
@@ -359,8 +365,9 @@ int run_serving(const Args& args, double target_qps,
                                      << " classes, dataset has "
                                      << data.train.num_classes);
     analog = dep->analog.get();
-    std::printf("loaded %s (%s) in %.2f ms — no recompile, no recalibrate\n",
-                path.c_str(), dep->meta.arch.c_str(), ms);
+    std::printf("loaded %s (%s%s) in %.2f ms — no recompile, no recalibrate\n",
+                path.c_str(), dep->meta.arch.c_str(),
+                mmap_load ? ", mapped" : "", ms);
   } else {
     model = load_model(args, data.train.num_classes);
     net.emplace(xbar::map_model(*model, mapping_config(args)));
@@ -377,8 +384,17 @@ int run_serving(const Args& args, double target_qps,
   lc.target_qps = target_qps;
   lc.max_outstanding =
       static_cast<std::size_t>(args.get_int("outstanding", 64));
-  const auto report = serve::run_loadgen(engine, data.test, lc);
+  auto report = serve::run_loadgen(engine, data.test, lc);
   engine.shutdown();
+  if (dep.has_value()) {
+    // Surface the load-phase breakdown in the shared stats schema (table
+    // and JSON alike). finish_streaming() also collects the async io
+    // stage's wall time — long since done by the end of the run.
+    dep->finish_streaming();
+    report.stats.load_map_ms = dep->load_phases.map_ms;
+    report.stats.load_validate_ms = dep->load_phases.validate_ms;
+    report.stats.load_stream_ms = dep->load_phases.stream_ms;
+  }
 
   if (args.has("json")) {
     const std::string path = args.get("json", "1");
@@ -401,7 +417,7 @@ int run_serving(const Args& args, double target_qps,
 const std::vector<std::string> kServeFlags = {
     "sigma",     "workers",  "max-batch",   "max-wait-us", "deterministic",
     "max-queue", "requests", "outstanding", "json",        "artifact",
-    "pipeline-stages"};
+    "pipeline-stages", "mmap"};
 
 int cmd_serve(const Args& args) {
   args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags +
@@ -444,6 +460,9 @@ void usage() {
       "                --artifact out.tadc (serve|loadgen: millisecond "
       "cold-start from\n"
       "                the artifact instead of map+compile+calibrate)\n"
+      "                --mmap (with --artifact: zero-copy mapped load with "
+      "async\n"
+      "                cold-section streaming; bit-identical outputs)\n"
       "unknown flags are an error\n");
 }
 
