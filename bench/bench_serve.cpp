@@ -310,7 +310,6 @@ int run(int argc, char** argv) {
       return 1;
     }
   }
-  std::remove(artifact_path.c_str());
   const bool cold_identical = scratch_digest == artifact_digest;
   const bool mapped_identical = scratch_digest == mapped_digest;
   all_identical = all_identical && cold_identical && mapped_identical;
@@ -334,6 +333,74 @@ int run(int argc, char** argv) {
   rows.push_back(
       {"serve_coldstart_artifact", 1, artifact_ms, cold_identical});
   rows.push_back({"serve_coldstart_mapped", 1, mapped_ms, mapped_identical});
+
+  // Fleet phase: two deterministic tenants (weights 2:1) served from the
+  // cold-start artifact by one shared 2-worker pool, timed through the
+  // open-loop fleet loadgen. Each tenant replays the sequential baseline's
+  // request stream, so both per-tenant digests are hard-gated against
+  // seq_digest; then tenant "a" hot-swaps to a fresh (mmap) load of the
+  // same artifact — the swap must not invoke the plan compiler or the
+  // calibration pass, and the post-swap replay must still reproduce the
+  // sequential bytes on version 2.
+  {
+    serve::FleetConfig fc;
+    fc.workers = 2;
+    serve::FleetServer fleet(fc);
+    serve::TenantConfig ta;
+    ta.name = "a";
+    ta.max_batch = 8;
+    ta.deterministic = true;
+    ta.weight = 2.0;
+    fleet.add_tenant(ta, artifact_path);
+    serve::TenantConfig tb = ta;
+    tb.name = "b";
+    tb.weight = 1.0;
+    fleet.add_tenant(tb, artifact_path);
+
+    std::vector<serve::TenantLoadSpec> specs(2);
+    specs[0].name = "a";
+    specs[0].dataset = &data.test;
+    specs[0].requests = requests;
+    specs[1] = specs[0];
+    specs[1].name = "b";
+
+    auto t0 = Clock::now();
+    serve::FleetLoadgenReport report = serve::run_fleet_loadgen(fleet, specs);
+    const double fleet_ms = ms_since(t0);
+    bool fleet_identical = true;
+    for (const auto& t : report.tenants)
+      fleet_identical = fleet_identical && t.output_digest == seq_digest;
+    std::printf("%-24s %10.1f %10.1f %8.2fx%s\n", "fleet (2 tenants)",
+                fleet_ms,
+                1000.0 * static_cast<double>(2 * requests) / fleet_ms,
+                2.0 * seq_ms / fleet_ms,
+                fleet_identical ? "" : "  DIGEST MISMATCH");
+    rows.push_back({"serve_fleet", 2, fleet_ms, fleet_identical});
+
+    const auto plans_before = msim::AnalogLayerSim::plan_compilations();
+    const auto calib_before = msim::AnalogNetwork::calibration_runs();
+    fleet.swap_tenant("a", artifact_path, /*mmap=*/true);
+    if (msim::AnalogLayerSim::plan_compilations() != plans_before ||
+        msim::AnalogNetwork::calibration_runs() != calib_before) {
+      std::fprintf(stderr,
+                   "FAIL: fleet hot-swap invoked the plan compiler or the "
+                   "calibration pass\n");
+      return 1;
+    }
+    t0 = Clock::now();
+    report = serve::run_fleet_loadgen(fleet, specs);
+    const double post_ms = ms_since(t0);
+    bool post_identical = true;
+    for (const auto& t : report.tenants)
+      post_identical = post_identical && t.output_digest == seq_digest;
+    std::printf("%-24s %10.1f %10.1f %8.2fx%s\n", "fleet (post-swap)",
+                post_ms, 1000.0 * static_cast<double>(2 * requests) / post_ms,
+                2.0 * seq_ms / post_ms,
+                post_identical ? "" : "  DIGEST MISMATCH");
+    rows.push_back({"serve_fleet_postswap", 2, post_ms, post_identical});
+    all_identical = all_identical && fleet_identical && post_identical;
+  }
+  std::remove(artifact_path.c_str());
 
   hr(64);
   if (!all_identical) {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
 
 #include <unistd.h>
 
@@ -191,6 +192,36 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// FNV-1a over raw bytes, chained through `h`. Local copy (serve::fnv1a is
+/// a layer above this library; the constants are the standard 64-bit ones,
+/// so the digests agree with the serving stack's).
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Fills Deployment::info from the validated file. Digests the hot
+/// sections only — see ArtifactInfo's doc for why the cold sections are
+/// deliberately excluded.
+ArtifactInfo make_info(const ArtifactFile& file, const std::string& path) {
+  ArtifactInfo info;
+  info.path = path;
+  info.container_version = file.version();
+  info.file_bytes = file.file_size();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* tag : {kTagMeta, kTagMapping, kTagPlans}) {
+    const auto [data, size] = file.raw(tag);
+    h = fnv1a_bytes(tag, std::strlen(tag), h);
+    h = fnv1a_bytes(data, size, h);
+  }
+  info.content_digest = h;
+  return info;
+}
+
 }  // namespace
 
 SectionStreamer::SectionStreamer(
@@ -246,6 +277,7 @@ Deployment load_artifact(const std::string& path) {
   const double map_ms = ms_since(t0);
   const auto t1 = std::chrono::steady_clock::now();
   Deployment dep = load_from(file, path);
+  dep.info = make_info(file, path);
   dep.load_phases.map_ms = map_ms;
   dep.load_phases.validate_ms = ms_since(t1);
   return dep;
@@ -270,6 +302,7 @@ Deployment load_artifact_mapped(const std::string& path, bool async_stream) {
   }
 
   Deployment dep = load_from(file, path);
+  dep.info = make_info(file, path);
   dep.mapped = std::move(map);
   dep.streamer = std::move(streamer);
   dep.load_phases.map_ms = map_ms;

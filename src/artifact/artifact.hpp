@@ -91,6 +91,22 @@ class SectionStreamer {
   std::thread thread_;
 };
 
+/// Identity of the artifact file a deployment was loaded from — the
+/// version metadata a fleet registry surfaces so operators can tell which
+/// bytes a tenant is actually serving after a hot-swap. The content digest
+/// covers the hot sections only (META, MAPPING, PLANS): they are validated
+/// eagerly by both load paths anyway, they pin the model identity (weights
+/// reach inference through the quantized MAPPING codes and compiled PLANS),
+/// and skipping the cold sections keeps the mapped load's async streaming
+/// overlap intact (digesting the whole file would fault every page in
+/// synchronously).
+struct ArtifactInfo {
+  std::string path;                     ///< file the deployment came from
+  std::uint32_t container_version = 0;  ///< format.hpp container version
+  std::uint64_t file_bytes = 0;         ///< total artifact size
+  std::uint64_t content_digest = 0;     ///< FNV-1a over META+MAPPING+PLANS
+};
+
 /// Wall-clock breakdown of an artifact load (all milliseconds).
 struct LoadPhases {
   double map_ms = 0.0;       ///< file open + mmap + container table parse
@@ -117,6 +133,9 @@ struct Deployment {
   /// (joined) with the deployment; finish_streaming() collects it earlier.
   std::shared_ptr<SectionStreamer> streamer;
   LoadPhases load_phases;
+  /// Provenance of the file this deployment was loaded from; default
+  /// (empty path, zero digest) when the deployment was built in-process.
+  ArtifactInfo info;
 
   /// Joins the async streamer if one is still running and records its wall
   /// time in load_phases.stream_ms. No-op for copied/sync loads.

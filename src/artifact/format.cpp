@@ -300,6 +300,12 @@ std::pair<std::uint64_t, std::uint64_t> ArtifactFile::extent(
   return {e.offset, e.length};
 }
 
+std::pair<const char*, std::size_t> ArtifactFile::raw(
+    const std::string& tag) const {
+  const Entry& e = find(tag);
+  return {base_ + e.offset, static_cast<std::size_t>(e.length)};
+}
+
 std::vector<std::string> ArtifactFile::tags() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());

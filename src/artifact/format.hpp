@@ -279,6 +279,14 @@ class ArtifactFile {
   /// advice); throws CheckError when the section is missing.
   std::pair<std::uint64_t, std::uint64_t> extent(const std::string& tag) const;
 
+  /// Raw payload bytes of a section (a view into the file buffer or the
+  /// mapping; valid while this ArtifactFile lives). Throws CheckError when
+  /// the section is missing. Reading a mapped section faults its pages in.
+  std::pair<const char*, std::size_t> raw(const std::string& tag) const;
+
+  /// Total size of the artifact file in bytes.
+  std::uint64_t file_size() const { return size_; }
+
   /// Container version of the loaded file.
   std::uint32_t version() const { return version_; }
 

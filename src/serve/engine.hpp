@@ -65,6 +65,10 @@ struct InferenceResult {
   double latency_us = 0.0;       ///< submit-to-completion (not deterministic)
   std::uint64_t batch_seq = 0;   ///< which batch served this request
   std::size_t batch_size = 0;    ///< size of that batch
+  /// Model-version ordinal that served this request (fleet serving: 1 for
+  /// the version a tenant started with, incremented by every hot-swap).
+  /// 0 for the single-model InferenceEngine, which has no versions.
+  std::uint64_t version = 0;
 };
 
 /// Accepts single-image requests, batches them dynamically and executes

@@ -1,6 +1,7 @@
 #include "serve/loadgen.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <sstream>
@@ -78,6 +79,128 @@ LoadgenReport run_loadgen(InferenceEngine& engine, const data::Dataset& ds,
   report.output_digest = digest;
   report.stats = engine.stats();
   return report;
+}
+
+FleetLoadgenReport run_fleet_loadgen(
+    FleetServer& fleet, const std::vector<TenantLoadSpec>& specs) {
+  TINYADC_CHECK(!specs.empty(), "fleet loadgen needs at least one tenant");
+  using Clock = std::chrono::steady_clock;
+
+  struct Outstanding {
+    std::int64_t index = 0;  ///< dataset row (for the label check)
+    std::future<InferenceResult> future;
+  };
+  struct Run {
+    const TenantLoadSpec* spec = nullptr;
+    int tenant = -1;
+    std::vector<Outstanding> window;
+    double wall_s = 0.0;
+    std::thread thread;
+  };
+
+  std::vector<Run> runs(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TenantLoadSpec& spec = specs[i];
+    TINYADC_CHECK(spec.dataset != nullptr && spec.dataset->size() > 0,
+                  "tenant '" << spec.name << "' needs a non-empty dataset");
+    TINYADC_CHECK(spec.requests > 0, "tenant '" << spec.name
+                                                << "' needs requests > 0");
+    TINYADC_CHECK(spec.burst_factor > 0.0, "burst_factor must be > 0");
+    runs[i].spec = &spec;
+    runs[i].tenant = fleet.tenant_id(spec.name);  // throws on unknown names
+    runs[i].window.reserve(static_cast<std::size_t>(spec.requests));
+  }
+
+  // One open-loop submitter per tenant: arrivals follow the clock (base
+  // rate, or rate × burst_factor during the first half of each burst
+  // period); futures are harvested after the fleet drains, so a slow
+  // tenant never throttles its own or anyone else's arrival process.
+  for (Run& run : runs) {
+    run.thread = std::thread([&fleet, &run] {
+      const TenantLoadSpec& spec = *run.spec;
+      const data::Dataset& ds = *spec.dataset;
+      const auto t0 = Clock::now();
+      double due_s = 0.0;  ///< next arrival offset from t0
+      for (std::int64_t i = 0; i < spec.requests; ++i) {
+        if (spec.qps > 0.0) {
+          std::this_thread::sleep_until(
+              t0 + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(due_s)));
+          double rate = spec.qps;
+          if (spec.burst_period_s > 0.0 && spec.burst_factor != 1.0) {
+            const double phase =
+                due_s - std::floor(due_s / spec.burst_period_s) *
+                            spec.burst_period_s;
+            if (phase < spec.burst_period_s * 0.5)
+              rate = spec.qps * spec.burst_factor;
+          }
+          due_s += 1.0 / rate;
+        }
+        const std::int64_t index = i % ds.size();
+        Outstanding o;
+        o.index = index;
+        o.future = fleet.submit(run.tenant, extract_image(ds, index));
+        run.window.push_back(std::move(o));
+      }
+      run.wall_s =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+    });
+  }
+  for (Run& run : runs) run.thread.join();
+  fleet.wait_idle();  // releases deterministic partial batches everywhere
+
+  FleetLoadgenReport report;
+  for (Run& run : runs) {
+    TenantLoadReport tr;
+    tr.name = run.spec->name;
+    tr.submitted = static_cast<std::int64_t>(run.window.size());
+    std::uint64_t digest = fnv1a(nullptr, 0);
+    std::int64_t correct = 0;
+    const data::Dataset& ds = *run.spec->dataset;
+    for (Outstanding& o : run.window) {
+      InferenceResult r;
+      try {
+        r = o.future.get();
+      } catch (const std::exception&) {
+        ++tr.rejected;  // admission rejection (or a failed forward)
+        continue;
+      }
+      digest = fnv1a(r.logits.data(), r.logits.size() * sizeof(float),
+                     digest);
+      digest = fnv1a(&r.label, sizeof(r.label), digest);
+      if (r.label == ds.labels[static_cast<std::size_t>(o.index)]) ++correct;
+      ++tr.completed;
+    }
+    tr.achieved_qps = run.wall_s > 0.0
+                          ? static_cast<double>(tr.completed) / run.wall_s
+                          : 0.0;
+    tr.accuracy = tr.completed ? static_cast<double>(correct) /
+                                     static_cast<double>(tr.completed)
+                               : 0.0;
+    tr.output_digest = digest;
+    report.tenants.push_back(std::move(tr));
+  }
+  report.fleet = fleet.stats();
+  return report;
+}
+
+std::string FleetLoadgenReport::to_json() const {
+  std::ostringstream out;
+  std::string inner = fleet.to_json();
+  inner.pop_back();  // strip the closing brace; extend the same object
+  out << inner << ", \"loadgen\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantLoadReport& t = tenants[i];
+    out << (i ? ", " : "") << "{\"name\": \"" << t.name
+        << "\", \"submitted\": " << t.submitted
+        << ", \"completed\": " << t.completed
+        << ", \"rejected\": " << t.rejected
+        << ", \"achieved_qps\": " << t.achieved_qps
+        << ", \"accuracy\": " << t.accuracy << ", \"output_digest\": \""
+        << std::hex << t.output_digest << std::dec << "\"}";
+  }
+  out << "]}";
+  return out.str();
 }
 
 std::string LoadgenReport::to_json() const {

@@ -45,6 +45,24 @@ run(${CLI} loadgen --artifact ${WORK}/smoke_deploy.tadc --dataset cifar10
     --image-size 8 --train-per-class 8 --test-per-class 4 --requests 24
     --workers 2 --max-batch 4 --qps 200 --deterministic
     --json ${WORK}/smoke_loadgen_artifact.json)
+# Multi-tenant fleet: a second artifact version (fresh init, same shape)
+# via map --save-artifact, then two tenants served from two artifacts with
+# one live hot-swap, reported as JSON.
+run(${CLI} map ${common} --classes 10
+    --save-artifact ${WORK}/smoke_deploy_v2.tadc)
+run(${CLI} fleet --dataset cifar10 --image-size 8 --train-per-class 8
+    --test-per-class 4 --workers 2 --deterministic
+    --tenant "alpha=${WORK}/smoke_deploy.tadc,weight=2,requests=24"
+    --tenant "beta=${WORK}/smoke_deploy_v2.tadc,priority=1,requests=16,mmap"
+    --swap "alpha=${WORK}/smoke_deploy_v2.tadc@0.5"
+    --json ${WORK}/smoke_fleet.json)
+file(READ ${WORK}/smoke_fleet.json fleet_json)
+foreach(key tenants aggregate loadgen output_digest artifact_digest
+        adc_conversions)
+  if(NOT fleet_json MATCHES "\"${key}\"")
+    message(FATAL_ERROR "fleet JSON missing key \"${key}\"")
+  endif()
+endforeach()
 # Unknown flags must be an error, not a silent default.
 expect_fail(${CLI} map --net resnet18 --width-mult 0.0625 --image-size 8
     --classes 10 --in ${WORK}/smoke_pruned.bin --cp-rat 4)

@@ -31,6 +31,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
@@ -49,6 +50,8 @@ namespace {
 using namespace tinyadc;
 
 /// Minimal --key value argument map with typed getters and defaults.
+/// Flags may repeat (e.g. one --tenant per fleet tenant): the scalar
+/// getters return the last occurrence, get_all() returns every one.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -57,26 +60,30 @@ class Args {
       TINYADC_CHECK(key.rfind("--", 0) == 0, "expected --flag, got " << key);
       key = key.substr(2);
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[key] = argv[++i];
+        values_[key].push_back(argv[++i]);
       } else {
-        values_[key] = "1";  // boolean flag
+        values_[key].push_back("1");  // boolean flag
       }
     }
   }
 
   std::string get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    return it == values_.end() ? fallback : it->second.back();
   }
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoll(it->second);
+    return it == values_.end() ? fallback : std::stoll(it->second.back());
   }
   double get_double(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    return it == values_.end() ? fallback : std::stod(it->second.back());
   }
   bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::vector<std::string> get_all(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
 
   /// Rejects any flag outside the subcommand's allowlist — a typo like
   /// --cp-rat must fail loudly, not silently run with the default.
@@ -96,7 +103,7 @@ class Args {
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 /// Allowlist concatenation for expect_known.
@@ -431,7 +438,180 @@ int cmd_serve(const Args& args) {
                          data_size, 32));
 }
 
+/// One parsed `--tenant "name=path[,key=val|flag]..."` spec.
+struct TenantSpec {
+  serve::TenantConfig config;
+  std::string artifact;
+  bool mmap = false;
+  serve::TenantLoadSpec load;
+};
+
+/// Splits a comma-separated tenant spec. The first token is name=path;
+/// the rest are key=value pairs or bare flags (mmap, deterministic).
+TenantSpec parse_tenant_spec(const std::string& spec, const Args& args) {
+  TenantSpec out;
+  out.config.deterministic = args.has("deterministic");
+  out.mmap = args.has("mmap");
+  out.load.requests = args.get_int("requests", 256);
+  out.load.qps = args.get_double("qps", 0.0);
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) tokens.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  TINYADC_CHECK(!tokens.empty(), "empty --tenant spec");
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const std::size_t eq = tok.find('=');
+    const std::string key = tok.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? "" : tok.substr(eq + 1);
+    if (i == 0) {
+      TINYADC_CHECK(eq != std::string::npos && !key.empty() && !val.empty(),
+                    "--tenant must start with name=artifact.tadc, got '"
+                        << tok << "'");
+      out.config.name = key;
+      out.load.name = key;
+      out.artifact = val;
+      continue;
+    }
+    if (key == "weight") out.config.weight = std::stod(val);
+    else if (key == "priority") out.config.priority = std::stoi(val);
+    else if (key == "max-batch") out.config.max_batch = std::stoull(val);
+    else if (key == "max-queue") out.config.max_queue = std::stoull(val);
+    else if (key == "max-wait-us") out.config.max_wait_us = std::stoll(val);
+    else if (key == "stages") out.config.pipeline_stages = std::stoi(val);
+    else if (key == "qps") out.load.qps = std::stod(val);
+    else if (key == "requests") out.load.requests = std::stoll(val);
+    else if (key == "burst") out.load.burst_factor = std::stod(val);
+    else if (key == "burst-period") out.load.burst_period_s = std::stod(val);
+    else if (key == "mmap") out.mmap = true;
+    else if (key == "deterministic") out.config.deterministic = true;
+    else
+      TINYADC_CHECK(false, "unknown tenant spec key '" << key << "' in --tenant "
+                                                       << spec);
+  }
+  return out;
+}
+
+const std::vector<std::string> kFleetFlags = {
+    "tenant", "workers", "deterministic", "mmap", "swap",
+    "json",   "requests", "qps"};
+
+/// Multi-tenant serving: registers every --tenant artifact with the fleet,
+/// drives the per-tenant open-loop traffic mixes, and optionally hot-swaps
+/// one tenant to a new artifact version mid-run.
+int cmd_fleet(const Args& args) {
+  args.expect_known(kDatasetFlags + kFleetFlags);
+  const auto specs_raw = args.get_all("tenant");
+  TINYADC_CHECK(!specs_raw.empty(),
+                "fleet needs at least one --tenant name=artifact.tadc spec");
+  const auto data = load_dataset(args);
+
+  std::vector<TenantSpec> specs;
+  specs.reserve(specs_raw.size());
+  for (const std::string& raw : specs_raw)
+    specs.push_back(parse_tenant_spec(raw, args));
+
+  serve::FleetConfig fc;
+  fc.workers = static_cast<int>(args.get_int("workers", 2));
+  serve::FleetServer fleet(fc);
+  std::vector<serve::TenantLoadSpec> loads;
+  for (TenantSpec& spec : specs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fleet.add_tenant(spec.config, spec.artifact, spec.mmap);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::printf("tenant %-12s <- %s%s (%.2f ms, prio %d, weight %.2f%s)\n",
+                spec.config.name.c_str(), spec.artifact.c_str(),
+                spec.mmap ? " [mapped]" : "", ms, spec.config.priority,
+                spec.config.weight,
+                spec.config.pipeline_stages > 0 ? ", pipelined" : "");
+    spec.load.dataset = &data.test;
+    loads.push_back(spec.load);
+  }
+
+  // --swap name=path[@frac]: hot-swap `name` to a new artifact once the
+  // tenant has served frac (default 0.5) of its request budget — the swap
+  // runs under live traffic, off the loadgen threads.
+  std::thread swapper;
+  if (args.has("swap")) {
+    const std::string swap = args.get("swap", "");
+    const std::size_t eq = swap.find('=');
+    TINYADC_CHECK(eq != std::string::npos,
+                  "--swap expects name=artifact.tadc[@frac]");
+    const std::string name = swap.substr(0, eq);
+    std::string path = swap.substr(eq + 1);
+    double frac = 0.5;
+    const std::size_t at = path.find('@');
+    if (at != std::string::npos) {
+      frac = std::stod(path.substr(at + 1));
+      path = path.substr(0, at);
+    }
+    TINYADC_CHECK(frac >= 0.0 && frac <= 1.0, "--swap frac must be in [0,1]");
+    std::uint64_t target = 0;
+    for (const TenantSpec& spec : specs)
+      if (spec.config.name == name)
+        target = static_cast<std::uint64_t>(
+            frac * static_cast<double>(spec.load.requests));
+    const bool mmap_load = args.has("mmap");
+    swapper = std::thread([&fleet, name, path, target, mmap_load] {
+      for (;;) {
+        const auto fs = fleet.stats();
+        for (const auto& t : fs.tenants)
+          if (t.name == name && t.stats.requests >= target) {
+            const auto v = fleet.swap_tenant(name, path, mmap_load);
+            std::printf("hot-swapped tenant %s -> %s (version %llu)\n",
+                        name.c_str(), path.c_str(),
+                        static_cast<unsigned long long>(v));
+            return;
+          }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  auto report = serve::run_fleet_loadgen(fleet, loads);
+  if (swapper.joinable()) {
+    // Re-snapshot after the swap thread lands so the report shows the
+    // post-swap version ordinals (the loadgen may drain first).
+    swapper.join();
+    report.fleet = fleet.stats();
+  }
+  fleet.shutdown();
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "1");
+    if (path == "1") {
+      std::printf("%s\n", report.to_json().c_str());
+    } else {
+      std::ofstream out(path);
+      TINYADC_CHECK(out.good(), "cannot write " << path);
+      out << report.to_json() << "\n";
+      std::printf("wrote %s\n", path.c_str());
+    }
+  } else {
+    std::printf("%s", report.fleet.to_table().c_str());
+    for (const auto& t : report.tenants)
+      std::printf("%-12s submitted %lld  completed %lld  rejected %lld  "
+                  "qps %.1f  accuracy %.2f%%  digest %llx\n",
+                  t.name.c_str(), static_cast<long long>(t.submitted),
+                  static_cast<long long>(t.completed),
+                  static_cast<long long>(t.rejected), t.achieved_qps,
+                  100.0 * t.accuracy,
+                  static_cast<unsigned long long>(t.output_digest));
+  }
+  return 0;
+}
+
 int cmd_loadgen(const Args& args) {
+  // --tenant routes to the multi-tenant fleet path (same specs as `fleet`).
+  if (args.has("tenant")) return cmd_fleet(args);
   args.expect_known(kDatasetFlags + kModelFlags + kMappingFlags + kServeFlags +
                     std::vector<std::string>{"qps"});
   return run_serving(args, args.get_double("qps", 100.0),
@@ -440,7 +620,7 @@ int cmd_loadgen(const Args& args) {
 
 void usage() {
   std::printf(
-      "usage: tinyadc <train|prune|map|report|fault|serve|loadgen> "
+      "usage: tinyadc <train|prune|map|report|fault|serve|loadgen|fleet> "
       "[--flag value]...\n"
       "common flags  : --net resnet18|resnet50|vgg16  --dataset "
       "cifar10|cifar100|imagenet\n"
@@ -463,6 +643,17 @@ void usage() {
       "                --mmap (with --artifact: zero-copy mapped load with "
       "async\n"
       "                cold-section streaming; bit-identical outputs)\n"
+      "fleet flags   : --tenant \"name=a.tadc[,weight=W][,priority=P]"
+      "[,max-batch=B]\n"
+      "                [,max-queue=Q][,stages=K][,qps=R][,requests=N]"
+      "[,burst=F]\n"
+      "                [,burst-period=S][,mmap][,deterministic]\" (repeat "
+      "per tenant)\n"
+      "                --workers N (shared pool)  --swap name=b.tadc[@frac] "
+      "(hot-swap\n"
+      "                under traffic)  --deterministic  --json [path]; "
+      "loadgen --tenant\n"
+      "                routes to the same multi-tenant path\n"
       "unknown flags are an error\n");
 }
 
@@ -483,6 +674,7 @@ int main(int argc, char** argv) {
     if (cmd == "fault") return cmd_fault(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "loadgen") return cmd_loadgen(args);
+    if (cmd == "fleet") return cmd_fleet(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
