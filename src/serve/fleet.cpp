@@ -282,7 +282,7 @@ FleetServer::Popped FleetServer::pop_batch(int idx) {
   Bucket& bucket = t.buckets[best];
   const std::size_t take = std::min(t.cfg.max_batch, bucket.items.size());
   Popped out;
-  out.tenant = idx;
+  out.tenant = &t;
   out.batch.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
     out.batch.push_back(std::move(bucket.items.front()));
@@ -377,7 +377,7 @@ void FleetServer::worker_main(int worker) {
   for (;;) {
     Popped p;
     if (!take_shared(p)) return;
-    Tenant& t = *tenants_[static_cast<std::size_t>(p.tenant)];
+    Tenant& t = *p.tenant;
     Tensor logits;
     std::exception_ptr error;
     try {
@@ -395,15 +395,11 @@ void FleetServer::worker_main(int worker) {
 }
 
 void FleetServer::tenant_dispatcher_main(int idx) {
-  Tenant* tenant = nullptr;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    tenant = tenants_[static_cast<std::size_t>(idx)].get();
-  }
-  Tenant& t = *tenant;
   for (;;) {
     Popped p;
     if (!take_tenant(idx, p)) return;
+    Tenant* tenant = p.tenant;  // stable; callbacks may outlive this frame
+    Tenant& t = *tenant;
     Tensor images = assemble(p.batch);
     Version& v = *p.version;
     if (!v.executor) {
@@ -423,11 +419,11 @@ void FleetServer::tenant_dispatcher_main(int idx) {
     const std::uint64_t batch_seq = p.batch_seq;
     v.executor->submit(
         std::move(images),
-        [this, &t, shared, batch_seq, version](Tensor logits,
-                                               std::exception_ptr error) {
-          finish_batch(t, *shared, batch_seq, version->ordinal, logits,
+        [this, tenant, shared, batch_seq, version](Tensor logits,
+                                                   std::exception_ptr error) {
+          finish_batch(*tenant, *shared, batch_seq, version->ordinal, logits,
                        error);
-          complete_inflight(t, shared->size());
+          complete_inflight(*tenant, shared->size());
         });
   }
 }
@@ -716,11 +712,12 @@ std::string FleetStats::to_json() const {
   out << "{\"aggregate\": " << aggregate.to_json() << ", \"tenants\": [";
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     const TenantStats& t = tenants[i];
-    out << (i ? ", " : "") << "{\"name\": \"" << t.name
+    out << (i ? ", " : "") << "{\"name\": \"" << json_escape(t.name)
         << "\", \"version\": " << t.version
         << ", \"priority\": " << t.priority << ", \"weight\": " << t.weight
         << ", \"queued\": " << t.queued << ", \"artifact_path\": \""
-        << t.artifact_path << "\", \"artifact_digest\": \"" << std::hex
+        << json_escape(t.artifact_path) << "\", \"artifact_digest\": \""
+        << std::hex
         << t.artifact_digest << std::dec << "\", \"stats\": "
         << t.stats.to_json() << "}";
   }

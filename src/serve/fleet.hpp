@@ -260,8 +260,11 @@ class FleetServer {
   };
 
   /// A dequeued batch: everything a worker needs with mu_ released.
+  /// `tenant` is captured under mu_ so workers never index tenants_
+  /// unlocked (register_tenant may reallocate the vector under traffic);
+  /// the Tenant object itself is stable for the fleet's lifetime.
   struct Popped {
-    int tenant = -1;
+    Tenant* tenant = nullptr;
     std::vector<Pending> batch;
     std::uint64_t batch_seq = 0;
     std::shared_ptr<Version> version;  ///< pinned at dequeue — never torn

@@ -191,7 +191,7 @@ std::string FleetLoadgenReport::to_json() const {
   out << inner << ", \"loadgen\": [";
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     const TenantLoadReport& t = tenants[i];
-    out << (i ? ", " : "") << "{\"name\": \"" << t.name
+    out << (i ? ", " : "") << "{\"name\": \"" << json_escape(t.name)
         << "\", \"submitted\": " << t.submitted
         << ", \"completed\": " << t.completed
         << ", \"rejected\": " << t.rejected

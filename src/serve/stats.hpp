@@ -98,6 +98,10 @@ struct ServeStats {
   std::string to_json() const;
 };
 
+/// Escapes `s` for embedding inside a double-quoted JSON string: backslash,
+/// double quote, and control characters (\b \f \n \r \t, \u00XX otherwise).
+std::string json_escape(const std::string& s);
+
 /// FNV-1a digest of raw bytes; `h` chains calls (pass the previous digest).
 std::uint64_t fnv1a(const void* data, std::size_t n,
                     std::uint64_t h = 1469598103934665603ULL);

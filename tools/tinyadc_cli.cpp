@@ -24,6 +24,7 @@
 //   tinyadc prune --net resnet18 --dataset cifar10 --in m.bin --cp-rate 8 \
 //                 --save-artifact deploy.tadc
 //   tinyadc serve --artifact deploy.tadc --dataset cifar10 --workers 4
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -540,6 +541,7 @@ int cmd_fleet(const Args& args) {
   // tenant has served frac (default 0.5) of its request budget — the swap
   // runs under live traffic, off the loadgen threads.
   std::thread swapper;
+  std::atomic<bool> traffic_done{false};
   if (args.has("swap")) {
     const std::string swap = args.get("swap", "");
     const std::size_t eq = swap.find('=');
@@ -555,28 +557,47 @@ int cmd_fleet(const Args& args) {
     }
     TINYADC_CHECK(frac >= 0.0 && frac <= 1.0, "--swap frac must be in [0,1]");
     std::uint64_t target = 0;
+    bool known = false;
     for (const TenantSpec& spec : specs)
-      if (spec.config.name == name)
+      if (spec.config.name == name) {
+        known = true;
         target = static_cast<std::uint64_t>(
             frac * static_cast<double>(spec.load.requests));
+      }
+    TINYADC_CHECK(known, "--swap tenant '" << name
+                                           << "' matches no --tenant spec");
     const bool mmap_load = args.has("mmap");
-    swapper = std::thread([&fleet, name, path, target, mmap_load] {
-      for (;;) {
-        const auto fs = fleet.stats();
-        for (const auto& t : fs.tenants)
-          if (t.name == name && t.stats.requests >= target) {
+    swapper = std::thread([&fleet, &traffic_done, name, path, target,
+                           mmap_load] {
+      try {
+        for (;;) {
+          // Once the loadgen has drained, stop waiting for the request
+          // target (rejections can leave it unreachable) and swap now.
+          const bool drained = traffic_done.load();
+          const auto fs = fleet.stats();
+          bool due = drained;
+          for (const auto& t : fs.tenants)
+            if (t.name == name && t.stats.requests >= target) due = true;
+          if (due) {
             const auto v = fleet.swap_tenant(name, path, mmap_load);
             std::printf("hot-swapped tenant %s -> %s (version %llu)\n",
                         name.c_str(), path.c_str(),
                         static_cast<unsigned long long>(v));
             return;
           }
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      } catch (const std::exception& e) {
+        // Must not escape the thread (std::terminate): report and leave
+        // the tenant on its current version.
+        std::fprintf(stderr, "hot-swap of tenant %s failed: %s\n",
+                     name.c_str(), e.what());
       }
     });
   }
 
   auto report = serve::run_fleet_loadgen(fleet, loads);
+  traffic_done.store(true);
   if (swapper.joinable()) {
     // Re-snapshot after the swap thread lands so the report shows the
     // post-swap version ordinals (the loadgen may drain first).
